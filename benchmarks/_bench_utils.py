@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures, prints the
+rendered artifact, and archives it under ``benchmarks/results/`` so a run
+leaves an inspectable record. Heavy experiment bodies execute exactly once
+via ``benchmark.pedantic(rounds=1)``; the captured value is reused by the
+shape assertions.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def archive(name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[archived to {path}]")
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

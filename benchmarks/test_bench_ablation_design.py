@@ -1,0 +1,126 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own ablations (Fig. 5, Table IV, Fig. 6), these sweep:
+
+- the softmax temperature of the quantization step (Eqn. 5),
+- the number of codebooks M (space/accuracy trade-off of §IV),
+- the class-weighting strength γ (Eqn. 12).
+
+Each bench archives a sweep table and sanity-checks the expected trend.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from _bench_utils import archive, run_once
+
+from repro.core import Trainer, evaluate_map
+from repro.data import load_dataset
+from repro.experiments import (
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+    format_table,
+)
+from repro.retrieval import storage_cost
+
+
+def _train_map(dataset, model_config, loss_config, training_config, seed=0):
+    trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+    model, _, _ = trainer.fit(dataset)
+    return evaluate_map(model, dataset), model
+
+
+def test_bench_ablation_temperature(benchmark):
+    dataset = load_dataset("nc", 50, scale="ci", seed=0)
+    model_config = default_model_config(dataset)
+    training_config = default_training_config(dataset, fast=True)
+    temperatures = (0.1, 1.0, 10.0)
+
+    def sweep():
+        rows = []
+        for temperature in temperatures:
+            config = replace(model_config, temperature=temperature)
+            score, _ = _train_map(dataset, config, default_loss_config(dataset), training_config)
+            rows.append([temperature, score])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    archive(
+        "ablation_temperature",
+        format_table(["temperature", "MAP"], rows, title="Softmax temperature sweep (NC IF=50)"),
+    )
+    scores = [score for _, score in rows]
+    # All temperatures must train to something useful; the hard-forward STE
+    # makes inference identical, so differences stay bounded.
+    assert min(scores) > 0.3
+    assert max(scores) - min(scores) < 0.35
+
+
+def test_bench_ablation_codebooks(benchmark):
+    dataset = load_dataset("nc", 50, scale="ci", seed=0)
+    training_config = default_training_config(dataset, fast=True)
+    counts = (1, 2, 4, 8)
+
+    def sweep():
+        rows = []
+        for m in counts:
+            config = replace(default_model_config(dataset), num_codebooks=m)
+            score, model = _train_map(
+                dataset, config, default_loss_config(dataset), training_config
+            )
+            error = model.dsq.reconstruction_error(
+                model.embed(dataset.database.features)
+            )
+            bits = config.code_bits
+            compression = storage_cost(
+                len(dataset.database), dataset.dim, m, config.num_codewords
+            ).compression_ratio
+            rows.append([m, bits, score, error, compression])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    archive(
+        "ablation_codebooks",
+        format_table(
+            ["M", "bits", "MAP", "recon err", "compression"],
+            rows,
+            title="Codebook count sweep (NC IF=50)",
+        ),
+    )
+    errors = [row[3] for row in rows]
+    # More encoder-decoder pairs shrink the residual (§III-C's motivation).
+    assert errors == sorted(errors, reverse=True)
+    # MAP itself need not rise with M on a 10-class corpus: coarse
+    # quantization *denoises* the database side, so M=1 can rank best here
+    # while reconstruction steadily improves. All settings must stay usable.
+    scores = {row[0]: row[2] for row in rows}
+    assert min(scores.values()) > 0.3
+    # Compression falls as codes grow (more bits per item).
+    compressions = [row[4] for row in rows]
+    assert compressions == sorted(compressions, reverse=True)
+
+
+def test_bench_ablation_gamma(benchmark):
+    dataset = load_dataset("cifar100", 100, scale="ci", seed=0)
+    model_config = default_model_config(dataset)
+    training_config = default_training_config(dataset, fast=True)
+    gammas = (0.0, 0.9, 0.999)
+
+    def sweep():
+        rows = []
+        for gamma in gammas:
+            loss_config = replace(default_loss_config(dataset), gamma=gamma)
+            score, _ = _train_map(dataset, model_config, loss_config, training_config)
+            rows.append([gamma, score])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    archive(
+        "ablation_gamma",
+        format_table(
+            ["gamma", "MAP"], rows, title="Class-weighting strength sweep (CIFAR-100 IF=100)"
+        ),
+    )
+    scores = [score for _, score in rows]
+    assert min(scores) > 0.05  # all settings train

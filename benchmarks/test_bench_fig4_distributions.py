@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 4 (label distributions under Zipf's law)."""
+
+import numpy as np
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_fig4, run_fig4
+
+
+def test_bench_fig4(benchmark):
+    curves = run_once(benchmark, lambda: run_fig4(scale="ci"))
+    archive("fig4_distributions", format_fig4(curves))
+
+    assert len(curves) == 8
+    for key, curve in curves.items():
+        # Fig. 4 plots straight lines on log-log axes; verify linearity and
+        # that IF=100 curves fall off faster than IF=50 curves.
+        x = np.log10(np.arange(1, len(curve) + 1))
+        slope = np.polyfit(x, curve, 1)[0]
+        assert slope < 0, key
+    for name in ("cifar100", "imagenet100", "nc", "qba"):
+        drop_50 = curves[f"{name} IF=50"][0] - curves[f"{name} IF=50"][-1]
+        drop_100 = curves[f"{name} IF=100"][0] - curves[f"{name} IF=100"][-1]
+        assert drop_100 >= drop_50

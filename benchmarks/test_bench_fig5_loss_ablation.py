@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Fig. 5 (loss-function ablation).
+
+LightLT trained with only the class-weighted cross-entropy vs the full
+combined loss (CE + center + ranking) on CIFAR-100-sim and NC-sim.
+Expected shape (§V-C): the full loss is at least as good everywhere.
+"""
+
+import numpy as np
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_bench_fig5(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: run_fig5(
+            dataset_names=("cifar100", "nc"),
+            imbalance_factors=(50, 100),
+            scale="ci",
+            seed=0,
+            fast=True,
+        ),
+    )
+    archive("fig5_loss_ablation", format_fig5(results))
+
+    deltas = []
+    for dataset in ("cifar100", "nc"):
+        for factor in (50, 100):
+            scores = {
+                r.variant: r.map_score
+                for r in results
+                if r.dataset == dataset and r.imbalance_factor == factor
+            }
+            deltas.append(scores["full loss"] - scores["CE only"])
+    # The full loss helps on average and never collapses a configuration.
+    assert np.mean(deltas) > 0
+    assert min(deltas) > -0.05

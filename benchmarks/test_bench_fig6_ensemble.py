@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Fig. 6 (effect of the number of ensemble models).
+
+LightLT with 1 (no ensemble), 2, and 4 averaged members on CIFAR-100-sim
+and NC-sim. Expected shape (§V-F): MAP does not degrade as members are
+added, and 4 members beats no ensemble on average.
+"""
+
+import numpy as np
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_fig6, run_fig6
+
+
+def test_bench_fig6(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: run_fig6(
+            dataset_names=("cifar100", "nc"),
+            imbalance_factors=(50, 100),
+            member_counts=(1, 2, 4),
+            scale="ci",
+            seed=0,
+            fast=True,
+        ),
+    )
+    archive("fig6_ensemble", format_fig6(results))
+
+    gains_2, gains_4 = [], []
+    for dataset in ("cifar100", "nc"):
+        for factor in (50, 100):
+            scores = {
+                r.variant: r.map_score
+                for r in results
+                if r.dataset == dataset and r.imbalance_factor == factor
+            }
+            gains_2.append(scores["2 models"] - scores["w/o ensemble"])
+            gains_4.append(scores["4 models"] - scores["w/o ensemble"])
+    assert np.mean(gains_4) > -0.005
+    assert min(gains_4) > -0.04
+    # 4 members is at least as good as 2 on average (Fig. 6's trend).
+    assert np.mean(gains_4) >= np.mean(gains_2) - 0.02

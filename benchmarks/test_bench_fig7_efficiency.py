@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Fig. 7 (speedup & compression vs database scale).
+
+LightLT trained on QBA-sim IF=100; the database fraction is swept over
+{1e-3, 1e-2, 1e-1, 1}. Expected shape (§V-E): both ratios grow with the
+database; at tiny database sizes quantization does NOT pay off (ratios
+below 1 at paper scale), and at full scale the theoretical paper-scale
+ratios reproduce the 62x speedup / 240x compression headline.
+"""
+
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_fig7, run_fig7
+from repro.retrieval import storage_cost, theoretical_speedup
+
+
+def test_bench_fig7(benchmark):
+    measurements = run_once(
+        benchmark,
+        lambda: run_fig7(
+            fractions=(1e-3, 1e-2, 1e-1, 1.0), scale="ci", seed=0, fast=True, repeats=3
+        ),
+    )
+    archive("fig7_efficiency", format_fig7(measurements))
+
+    compressions = [m.measured_compression for m in measurements]
+    theory = [m.theoretical_speedup for m in measurements]
+    assert compressions == sorted(compressions)
+    assert theory == sorted(theory)
+    # Tiny databases do not benefit (§V-E's 1/1000 observation).
+    assert compressions[0] < 1.0
+
+    # Paper-scale headline numbers from the analytic model of §IV:
+    # QBA full database, d=768, M=4, K=256.
+    full_compression = storage_cost(642_000, 768, 4, 256).compression_ratio
+    assert abs(full_compression - 240.2) / 240.2 < 0.05
+    tenth_compression = storage_cost(64_200, 768, 4, 256).compression_ratio
+    assert abs(tenth_compression - 54.04) / 54.04 < 0.35
+    assert theoretical_speedup(642_000, 768, 4, 256) > 30

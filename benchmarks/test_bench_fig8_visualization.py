@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 8 (visualisation of the loss variants).
+
+Five CIFAR-100-sim classes embedded with t-SNE after training with CE,
+CE+center, and CE+center+ranking. The paper's visual claim is quantified:
+adding the center and ranking terms does not degrade — and typically
+improves — the silhouette score of the quantized representations.
+"""
+
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_fig8, run_fig8
+
+
+def test_bench_fig8(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: run_fig8(
+            dataset_name="cifar100",
+            imbalance_factor=50,
+            classes=(0, 24, 49, 74, 99),
+            points_per_class=25,
+            scale="ci",
+            seed=0,
+            fast=True,
+            tsne_iterations=200,
+        ),
+    )
+    archive("fig8_visualization", format_fig8(results, with_scatter=True))
+
+    scores = {r.variant: r.silhouette for r in results}
+    assert set(scores) == {"CE", "CE+center", "CE+center+ranking"}
+    # The full loss yields clusters at least as tight as CE alone.
+    assert scores["CE+center+ranking"] > scores["CE"] - 0.05
+    for result in results:
+        assert result.coordinates.shape[1] == 2

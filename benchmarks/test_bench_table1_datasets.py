@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table I (dataset statistics)."""
+
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    rows = run_once(benchmark, lambda: run_table1(scale="ci", seed=0))
+    archive("table1_datasets", format_table1(rows))
+
+    assert len(rows) == 8
+    for row in rows:
+        # Every generated training split is genuinely long-tailed and close
+        # to its target imbalance factor (floored by min class size 1).
+        assert row["IF_measured"] >= min(row["IF_target"], row["pi_1"]) * 0.5
+        assert row["pi_1"] > row["pi_C"]

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table II (MAP on the image datasets).
+
+All 14 paper baselines plus LightLT with and without the ensemble, on
+CIFAR-100 and ImageNet-100 at IF ∈ {50, 100}. Expected shape (§V-B):
+LightLT variants on top, LightLT strictly above every baseline, and IF=100
+at or below IF=50 for LightLT.
+"""
+
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_comparison, run_table2
+
+
+def test_bench_table2(benchmark):
+    results = run_once(benchmark, lambda: run_table2(scale="ci", seed=0, fast=True))
+    archive("table2_image", format_comparison(results, "Table II — image datasets (CI scale)"))
+
+    for dataset in ("cifar100", "imagenet100"):
+        for factor in (50, 100):
+            rows = {
+                r.method: r.map_score
+                for r in results
+                if r.dataset == dataset and r.imbalance_factor == factor
+            }
+            best_baseline = max(
+                score
+                for method, score in rows.items()
+                if not method.startswith("LightLT")
+            )
+            best_lightlt = max(rows["LightLT"], rows["LightLT w/o ensemble"])
+            assert best_lightlt > best_baseline, (dataset, factor)
+
+    # Long-tail severity ordering for the headline method.
+    lightlt = {
+        (r.dataset, r.imbalance_factor): r.map_score
+        for r in results
+        if r.method == "LightLT"
+    }
+    for dataset in ("cifar100", "imagenet100"):
+        assert lightlt[(dataset, 100)] <= lightlt[(dataset, 50)] + 0.02

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table III (MAP on the text datasets).
+
+LSH, PQ, DPQ, KDE, LTHNet plus the LightLT variants on NC and QBA at
+IF ∈ {50, 100}. Expected shape (§V-B): LightLT on top everywhere; NC
+scores far above QBA (10 coarse classes vs 25 fine-grained intents); and
+IF=100 at or below IF=50 for LightLT.
+"""
+
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_comparison, run_table3
+
+
+def test_bench_table3(benchmark):
+    results = run_once(benchmark, lambda: run_table3(scale="ci", seed=0, fast=True))
+    archive("table3_text", format_comparison(results, "Table III — text datasets (CI scale)"))
+
+    by_key = {(r.dataset, r.imbalance_factor, r.method): r.map_score for r in results}
+    for dataset in ("nc", "qba"):
+        for factor in (50, 100):
+            scores = {
+                method: score
+                for (d, f, method), score in by_key.items()
+                if d == dataset and f == factor
+            }
+            best_baseline = max(
+                s for m, s in scores.items() if not m.startswith("LightLT")
+            )
+            best_lightlt = max(
+                scores["LightLT"], scores["LightLT w/o ensemble"]
+            )
+            assert best_lightlt > best_baseline - 0.01, (dataset, factor)
+
+    # NC is the easy corpus; QBA the hard one (Table III's absolute levels).
+    assert by_key[("nc", 50, "LightLT")] > by_key[("qba", 50, "LightLT")]
+    assert by_key[("nc", 100, "LightLT")] <= by_key[("nc", 50, "LightLT")] + 0.02

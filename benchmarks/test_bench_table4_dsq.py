@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table IV (DSQ vs vanilla residual mechanism).
+
+LightLT without the ensemble, with the codebook skip connection (DSQ) on
+vs off (vanilla residual), on CIFAR-100-sim and NC-sim at IF ∈ {50, 100}.
+Expected shape (§V-D): DSQ is at least as good in aggregate.
+"""
+
+import numpy as np
+from _bench_utils import archive, run_once
+
+from repro.experiments import format_table4, run_table4
+
+
+def test_bench_table4(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: run_table4(
+            dataset_names=("cifar100", "nc"),
+            imbalance_factors=(50, 100),
+            scale="ci",
+            seed=0,
+            fast=True,
+        ),
+    )
+    archive("table4_dsq", format_table4(results))
+
+    improvements = []
+    for dataset in ("cifar100", "nc"):
+        for factor in (50, 100):
+            scores = {
+                r.variant: r.map_score
+                for r in results
+                if r.dataset == dataset and r.imbalance_factor == factor
+            }
+            improvements.append(scores["DSQ"] - scores["Residual"])
+    assert np.mean(improvements) > -0.01
+    assert min(improvements) > -0.05

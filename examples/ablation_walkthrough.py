@@ -1,0 +1,92 @@
+"""Walk through the paper's ablations on one dataset.
+
+Reproduces, at example scale, the three analyses of §V-C/D/F:
+
+1. loss composition (CE vs +center vs +ranking) with cluster-quality
+   numbers standing in for Fig. 8's scatter plots,
+2. DSQ vs the vanilla residual mechanism (Table IV),
+3. the ensemble-size sweep (Fig. 6).
+
+    python examples/ablation_walkthrough.py
+"""
+
+from dataclasses import replace
+
+from repro.cluster import silhouette_score
+from repro.core import EnsembleConfig, Trainer, evaluate_map, train_ensemble
+from repro.data import load_dataset
+from repro.experiments import (
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+    format_table,
+)
+
+
+def train_variant(dataset, model_config, loss_config, seed=0):
+    trainer = Trainer(
+        model_config, loss_config, default_training_config(dataset), seed=seed
+    )
+    model, _, _ = trainer.fit(dataset)
+    return model
+
+
+def main() -> None:
+    dataset = load_dataset("nc", imbalance_factor=100, scale="ci", seed=0)
+    base_config = default_model_config(dataset)
+    base_loss = default_loss_config(dataset)
+
+    # ------------------------------------------------------------------
+    # 1. Loss composition (Fig. 5 / Fig. 8).
+    # ------------------------------------------------------------------
+    variants = {
+        "CE only": replace(base_loss, use_center=False, use_ranking=False),
+        "CE + center": replace(base_loss, use_ranking=False),
+        "CE + center + ranking": base_loss,
+    }
+    rows = []
+    for name, loss_config in variants.items():
+        model = train_variant(dataset, base_config, loss_config)
+        quantized = model.quantized_embeddings(dataset.database.features)
+        rows.append(
+            [
+                name,
+                evaluate_map(model, dataset),
+                silhouette_score(quantized, dataset.database.labels),
+            ]
+        )
+    print(format_table(["loss", "MAP", "silhouette"], rows, title="Loss ablation (NC IF=100)"))
+
+    # ------------------------------------------------------------------
+    # 2. DSQ vs vanilla residual (Table IV).
+    # ------------------------------------------------------------------
+    rows = []
+    for name, config in {
+        "vanilla residual": replace(base_config, use_codebook_skip=False),
+        "DSQ (double skip)": base_config,
+    }.items():
+        model = train_variant(dataset, config, base_loss)
+        rows.append([name, evaluate_map(model, dataset)])
+    print()
+    print(format_table(["quantizer", "MAP"], rows, title="DSQ ablation (NC IF=100)"))
+
+    # ------------------------------------------------------------------
+    # 3. Ensemble size (Fig. 6).
+    # ------------------------------------------------------------------
+    rows = [["1 (no ensemble)", evaluate_map(train_variant(dataset, base_config, base_loss), dataset)]]
+    for members in (2, 4):
+        result = train_ensemble(
+            dataset,
+            base_config,
+            base_loss,
+            default_training_config(dataset),
+            EnsembleConfig(num_members=members),
+            seed=0,
+        )
+        rows.append([str(members), evaluate_map(result.model, dataset)])
+    print()
+    print(format_table(["ensemble members", "MAP"], rows, title="Ensemble sweep (NC IF=100)"))
+
+
+if __name__ == "__main__":
+    main()

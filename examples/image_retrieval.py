@@ -1,0 +1,64 @@
+"""Long-tail image retrieval: LightLT against classic compact-code baselines.
+
+Reproduces a slice of Table II interactively on the CIFAR-100-sim profile:
+every method gets the same 32-ish-bit budget and the same (simulated)
+pre-trained features; only the learning objective differs.
+
+    python examples/image_retrieval.py
+"""
+
+import time
+
+from repro.baselines import ITQ, LSH, PQ, SCDH, evaluate_method
+from repro.core import LossConfig, TrainingConfig, evaluate_map, train_lightlt
+from repro.data import load_dataset
+from repro.experiments import default_model_config, format_table
+
+
+def main() -> None:
+    dataset = load_dataset("cifar100", imbalance_factor=50, scale="ci", seed=0)
+    print(
+        f"CIFAR-100-sim IF=50: {len(dataset.train)} training images over "
+        f"{dataset.num_classes} classes; database {len(dataset.database)}"
+    )
+
+    rows = []
+
+    # Classic baselines: random hyperplanes, rotated PCA bits, product
+    # quantization, and a supervised shallow hash.
+    for method in (LSH(num_bits=32), ITQ(num_bits=32), PQ(4, 64), SCDH(num_bits=32)):
+        start = time.perf_counter()
+        score = evaluate_method(method, dataset)
+        rows.append([method.name, "supervised" if method.supervised else "unsup.", score, time.perf_counter() - start])
+
+    # LightLT (no ensemble, to keep the example quick).
+    start = time.perf_counter()
+    model, _ = train_lightlt(
+        dataset,
+        default_model_config(dataset),
+        loss_config=LossConfig(alpha=0.01, gamma=0.999),
+        training_config=TrainingConfig(epochs=20, schedule="cosine"),
+        seed=0,
+    )
+    rows.append(
+        ["LightLT w/o ensemble", "supervised", evaluate_map(model, dataset), time.perf_counter() - start]
+    )
+
+    print()
+    print(
+        format_table(
+            ["method", "supervision", "MAP", "seconds"],
+            rows,
+            title="Long-tail image retrieval at a ~32-bit code budget",
+            float_digits=3,
+        )
+    )
+    best_baseline = max(score for name, _, score, _ in rows[:-1])
+    print(
+        f"\nLightLT beats the best classic baseline by "
+        f"{(rows[-1][2] - best_baseline) / best_baseline:+.1%} relative MAP"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""LightLT reproduction: lightweight representation quantization for long-tail data.
+
+This package reproduces "LightLT: a Lightweight Representation Quantization
+Framework for Long-tail Data" (ICDE 2024) end to end:
+
+- :mod:`repro.nn` — NumPy autograd / neural-net substrate (PyTorch stand-in).
+- :mod:`repro.data` — long-tail dataset construction per Definition 1 and
+  Table I, with synthetic feature profiles standing in for pre-trained
+  ResNet-34 / BERT embeddings.
+- :mod:`repro.cluster` — k-means, PCA, DPP MAP inference, t-SNE.
+- :mod:`repro.retrieval` — MAP metrics, exhaustive and ADC lookup-table kNN
+  search, and the space/inference cost model of §IV.
+- :mod:`repro.core` — the paper's contribution: the DSQ quantizer, the
+  combined long-tail loss, the trainer (Algorithm 1), and the
+  weight-averaging ensemble with DSQ fine-tuning.
+- :mod:`repro.baselines` — shallow and deep hashing/quantization baselines
+  from Tables II and III.
+- :mod:`repro.experiments` — one runner per table/figure in the evaluation.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,146 @@
+"""Post-hoc analysis of trained LightLT models and their indexes.
+
+The paper's evaluation reports one MAP number per configuration; operating
+a long-tail retrieval system needs more: *where* the quality lives (head vs
+tail classes), whether the codebooks are healthy (usage entropy, dead
+codewords), and how much reconstruction error the quantizer leaves. This
+module packages those diagnostics behind a single report object used by the
+examples and the extended benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import LightLT
+from repro.core.quantize import codebook_usage, usage_entropy
+from repro.data.datasets import RetrievalDataset
+from repro.data.longtail import class_counts, head_tail_split
+from repro.retrieval.metrics import mean_average_precision, per_class_average_precision
+
+
+@dataclass
+class HeadTailReport:
+    """Retrieval quality split by class frequency."""
+
+    overall_map: float
+    head_map: float
+    tail_map: float
+    per_class_map: dict[int, float]
+    head_classes: list[int]
+    tail_classes: list[int]
+
+    @property
+    def head_tail_gap(self) -> float:
+        """How much worse tail queries fare than head queries."""
+        return self.head_map - self.tail_map
+
+
+def head_tail_report(
+    model: LightLT,
+    dataset: RetrievalDataset,
+    head_fraction: float = 0.5,
+) -> HeadTailReport:
+    """MAP broken down into head-class and tail-class queries.
+
+    Head classes are the smallest set of largest classes holding
+    ``head_fraction`` of the training data (the working definition used
+    throughout the long-tail literature).
+    """
+    counts = class_counts(dataset.train.labels, dataset.num_classes)
+    head, tail = head_tail_split(counts, head_fraction=head_fraction)
+    index = model.build_index(
+        dataset.database.features, labels=dataset.database.labels
+    )
+    ranked = model.search_ranked_labels(dataset.query.features, index)
+    per_class = per_class_average_precision(ranked, dataset.query.labels)
+
+    def mean_over(classes: np.ndarray) -> float:
+        scores = [per_class[int(c)] for c in classes if int(c) in per_class]
+        return float(np.mean(scores)) if scores else 0.0
+
+    return HeadTailReport(
+        overall_map=mean_average_precision(ranked, dataset.query.labels),
+        head_map=mean_over(head),
+        tail_map=mean_over(tail),
+        per_class_map=per_class,
+        head_classes=[int(c) for c in head],
+        tail_classes=[int(c) for c in tail],
+    )
+
+
+@dataclass
+class CodebookHealth:
+    """Per-level codebook usage diagnostics."""
+
+    usage_entropies: list[float]
+    dead_codewords: list[int]
+    num_codewords: int
+    reconstruction_error: float
+    embedding_variance: float
+
+    @property
+    def relative_error(self) -> float:
+        """Reconstruction MSE as a fraction of the embedding variance."""
+        if self.embedding_variance <= 0:
+            return float("inf")
+        return self.reconstruction_error / self.embedding_variance
+
+    @property
+    def healthy(self) -> bool:
+        """Heuristic: no fully-collapsed level and bounded relative error."""
+        return min(self.usage_entropies) > 0.1 and self.relative_error < 1.0
+
+
+def codebook_health(model: LightLT, features: np.ndarray) -> CodebookHealth:
+    """Diagnose codebook collapse and compression quality on ``features``."""
+    codes = model.encode(features)
+    embeddings = model.embed(features)
+    k = model.dsq.num_codewords
+    entropies = []
+    dead = []
+    for level in range(model.dsq.num_codebooks):
+        level_codes = codes[:, level]
+        entropies.append(usage_entropy(level_codes, k))
+        dead.append(int((codebook_usage(level_codes, k) == 0).sum()))
+    return CodebookHealth(
+        usage_entropies=entropies,
+        dead_codewords=dead,
+        num_codewords=k,
+        reconstruction_error=model.dsq.reconstruction_error(embeddings),
+        embedding_variance=float(embeddings.var()),
+    )
+
+
+@dataclass
+class ModelReport:
+    """Combined diagnostic report for a trained model on a dataset."""
+
+    head_tail: HeadTailReport
+    health: CodebookHealth
+    extras: dict = field(default_factory=dict)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest for logs and examples."""
+        ht = self.head_tail
+        health = self.health
+        return [
+            f"overall MAP {ht.overall_map:.4f} "
+            f"(head {ht.head_map:.4f} / tail {ht.tail_map:.4f}, "
+            f"gap {ht.head_tail_gap:+.4f})",
+            "codebook usage entropy per level: "
+            + ", ".join(f"{e:.2f}" for e in health.usage_entropies),
+            f"dead codewords per level: {health.dead_codewords} of {health.num_codewords}",
+            f"relative reconstruction error {health.relative_error:.2f} "
+            f"({'healthy' if health.healthy else 'DEGENERATE'})",
+        ]
+
+
+def analyze(model: LightLT, dataset: RetrievalDataset) -> ModelReport:
+    """Full diagnostic pass over a trained model."""
+    return ModelReport(
+        head_tail=head_tail_report(model, dataset),
+        health=codebook_health(model, dataset.database.features),
+    )

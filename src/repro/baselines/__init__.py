@@ -1,0 +1,113 @@
+"""``repro.baselines`` — the comparison methods of Tables II and III.
+
+Shallow hashes (LSH, PCAH, ITQ, KNNH), shallow supervised hashes (SDH,
+COSDISH, FastHash, FSSH), shallow quantizers (PQ, OPQ, RVQ, SCDH), deep
+hashes (DPSH, HashNet, DSDH, CSQ), deep quantizers (DPQ, KDE), the
+long-tail-aware LTHNet, and adapters exposing LightLT through the same
+interface.
+
+``image_baselines`` / ``text_baselines`` return the per-modality method
+lists exactly as the paper's tables group them.
+"""
+
+from repro.baselines.adapters import LightLTEnsembleMethod, LightLTMethod
+from repro.baselines.base import (
+    BinaryHashMixin,
+    QuantizerMixin,
+    RetrievalMethod,
+    evaluate_method,
+    pairwise_similarity_labels,
+    sign_codes,
+)
+from repro.baselines.deep_base import (
+    DeepHashBase,
+    HashNetwork,
+    pairwise_logistic_loss,
+    quantization_penalty,
+)
+from repro.baselines.deep_hash import CSQ, DPSH, DSDH, HashNet, hadamard_hash_centers
+from repro.baselines.deep_quant import DPQ, KDE
+from repro.baselines.dtq import DTQ
+from repro.baselines.lthnet import LTHNet
+from repro.baselines.pq import OPQ, PQ, RVQ, SCDH
+from repro.baselines.shallow_hash import ITQ, KNNH, LSH, PCAH
+from repro.baselines.supervised_hash import COSDISH, FSSH, SDH, FastHash
+
+
+def image_baselines(seed: int = 0, fast: bool = False) -> list[RetrievalMethod]:
+    """The 14 baselines of Table II in the paper's row order.
+
+    ``fast=True`` trims training epochs for benchmark runs.
+    """
+    deep_kwargs = {
+        "seed": seed,
+        "epochs": 10 if fast else 25,
+        "learning_rate": 5e-3,
+    }
+    return [
+        LSH(seed=seed),
+        PCAH(),
+        ITQ(seed=seed),
+        KNNH(seed=seed),
+        SDH(seed=seed),
+        COSDISH(seed=seed),
+        FastHash(seed=seed),
+        FSSH(seed=seed),
+        SCDH(seed=seed),
+        DPSH(**deep_kwargs),
+        HashNet(**deep_kwargs),
+        DSDH(**deep_kwargs),
+        CSQ(**deep_kwargs),
+        LTHNet(**deep_kwargs),
+    ]
+
+
+def text_baselines(seed: int = 0, fast: bool = False) -> list[RetrievalMethod]:
+    """The 5 baselines of Table III in the paper's row order."""
+    quant_kwargs = {"seed": seed, "epochs": 8 if fast else 15}
+    return [
+        LSH(seed=seed),
+        PQ(seed=seed),
+        DPQ(**quant_kwargs),
+        KDE(**quant_kwargs),
+        LTHNet(seed=seed, epochs=10 if fast else 25, learning_rate=5e-3),
+    ]
+
+
+__all__ = [
+    "BinaryHashMixin",
+    "COSDISH",
+    "CSQ",
+    "DeepHashBase",
+    "DPQ",
+    "DPSH",
+    "DTQ",
+    "DSDH",
+    "FSSH",
+    "FastHash",
+    "HashNet",
+    "HashNetwork",
+    "ITQ",
+    "KDE",
+    "KNNH",
+    "LSH",
+    "LTHNet",
+    "LightLTEnsembleMethod",
+    "LightLTMethod",
+    "OPQ",
+    "PCAH",
+    "PQ",
+    "QuantizerMixin",
+    "RVQ",
+    "RetrievalMethod",
+    "SCDH",
+    "SDH",
+    "evaluate_method",
+    "hadamard_hash_centers",
+    "image_baselines",
+    "pairwise_logistic_loss",
+    "pairwise_similarity_labels",
+    "quantization_penalty",
+    "sign_codes",
+    "text_baselines",
+]

@@ -1,0 +1,107 @@
+"""Adapters exposing LightLT through the baseline-comparison interface.
+
+Lets the Table II/III harness treat LightLT (with and without the model
+ensemble) exactly like every baseline: ``fit`` on the train split, ``rank``
+the database for queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RetrievalMethod
+from repro.core.ensemble import EnsembleConfig, train_ensemble
+from repro.core.losses import LossConfig
+from repro.core.model import LightLT, LightLTConfig
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.datasets import RetrievalDataset, Split
+from repro.retrieval.index import QuantizedIndex
+
+
+class LightLTMethod(RetrievalMethod):
+    """LightLT without the ensemble step ("LightLT w/o ensemble")."""
+
+    name = "LightLT w/o ensemble"
+    supervised = True
+
+    def __init__(
+        self,
+        model_config: LightLTConfig | None = None,
+        loss_config: LossConfig = LossConfig(),
+        training_config: TrainingConfig = TrainingConfig(),
+        seed: int = 0,
+    ):
+        self.model_config = model_config
+        self.loss_config = loss_config
+        self.training_config = training_config
+        self.seed = seed
+        self.model: LightLT | None = None
+
+    def _resolve_config(self, train: Split, num_classes: int) -> LightLTConfig:
+        if self.model_config is not None:
+            return self.model_config
+        return LightLTConfig(input_dim=train.dim, num_classes=num_classes)
+
+    def fit(self, train: Split, num_classes: int) -> "LightLTMethod":
+        config = self._resolve_config(train, num_classes)
+        dataset = _as_dataset(train, num_classes)
+        trainer = Trainer(config, self.loss_config, self.training_config, seed=self.seed)
+        self.model, _, _ = trainer.fit(dataset)
+        return self
+
+    def rank(self, queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit must be called before rank")
+        index = QuantizedIndex.build(
+            codebooks=self.model.dsq.materialized_codebooks(),
+            database=database,
+            codes=self.model.encode(database),
+        )
+        return index.search(self.model.embed(queries))
+
+
+class LightLTEnsembleMethod(LightLTMethod):
+    """Full LightLT: model ensemble + DSQ fine-tuning (§III-E)."""
+
+    name = "LightLT"
+
+    def __init__(
+        self,
+        model_config: LightLTConfig | None = None,
+        loss_config: LossConfig = LossConfig(),
+        training_config: TrainingConfig = TrainingConfig(),
+        ensemble_config: EnsembleConfig = EnsembleConfig(),
+        seed: int = 0,
+    ):
+        super().__init__(model_config, loss_config, training_config, seed=seed)
+        self.ensemble_config = ensemble_config
+
+    def fit(self, train: Split, num_classes: int) -> "LightLTEnsembleMethod":
+        config = self._resolve_config(train, num_classes)
+        dataset = _as_dataset(train, num_classes)
+        result = train_ensemble(
+            dataset,
+            config,
+            self.loss_config,
+            self.training_config,
+            self.ensemble_config,
+            seed=self.seed,
+        )
+        self.model = result.model
+        return self
+
+
+def _as_dataset(train: Split, num_classes: int) -> RetrievalDataset:
+    """Wrap a bare training split in the dataset container the trainer wants.
+
+    Query/database splits are never touched during fit, so the train split
+    doubles for them here.
+    """
+    return RetrievalDataset(
+        name="adapter",
+        num_classes=num_classes,
+        target_imbalance_factor=1.0,
+        train=train,
+        query=train,
+        database=train,
+    )

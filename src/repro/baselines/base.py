@@ -1,0 +1,106 @@
+"""Common interface for all retrieval baselines (Tables II and III).
+
+Every method — shallow or deep, hashing or quantization — implements
+:class:`RetrievalMethod`: fit on the long-tail training split, then rank a
+database for a set of queries. Two mixins supply the ranking machinery:
+
+- :class:`BinaryHashMixin` for binarized-hash methods (±1 codes, symmetric
+  Hamming ranking);
+- :class:`QuantizerMixin` for quantization methods (codeword ids, ADC
+  asymmetric ranking as in §IV).
+
+The paper fixes the code budget at 32 bits for every method (§V-A4);
+hashers use ``num_bits`` and quantizers ``M × log2 K`` accordingly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.datasets import RetrievalDataset, Split
+from repro.retrieval.adc import adc_distances
+from repro.retrieval.metrics import mean_average_precision
+from repro.retrieval.search import hamming_distances, rank_by_distance
+
+
+class RetrievalMethod(abc.ABC):
+    """A trainable compact-code retrieval method."""
+
+    #: Short display name used in benchmark tables.
+    name: str = "method"
+    #: Whether the method uses labels (supervised) during fit.
+    supervised: bool = False
+
+    @abc.abstractmethod
+    def fit(self, train: Split, num_classes: int) -> "RetrievalMethod":
+        """Learn the method's parameters from the long-tail training split."""
+
+    @abc.abstractmethod
+    def rank(self, queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+        """Ranked database indices ``(n_q, n_db)`` for each query row."""
+
+
+class BinaryHashMixin:
+    """Symmetric Hamming ranking for methods producing ±1 binary codes.
+
+    Subclasses implement :meth:`hash` returning ``(n, num_bits)`` arrays
+    with entries in {-1, +1}.
+    """
+
+    def hash(self, features: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def rank(self, queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+        query_codes = self.hash(queries)
+        db_codes = self.hash(database)
+        return rank_by_distance(hamming_distances(query_codes, db_codes))
+
+
+class QuantizerMixin:
+    """Asymmetric ADC ranking for methods producing codeword-id codes.
+
+    Subclasses implement :meth:`encode` returning ``(n, M)`` id arrays and
+    :meth:`codebooks` returning the ``(M, K, d')`` tables, plus
+    :meth:`embed_queries` mapping raw queries into the codebook space
+    (identity for shallow quantizers, the backbone for deep ones).
+    """
+
+    def encode(self, features: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def codebooks(self) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def embed_queries(self, queries: np.ndarray) -> np.ndarray:
+        return np.asarray(queries, dtype=np.float64)
+
+    def rank(self, queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+        codes = self.encode(database)
+        distances = adc_distances(self.embed_queries(queries), codes, self.codebooks())
+        return rank_by_distance(distances)
+
+
+def sign_codes(projections: np.ndarray) -> np.ndarray:
+    """±1 codes from real projections; zeros map to +1 deterministically."""
+    return np.where(projections >= 0, 1.0, -1.0)
+
+
+def evaluate_method(method: RetrievalMethod, dataset: RetrievalDataset) -> float:
+    """Fit on the train split and score MAP on the query/database splits."""
+    method.fit(dataset.train, dataset.num_classes)
+    ranked = method.rank(dataset.query.features, dataset.database.features)
+    return mean_average_precision(
+        dataset.database.labels[ranked], dataset.query.labels
+    )
+
+
+def pairwise_similarity_labels(labels: np.ndarray) -> np.ndarray:
+    """±1 pairwise similarity matrix ``S_ij = 1 iff y_i == y_j``.
+
+    The supervision signal shared by the pairwise-loss methods (SDH,
+    COSDISH, DPSH, HashNet, DSDH).
+    """
+    labels = np.asarray(labels)
+    return np.where(labels[:, None] == labels[None, :], 1.0, -1.0)

@@ -1,0 +1,159 @@
+"""Shared machinery for the deep baselines of Tables II and III.
+
+Every deep method uses the same substrate LightLT uses — a gated residual
+MLP over the (simulated) pre-trained features — so comparisons isolate the
+*objective and code structure* rather than backbone capacity. Subclasses
+define a loss over the continuous code outputs; this base handles batching,
+optimisation, and the Hamming ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BinaryHashMixin, RetrievalMethod, sign_codes
+from repro.data.datasets import Split
+from repro.data.loader import DataLoader
+from repro.nn import AdamW, CosineAnnealingLR, Linear, Module, ResidualMLP, Tensor, no_grad
+from repro.rng import make_rng, spawn
+
+
+class HashNetwork(Module):
+    """Residual backbone + linear hashing head producing ``num_bits`` scores."""
+
+    def __init__(self, dim: int, num_bits: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        backbone_rng, head_rng = spawn(rng, 2)
+        self.backbone = ResidualMLP(dim, [hidden], backbone_rng)
+        self.head = Linear(dim, num_bits, head_rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.backbone(x))
+
+
+class DeepHashBase(BinaryHashMixin, RetrievalMethod):
+    """Minibatch-trained deep hashing method.
+
+    Subclasses implement :meth:`loss` mapping a batch's continuous code
+    outputs and labels to a scalar tensor. ``on_epoch`` is an optional hook
+    (HashNet uses it for its continuation schedule; LTHNet for prototype
+    refreshes).
+    """
+
+    supervised = True
+
+    def __init__(
+        self,
+        num_bits: int = 32,
+        hidden: int = 64,
+        epochs: int = 15,
+        batch_size: int = 64,
+        learning_rate: float = 2e-3,
+        weight_decay: float = 1e-2,
+        seed: int = 0,
+    ):
+        self.num_bits = num_bits
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.network: HashNetwork | None = None
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def loss(self, outputs: Tensor, labels: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def prepare(self, train: Split, num_classes: int, rng: np.random.Generator) -> None:
+        """Called once before training (build targets, centers, ...)."""
+
+    def on_epoch(self, epoch: int) -> None:
+        """Called at the start of every epoch."""
+
+    def extra_parameters(self) -> list:
+        """Additional trainable parameters owned by the subclass."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, train: Split, num_classes: int) -> "DeepHashBase":
+        rng = make_rng(self.seed)
+        net_rng, loader_rng, prep_rng = spawn(rng, 3)
+        self.network = HashNetwork(train.dim, self.num_bits, self.hidden, net_rng)
+        self.num_classes = num_classes
+        self.prepare(train, num_classes, prep_rng)
+        params = self.network.parameters() + self.extra_parameters()
+        optimizer = AdamW(params, lr=self.learning_rate, weight_decay=self.weight_decay)
+        loader = DataLoader(train, batch_size=self.batch_size, rng=loader_rng)
+        scheduler = CosineAnnealingLR(optimizer, max(len(loader) * self.epochs, 1))
+        self.network.train()
+        for epoch in range(self.epochs):
+            self.on_epoch(epoch)
+            for features, labels in loader:
+                optimizer.zero_grad()
+                outputs = self.network(Tensor(features))
+                batch_loss = self.loss(outputs, labels)
+                batch_loss.backward()
+                optimizer.step()
+                scheduler.step()
+        self.network.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def continuous_codes(self, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError("fit must be called before use")
+        self.network.eval()
+        blocks = []
+        with no_grad():
+            for start in range(0, len(features), batch_size):
+                batch = Tensor(np.asarray(features[start : start + batch_size], dtype=np.float64))
+                blocks.append(self.network(batch).data)
+        return np.concatenate(blocks, axis=0)
+
+    def hash(self, features: np.ndarray) -> np.ndarray:
+        return sign_codes(self.continuous_codes(features))
+
+
+def pairwise_logistic_loss(
+    outputs: Tensor, labels: np.ndarray, scale: float = 0.5, weighted: bool = False
+) -> Tensor:
+    """The pairwise likelihood loss shared by DPSH / HashNet / DSDH.
+
+    ``L = mean_ij [ log(1 + exp(θ_ij)) − s_ij θ_ij ]`` with
+    ``θ_ij = scale · u_iᵀ u_j`` and ``s_ij = 1[y_i = y_j]``. With
+    ``weighted=True`` (HashNet) similar pairs are up-weighted by the
+    dissimilar/similar ratio to counteract pair imbalance.
+    """
+    labels = np.asarray(labels)
+    similar = (labels[:, None] == labels[None, :]).astype(np.float64)
+    np.fill_diagonal(similar, 0.0)
+    valid = np.ones_like(similar)
+    np.fill_diagonal(valid, 0.0)
+
+    theta = (outputs @ outputs.T) * scale
+    # Numerically stable softplus: log(1+e^θ) = θ/2 + |θ|/2 + log(1+e^{−|θ|}).
+    abs_theta = theta.abs()
+    softplus = theta * 0.5 + abs_theta * 0.5 + ((abs_theta * -1.0).exp() + 1.0).log()
+    pair_losses = softplus - theta * Tensor(similar)
+
+    if weighted:
+        num_similar = max(similar.sum(), 1.0)
+        num_dissimilar = max(valid.sum() - similar.sum(), 1.0)
+        weights = np.where(similar > 0, num_dissimilar / num_similar, 1.0) * valid
+    else:
+        weights = valid
+    total_weight = max(weights.sum(), 1.0)
+    return (pair_losses * Tensor(weights)).sum() / total_weight
+
+
+def quantization_penalty(outputs: Tensor) -> Tensor:
+    """``mean ‖|u| − 1‖²`` pushing continuous codes toward ±1."""
+    diff = outputs.abs() - 1.0
+    return (diff * diff).mean()

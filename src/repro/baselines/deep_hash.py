@@ -1,0 +1,151 @@
+"""Deep binarized-hash baselines: DPSH, HashNet, DSDH, CSQ.
+
+Four supervised deep hashing objectives over the shared
+:class:`repro.baselines.deep_base.HashNetwork` substrate, matching the deep
+rows of Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.deep_base import (
+    DeepHashBase,
+    pairwise_logistic_loss,
+    quantization_penalty,
+)
+from repro.data.datasets import Split
+from repro.nn import Linear, Tensor, cross_entropy
+from repro.rng import make_rng
+
+
+class DPSH(DeepHashBase):
+    """Deep pairwise supervised hashing (Li et al.).
+
+    Pairwise likelihood over in-batch pairs plus a quantization penalty
+    pushing the relaxed codes toward ±1.
+    """
+
+    name = "DPSH"
+
+    def __init__(self, eta: float = 0.1, **kwargs):
+        super().__init__(**kwargs)
+        self.eta = eta
+
+    def loss(self, outputs: Tensor, labels: np.ndarray) -> Tensor:
+        pairwise = pairwise_logistic_loss(outputs, labels, scale=0.5)
+        return pairwise + quantization_penalty(outputs) * self.eta
+
+
+class HashNet(DeepHashBase):
+    """HashNet (Cao et al.): learning to hash by continuation.
+
+    The relaxed codes pass through ``tanh(β u)`` with β growing over
+    training, annealing the relaxation toward the sign function; similar
+    pairs are up-weighted to counter the pair imbalance of a 100-class
+    batch.
+    """
+
+    name = "HashNet"
+
+    def __init__(self, beta_start: float = 1.0, beta_growth: float = 1.3, **kwargs):
+        super().__init__(**kwargs)
+        self.beta_start = beta_start
+        self.beta_growth = beta_growth
+        self._beta = beta_start
+
+    def on_epoch(self, epoch: int) -> None:
+        self._beta = self.beta_start * self.beta_growth**epoch
+
+    def loss(self, outputs: Tensor, labels: np.ndarray) -> Tensor:
+        squashed = (outputs * self._beta).tanh()
+        return pairwise_logistic_loss(squashed, labels, scale=0.5, weighted=True)
+
+
+class DSDH(DeepHashBase):
+    """Deep supervised discrete hashing (Li et al.).
+
+    Combines the pairwise likelihood with a linear classifier over the
+    (relaxed) codes, so the binary codes are simultaneously similarity-
+    preserving and linearly classifiable.
+    """
+
+    name = "DSDH"
+
+    def __init__(self, classifier_weight: float = 1.0, eta: float = 0.1, **kwargs):
+        super().__init__(**kwargs)
+        self.classifier_weight = classifier_weight
+        self.eta = eta
+        self._classifier: Linear | None = None
+
+    def prepare(self, train: Split, num_classes: int, rng: np.random.Generator) -> None:
+        self._classifier = Linear(self.num_bits, num_classes, make_rng(rng))
+
+    def extra_parameters(self) -> list:
+        return self._classifier.parameters() if self._classifier else []
+
+    def loss(self, outputs: Tensor, labels: np.ndarray) -> Tensor:
+        squashed = outputs.tanh()
+        pairwise = pairwise_logistic_loss(squashed, labels, scale=0.5)
+        classification = cross_entropy(self._classifier(squashed), labels)
+        return (
+            pairwise
+            + classification * self.classifier_weight
+            + quantization_penalty(outputs) * self.eta
+        )
+
+
+def hadamard_hash_centers(
+    num_classes: int, num_bits: int, rng: np.random.Generator
+) -> np.ndarray:
+    """±1 class centers for CSQ.
+
+    Uses the rows of a Sylvester-construction Hadamard matrix (and their
+    negations) while they last — these are mutually at Hamming distance
+    ``num_bits/2`` — then falls back to Bernoulli(½) rows for any
+    remaining classes, exactly as prescribed by Yuan et al.
+    """
+    size = 1
+    while size < num_bits:
+        size *= 2
+    hadamard = np.ones((1, 1))
+    while hadamard.shape[0] < size:
+        hadamard = np.block([[hadamard, hadamard], [hadamard, -hadamard]])
+    candidates = np.concatenate([hadamard, -hadamard], axis=0)[:, :num_bits]
+    centers = np.zeros((num_classes, num_bits))
+    available = min(num_classes, len(candidates))
+    centers[:available] = candidates[:available]
+    if num_classes > available:
+        random_rows = rng.choice([-1.0, 1.0], size=(num_classes - available, num_bits))
+        centers[available:] = random_rows
+    return centers
+
+
+class CSQ(DeepHashBase):
+    """Central similarity quantization (Yuan et al.).
+
+    Each class gets a fixed binary hash center; training minimises bitwise
+    binary cross-entropy between the (sigmoid-relaxed) code and the class
+    center plus a quantization penalty. Global central similarity is far
+    more batch-efficient than pairwise losses, which is why CSQ is the
+    strongest deep hash baseline in Table II.
+    """
+
+    name = "CSQ"
+
+    def __init__(self, quantization_weight: float = 1e-4, **kwargs):
+        super().__init__(**kwargs)
+        self.quantization_weight = quantization_weight
+        self._centers: np.ndarray | None = None
+
+    def prepare(self, train: Split, num_classes: int, rng: np.random.Generator) -> None:
+        self._centers = hadamard_hash_centers(num_classes, self.num_bits, rng)
+
+    def loss(self, outputs: Tensor, labels: np.ndarray) -> Tensor:
+        targets = (self._centers[np.asarray(labels)] + 1.0) / 2.0  # {0, 1}
+        probabilities = outputs.sigmoid().clip(1e-7, 1.0 - 1e-7)
+        bce = -(
+            Tensor(targets) * probabilities.log()
+            + Tensor(1.0 - targets) * (1.0 - probabilities).log()
+        ).mean()
+        return bce + quantization_penalty(outputs.tanh()) * self.quantization_weight

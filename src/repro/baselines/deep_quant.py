@@ -1,0 +1,229 @@
+"""Deep quantization baselines: DPQ and KDE (Table III).
+
+Both learn discrete codes end to end with softmax relaxations, but neither
+is long-tail aware — they use plain cross-entropy, a single model, and no
+skip connections, which is exactly what LightLT improves on.
+
+- **DPQ** (Chen, Li & Sun): differentiable *product* quantization — the
+  embedding is split into subspaces, each quantized against its own
+  codebook with a straight-through softmax.
+- **KDE** (Chen, Min & Sun): K-way D-dimensional discrete codes —
+  *additive* composition of codewords selected by dot-product attention
+  over independent codebooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import QuantizerMixin, RetrievalMethod
+from repro.core.quantize import quantize_step
+from repro.core.warmstart import residual_kmeans_codebooks
+from repro.data.datasets import Split
+from repro.data.loader import DataLoader
+from repro.nn import (
+    AdamW,
+    CosineAnnealingLR,
+    Linear,
+    Module,
+    Parameter,
+    ResidualMLP,
+    Tensor,
+    concat,
+    cross_entropy,
+    no_grad,
+)
+from repro.nn import init as nn_init
+from repro.rng import make_rng, spawn
+
+
+class _DeepQuantizerBase(QuantizerMixin, RetrievalMethod):
+    """Shared trainer for the two deep quantization baselines."""
+
+    supervised = True
+
+    def __init__(
+        self,
+        num_codebooks: int = 4,
+        num_codewords: int = 64,
+        hidden: int = 64,
+        epochs: int = 15,
+        batch_size: int = 64,
+        learning_rate: float = 2e-3,
+        weight_decay: float = 1e-2,
+        temperature: float = 1.0,
+        reconstruction_weight: float = 1.0,
+        seed: int = 0,
+    ):
+        self.num_codebooks = num_codebooks
+        self.num_codewords = num_codewords
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.temperature = temperature
+        self.reconstruction_weight = reconstruction_weight
+        self.seed = seed
+        self.backbone: ResidualMLP | None = None
+        self.classifier: Linear | None = None
+        self._codebook_params: list[Parameter] = []
+
+    # Subclass hooks -----------------------------------------------------
+    def _init_codebooks(self, train: Split, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+    def _quantize(self, embeddings: Tensor) -> tuple[np.ndarray, Tensor]:
+        """Return (codes, reconstruction) for a batch of embeddings."""
+        raise NotImplementedError
+
+    def codebooks(self) -> np.ndarray:
+        raise NotImplementedError
+
+    # Training -----------------------------------------------------------
+    def fit(self, train: Split, num_classes: int) -> "_DeepQuantizerBase":
+        rng = make_rng(self.seed)
+        net_rng, head_rng, cb_rng, loader_rng = spawn(rng, 4)
+        self.backbone = ResidualMLP(train.dim, [self.hidden], net_rng)
+        self.classifier = Linear(train.dim, num_classes, head_rng)
+        self._init_codebooks(train, cb_rng)
+        params = (
+            self.backbone.parameters()
+            + self.classifier.parameters()
+            + self._codebook_params
+        )
+        optimizer = AdamW(params, lr=self.learning_rate, weight_decay=self.weight_decay)
+        loader = DataLoader(train, batch_size=self.batch_size, rng=loader_rng)
+        scheduler = CosineAnnealingLR(optimizer, max(len(loader) * self.epochs, 1))
+        self.backbone.train()
+        for _ in range(self.epochs):
+            for features, labels in loader:
+                optimizer.zero_grad()
+                embeddings = self.backbone(Tensor(features))
+                _, reconstruction = self._quantize(embeddings)
+                logits = self.classifier(reconstruction)
+                loss = cross_entropy(logits, labels)
+                if self.reconstruction_weight > 0:
+                    diff = embeddings.detach() - reconstruction
+                    loss = loss + (diff * diff).sum(axis=1).mean() * self.reconstruction_weight
+                loss.backward()
+                optimizer.step()
+                scheduler.step()
+        self.backbone.eval()
+        return self
+
+    # Inference ----------------------------------------------------------
+    def embed_queries(self, queries: np.ndarray) -> np.ndarray:
+        if self.backbone is None:
+            raise RuntimeError("fit must be called before use")
+        self.backbone.eval()
+        blocks = []
+        with no_grad():
+            for start in range(0, len(queries), 512):
+                batch = Tensor(np.asarray(queries[start : start + 512], dtype=np.float64))
+                blocks.append(self.backbone(batch).data)
+        return np.concatenate(blocks, axis=0)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        embeddings = self.embed_queries(features)
+        with no_grad():
+            codes, _ = self._quantize(Tensor(embeddings))
+        return codes
+
+
+class DPQ(_DeepQuantizerBase):
+    """Differentiable product quantization.
+
+    The embedding splits into ``M`` contiguous subspaces; each has a
+    ``(K, d/M)`` codebook selected by straight-through tempered softmax.
+    Sub-codebooks are stored zero-padded in the ``(M, K, d)`` layout so the
+    shared ADC kernel applies.
+    """
+
+    name = "DPQ"
+
+    def _init_codebooks(self, train: Split, rng: np.random.Generator) -> None:
+        dim = train.dim
+        bounds = np.linspace(0, dim, self.num_codebooks + 1).astype(int)
+        self._slices = [slice(a, b) for a, b in zip(bounds[:-1], bounds[1:])]
+        self._dim = dim
+        child_rngs = spawn(rng, self.num_codebooks)
+        self._codebook_params = [
+            Parameter(
+                nn_init.normal(
+                    (self.num_codewords, sub.stop - sub.start), child, std=0.5
+                ),
+                name=f"codebook{m}",
+            )
+            for m, (sub, child) in enumerate(zip(self._slices, child_rngs))
+        ]
+
+    def _quantize(self, embeddings: Tensor) -> tuple[np.ndarray, Tensor]:
+        codes = np.zeros((len(embeddings), self.num_codebooks), dtype=np.int64)
+        pieces = []
+        for m, sub in enumerate(self._slices):
+            block = embeddings[:, sub]
+            step = quantize_step(
+                block,
+                self._codebook_params[m],
+                temperature=self.temperature,
+                similarity="neg_l2",
+            )
+            codes[:, m] = step.codes
+            pieces.append(step.decoded)
+        return codes, concat(pieces, axis=1)
+
+    def codebooks(self) -> np.ndarray:
+        stacked = np.zeros((self.num_codebooks, self.num_codewords, self._dim))
+        for m, sub in enumerate(self._slices):
+            stacked[m, :, sub] = self._codebook_params[m].data
+        return stacked
+
+
+class KDE(_DeepQuantizerBase):
+    """K-way D-dimensional discrete codes (additive composition).
+
+    ``M`` independent full-dimensional codebooks; each selects a codeword by
+    dot-product similarity with straight-through softmax, and the selected
+    codewords are summed. k-means warm-starting mirrors the original's
+    embedding-table initialisation.
+    """
+
+    name = "KDE"
+
+    def _init_codebooks(self, train: Split, rng: np.random.Generator) -> None:
+        # Initialise additively: stage-wise k-means scaled down so the sum
+        # of M codewords starts near the data scale.
+        initial = residual_kmeans_codebooks(
+            train.features - train.features.mean(axis=0),
+            self.num_codebooks,
+            min(self.num_codewords, len(train)),
+            rng=rng,
+        )
+        padded = np.zeros((self.num_codebooks, self.num_codewords, train.dim))
+        padded[:, : initial.shape[1]] = initial
+        self._codebook_params = [
+            Parameter(padded[m].copy(), name=f"codebook{m}")
+            for m in range(self.num_codebooks)
+        ]
+
+    def _quantize(self, embeddings: Tensor) -> tuple[np.ndarray, Tensor]:
+        codes = np.zeros((len(embeddings), self.num_codebooks), dtype=np.int64)
+        reconstruction: Tensor | None = None
+        residual = embeddings
+        for m, codebook in enumerate(self._codebook_params):
+            step = quantize_step(
+                residual,
+                codebook,
+                temperature=self.temperature,
+                similarity="neg_l2",
+            )
+            codes[:, m] = step.codes
+            reconstruction = (
+                step.decoded if reconstruction is None else reconstruction + step.decoded
+            )
+            residual = embeddings - reconstruction
+        return codes, reconstruction
+
+    def codebooks(self) -> np.ndarray:
+        return np.stack([p.data for p in self._codebook_params], axis=0)

@@ -1,0 +1,66 @@
+"""DTQ — deep triplet quantization (Liu et al., cited as [50]).
+
+A deep quantization baseline trained with the *direct* triplet loss the
+paper's Proposition 1 upper-bounds. Included both as an extra comparison
+point and as the empirical half of the §III-D complexity argument: its
+per-batch cost grows cubically with batch size, whereas LightLT's
+center+ranking surrogate stays linear (see
+``benchmarks/test_bench_proposition1.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.deep_quant import KDE
+from repro.core.losses import triplet_loss
+from repro.data.datasets import Split
+from repro.data.loader import DataLoader
+from repro.nn import AdamW, CosineAnnealingLR, Tensor
+from repro.rng import make_rng, spawn
+
+
+class DTQ(KDE):
+    """Deep additive quantization trained with the direct triplet loss.
+
+    Shares KDE's architecture (backbone + M additive codebooks with
+    straight-through selection) but replaces the pointwise CE objective
+    with the margin-based triplet loss over all in-batch triplets, plus the
+    reconstruction anchor. Batch sizes must stay small — the loss
+    enumerates O(B³) triplets.
+    """
+
+    name = "DTQ"
+
+    def __init__(self, margin: float = 1.0, **kwargs):
+        kwargs.setdefault("batch_size", 32)
+        super().__init__(**kwargs)
+        self.margin = margin
+
+    def fit(self, train: Split, num_classes: int) -> "DTQ":
+        rng = make_rng(self.seed)
+        net_rng, head_rng, cb_rng, loader_rng = spawn(rng, 4)
+        from repro.nn import Linear, ResidualMLP
+
+        self.backbone = ResidualMLP(train.dim, [self.hidden], net_rng)
+        self.classifier = Linear(train.dim, num_classes, head_rng)  # unused head kept for parity
+        self._init_codebooks(train, cb_rng)
+        params = self.backbone.parameters() + self._codebook_params
+        optimizer = AdamW(params, lr=self.learning_rate, weight_decay=self.weight_decay)
+        loader = DataLoader(train, batch_size=self.batch_size, rng=loader_rng)
+        scheduler = CosineAnnealingLR(optimizer, max(len(loader) * self.epochs, 1))
+        self.backbone.train()
+        for _ in range(self.epochs):
+            for features, labels in loader:
+                optimizer.zero_grad()
+                embeddings = self.backbone(Tensor(features))
+                _, reconstruction = self._quantize(embeddings)
+                loss = triplet_loss(reconstruction, labels, margin=self.margin)
+                if self.reconstruction_weight > 0:
+                    diff = embeddings.detach() - reconstruction
+                    loss = loss + (diff * diff).sum(axis=1).mean() * self.reconstruction_weight
+                loss.backward()
+                optimizer.step()
+                scheduler.step()
+        self.backbone.eval()
+        return self

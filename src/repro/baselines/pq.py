@@ -1,0 +1,252 @@
+"""Shallow quantization baselines: PQ, OPQ, RVQ, and SCDH.
+
+Product quantization splits the feature space into ``M`` subspaces and
+k-means-quantizes each independently; OPQ first learns a rotation that
+balances variance across subspaces; RVQ quantizes residuals additively
+(the unsupervised ancestor of the DSQ topology); SCDH adds label
+supervision through a discriminative projection before quantizing.
+
+All use the asymmetric ADC ranking of §IV. Codebooks are stored in the
+``(M, K, d)`` full-dimensional layout — PQ subspace codewords are padded
+with zeros outside their subspace so that additive reconstruction and the
+shared ADC kernel apply uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import QuantizerMixin, RetrievalMethod
+from repro.cluster.kmeans import assign_to_centroids, kmeans
+from repro.data.datasets import Split
+from repro.data.transforms import center
+from repro.nn.functional import one_hot
+from repro.rng import make_rng, spawn
+
+
+class PQ(QuantizerMixin, RetrievalMethod):
+    """Product quantization (Jégou et al.).
+
+    The feature vector is split into ``num_codebooks`` contiguous
+    subvectors; each subspace gets its own k-means codebook of
+    ``num_codewords`` centroids.
+    """
+
+    name = "PQ"
+    supervised = False
+
+    def __init__(self, num_codebooks: int = 4, num_codewords: int = 64, seed: int = 0, kmeans_iterations: int = 25):
+        self.num_codebooks = num_codebooks
+        self.num_codewords = num_codewords
+        self.seed = seed
+        self.kmeans_iterations = kmeans_iterations
+        self._codebooks: np.ndarray | None = None
+        self._splits: list[slice] | None = None
+        self._mean: np.ndarray | None = None
+
+    def _subspace_slices(self, dim: int) -> list[slice]:
+        if dim < self.num_codebooks:
+            raise ValueError(
+                f"need dim >= num_codebooks ({self.num_codebooks}), got {dim}"
+            )
+        bounds = np.linspace(0, dim, self.num_codebooks + 1).astype(int)
+        return [slice(a, b) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    def _prepare(self, features: np.ndarray) -> np.ndarray:
+        """Hook for subclasses that transform features before splitting."""
+        return features - self._mean
+
+    def fit(self, train: Split, num_classes: int) -> "PQ":
+        self._mean = train.features.mean(axis=0)
+        features = self._prepare(train.features)
+        dim = features.shape[1]
+        self._splits = self._subspace_slices(dim)
+        rngs = spawn(make_rng(self.seed), self.num_codebooks)
+        self._codebooks = np.zeros((self.num_codebooks, self.num_codewords, dim))
+        for m, (sub, rng) in enumerate(zip(self._splits, rngs)):
+            block = features[:, sub]
+            k = min(self.num_codewords, len(block))
+            result = kmeans(block, k, rng=rng, max_iterations=self.kmeans_iterations)
+            self._codebooks[m, :k, sub] = result.centroids
+        return self
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        if self._codebooks is None or self._splits is None:
+            raise RuntimeError("fit must be called before encode")
+        features = self._prepare(np.asarray(features, dtype=np.float64))
+        codes = np.zeros((len(features), self.num_codebooks), dtype=np.int64)
+        for m, sub in enumerate(self._splits):
+            codes[:, m] = assign_to_centroids(
+                features[:, sub], self._codebooks[m][:, sub]
+            )
+        return codes
+
+    def codebooks(self) -> np.ndarray:
+        if self._codebooks is None:
+            raise RuntimeError("fit must be called before codebooks")
+        return self._codebooks
+
+    def embed_queries(self, queries: np.ndarray) -> np.ndarray:
+        return self._prepare(np.asarray(queries, dtype=np.float64))
+
+
+class OPQ(PQ):
+    """Optimized product quantization (Ge et al.).
+
+    Alternates PQ codebook fitting with a Procrustes-optimal rotation that
+    minimises the total quantization error, then applies PQ in the rotated
+    space.
+    """
+
+    name = "OPQ"
+    supervised = False
+
+    def __init__(self, num_codebooks: int = 4, num_codewords: int = 64, seed: int = 0, outer_iterations: int = 5, kmeans_iterations: int = 15):
+        super().__init__(num_codebooks, num_codewords, seed, kmeans_iterations)
+        self.outer_iterations = outer_iterations
+        self._rotation: np.ndarray | None = None
+
+    def _prepare(self, features: np.ndarray) -> np.ndarray:
+        centered = features - self._mean
+        if self._rotation is None:
+            return centered
+        return centered @ self._rotation
+
+    def fit(self, train: Split, num_classes: int) -> "OPQ":
+        self._mean = train.features.mean(axis=0)
+        dim = train.dim
+        self._rotation = np.eye(dim)
+        for _ in range(self.outer_iterations):
+            super().fit(train, num_classes)
+            reconstructions = self._reconstruct_train(train.features)
+            centered = train.features - self._mean
+            # Procrustes: rotation aligning data with reconstructions.
+            u, _, vt = np.linalg.svd(centered.T @ reconstructions)
+            self._rotation = u @ vt
+        super().fit(train, num_classes)
+        return self
+
+    def _reconstruct_train(self, features: np.ndarray) -> np.ndarray:
+        codes = self.encode(features)
+        gathered = self._codebooks[
+            np.arange(self.num_codebooks)[None, :], codes
+        ]
+        return gathered.sum(axis=1)
+
+
+class RVQ(QuantizerMixin, RetrievalMethod):
+    """Residual vector quantization (Chen et al. 2010).
+
+    Stage-wise k-means over residuals — the unsupervised counterpart of the
+    DSQ topology, and the strongest shallow quantizer in this suite.
+    """
+
+    name = "RVQ"
+    supervised = False
+
+    def __init__(self, num_codebooks: int = 4, num_codewords: int = 64, seed: int = 0, kmeans_iterations: int = 25):
+        self.num_codebooks = num_codebooks
+        self.num_codewords = num_codewords
+        self.seed = seed
+        self.kmeans_iterations = kmeans_iterations
+        self._codebooks: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    def fit(self, train: Split, num_classes: int) -> "RVQ":
+        self._mean = train.features.mean(axis=0)
+        residual = train.features - self._mean
+        rngs = spawn(make_rng(self.seed), self.num_codebooks)
+        self._codebooks = np.zeros(
+            (self.num_codebooks, self.num_codewords, train.dim)
+        )
+        for m, rng in enumerate(rngs):
+            k = min(self.num_codewords, len(residual))
+            result = kmeans(residual, k, rng=rng, max_iterations=self.kmeans_iterations)
+            self._codebooks[m, :k] = result.centroids
+            residual = residual - result.centroids[result.assignments]
+        return self
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        if self._codebooks is None:
+            raise RuntimeError("fit must be called before encode")
+        residual = np.asarray(features, dtype=np.float64) - self._mean
+        codes = np.zeros((len(residual), self.num_codebooks), dtype=np.int64)
+        for m in range(self.num_codebooks):
+            codes[:, m] = assign_to_centroids(residual, self._codebooks[m])
+            residual = residual - self._codebooks[m][codes[:, m]]
+        return codes
+
+    def codebooks(self) -> np.ndarray:
+        if self._codebooks is None:
+            raise RuntimeError("fit must be called before codebooks")
+        return self._codebooks
+
+    def embed_queries(self, queries: np.ndarray) -> np.ndarray:
+        return np.asarray(queries, dtype=np.float64) - self._mean
+
+
+class SCDH(RetrievalMethod):
+    """Supervised discrete hashing with a discriminative transform (SCDH).
+
+    Grouped with the shallow *hash* baselines in Table II: learns an
+    LDA-like linear transform by ridge-regressing features onto class
+    means, mixes it with the identity, and binarises the transformed
+    features with ITQ. The supervision makes it the strongest shallow hash
+    in the suite, as in the paper's table.
+    """
+
+    name = "SCDH"
+    supervised = True
+
+    def __init__(
+        self,
+        num_bits: int = 32,
+        seed: int = 0,
+        supervision_weight: float = 0.5,
+        ridge: float = 1.0,
+    ):
+        self.num_bits = num_bits
+        self.seed = seed
+        self.supervision_weight = supervision_weight
+        self.ridge = ridge
+        self._transform: np.ndarray | None = None
+        self._raw_mean: np.ndarray | None = None
+        self._itq = None
+
+    def fit(self, train: Split, num_classes: int) -> "SCDH":
+        from repro.baselines.shallow_hash import ITQ
+
+        features, mean = center(train.features)
+        self._raw_mean = mean
+        labels = one_hot(train.labels, num_classes)
+        gram = features.T @ features + self.ridge * np.eye(features.shape[1])
+        # Regress features onto labels, then back through the class means so
+        # the transform is (d, d).
+        to_labels = np.linalg.solve(gram, features.T @ labels)
+        class_means = labels.T @ features / np.maximum(
+            labels.sum(axis=0)[:, None], 1.0
+        )
+        discriminative = to_labels @ class_means
+        identity = np.eye(features.shape[1])
+        self._transform = (
+            (1.0 - self.supervision_weight) * identity
+            + self.supervision_weight * discriminative
+        )
+        self._itq = ITQ(num_bits=self.num_bits, seed=self.seed)
+        self._itq.fit(Split(features @ self._transform, train.labels), num_classes)
+        return self
+
+    def _apply(self, features: np.ndarray) -> np.ndarray:
+        if self._transform is None or self._raw_mean is None:
+            raise RuntimeError("fit must be called before use")
+        return (np.asarray(features, dtype=np.float64) - self._raw_mean) @ self._transform
+
+    def hash(self, features: np.ndarray) -> np.ndarray:
+        return self._itq.hash(self._apply(features))
+
+    def rank(self, queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+        from repro.retrieval.search import hamming_distances, rank_by_distance
+
+        return rank_by_distance(
+            hamming_distances(self.hash(queries), self.hash(database))
+        )

@@ -1,0 +1,166 @@
+"""Shallow binarized-hash baselines: LSH, PCAH, ITQ, KNNH.
+
+These are the unsupervised shallow methods of Table II. Each maps the
+(simulated pre-trained) features to ``num_bits`` binary codes; retrieval is
+symmetric Hamming ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BinaryHashMixin, RetrievalMethod, sign_codes
+from repro.cluster.pca import fit_pca
+from repro.data.datasets import Split
+from repro.data.transforms import center
+from repro.rng import make_rng
+
+
+class LSH(BinaryHashMixin, RetrievalMethod):
+    """Locality-sensitive hashing via random hyperplanes (Gionis et al.).
+
+    Data-independent: codes are signs of random Gaussian projections, so
+    ``fit`` only samples the projection matrix.
+    """
+
+    name = "LSH"
+    supervised = False
+
+    def __init__(self, num_bits: int = 32, seed: int = 0):
+        self.num_bits = num_bits
+        self.seed = seed
+        self._projection: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    def fit(self, train: Split, num_classes: int) -> "LSH":
+        rng = make_rng(self.seed)
+        self._projection = rng.normal(size=(train.dim, self.num_bits))
+        self._mean = train.features.mean(axis=0)
+        return self
+
+    def hash(self, features: np.ndarray) -> np.ndarray:
+        if self._projection is None or self._mean is None:
+            raise RuntimeError("fit must be called before hash")
+        return sign_codes((features - self._mean) @ self._projection)
+
+
+class PCAH(BinaryHashMixin, RetrievalMethod):
+    """PCA hashing: sign of the top-``num_bits`` principal projections."""
+
+    name = "PCAH"
+    supervised = False
+
+    def __init__(self, num_bits: int = 32):
+        self.num_bits = num_bits
+        self._pca = None
+
+    def fit(self, train: Split, num_classes: int) -> "PCAH":
+        components = min(self.num_bits, train.dim, len(train) - 1)
+        self._pca = fit_pca(train.features, components)
+        return self
+
+    def hash(self, features: np.ndarray) -> np.ndarray:
+        if self._pca is None:
+            raise RuntimeError("fit must be called before hash")
+        return sign_codes(self._pca.transform(features))
+
+
+class ITQ(BinaryHashMixin, RetrievalMethod):
+    """Iterative quantization (Gong et al.).
+
+    PCA-projects to ``num_bits`` dimensions, then alternates between the
+    optimal binary codes for a fixed rotation and the Procrustes-optimal
+    rotation for fixed codes, minimising the binarisation error
+    ``‖B − V R‖_F``.
+    """
+
+    name = "ITQ"
+    supervised = False
+
+    def __init__(self, num_bits: int = 32, iterations: int = 30, seed: int = 0):
+        self.num_bits = num_bits
+        self.iterations = iterations
+        self.seed = seed
+        self._pca = None
+        self._rotation: np.ndarray | None = None
+
+    def fit(self, train: Split, num_classes: int) -> "ITQ":
+        components = min(self.num_bits, train.dim, len(train) - 1)
+        self._pca = fit_pca(train.features, components)
+        projected = self._pca.transform(train.features)
+        rng = make_rng(self.seed)
+        random_matrix = rng.normal(size=(components, components))
+        rotation, _ = np.linalg.qr(random_matrix)
+        for _ in range(self.iterations):
+            codes = sign_codes(projected @ rotation)
+            # Procrustes: R = S Ŝᵀ from the SVD of Bᵀ V.
+            u, _, vt = np.linalg.svd(codes.T @ projected)
+            rotation = (u @ vt).T
+        self._rotation = rotation
+        return self
+
+    def hash(self, features: np.ndarray) -> np.ndarray:
+        if self._pca is None or self._rotation is None:
+            raise RuntimeError("fit must be called before hash")
+        return sign_codes(self._pca.transform(features) @ self._rotation)
+
+
+class KNNH(BinaryHashMixin, RetrievalMethod):
+    """k-nearest-neighbour hashing (He et al., simplified).
+
+    Starts from ITQ-style codes and iteratively smooths each training
+    item's relaxed code toward the mean code of its feature-space k nearest
+    neighbours, preserving local neighbourhood structure in Hamming space.
+    The out-of-sample extension is a ridge regression from features to the
+    final relaxed codes. This captures KNNH's core idea (kNN-consistent
+    codes) without the original's full alternating solver.
+    """
+
+    name = "KNNH"
+    supervised = False
+
+    def __init__(
+        self,
+        num_bits: int = 32,
+        num_neighbors: int = 10,
+        smoothing_rounds: int = 5,
+        blend: float = 0.5,
+        ridge: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.num_bits = num_bits
+        self.num_neighbors = num_neighbors
+        self.smoothing_rounds = smoothing_rounds
+        self.blend = blend
+        self.ridge = ridge
+        self.seed = seed
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    def fit(self, train: Split, num_classes: int) -> "KNNH":
+        features, mean = center(train.features)
+        self._mean = mean
+        base = ITQ(num_bits=self.num_bits, seed=self.seed).fit(train, num_classes)
+        relaxed = base.hash(train.features).astype(np.float64)
+
+        neighbors = self._knn_indices(features)
+        for _ in range(self.smoothing_rounds):
+            neighbor_mean = relaxed[neighbors].mean(axis=1)
+            relaxed = (1.0 - self.blend) * relaxed + self.blend * neighbor_mean
+        targets = sign_codes(relaxed)
+
+        gram = features.T @ features + self.ridge * np.eye(features.shape[1])
+        self._weights = np.linalg.solve(gram, features.T @ targets)
+        return self
+
+    def _knn_indices(self, features: np.ndarray) -> np.ndarray:
+        sq = (features**2).sum(axis=1)
+        distances = sq[:, None] + sq[None, :] - 2.0 * features @ features.T
+        np.fill_diagonal(distances, np.inf)
+        k = min(self.num_neighbors, len(features) - 1)
+        return np.argpartition(distances, k, axis=1)[:, :k]
+
+    def hash(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None or self._mean is None:
+            raise RuntimeError("fit must be called before hash")
+        return sign_codes((features - self._mean) @ self._weights)

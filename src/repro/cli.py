@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-datasets`` / ``list-experiments`` — discover what is available.
+- ``dataset-stats`` — print Table I rows for one or all datasets.
+- ``train`` — train LightLT on a named dataset and report MAP plus the
+  head/tail and codebook-health diagnostics; optionally save the quantized
+  index to disk.
+- ``experiment`` — run one of the paper's table/figure experiments and
+  print the rendered artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+EXPERIMENTS = (
+    "table1",
+    "fig4",
+    "table2",
+    "table3",
+    "fig5",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LightLT (ICDE 2024) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-datasets", help="show available dataset names")
+    commands.add_parser("list-experiments", help="show reproducible artifacts")
+
+    stats = commands.add_parser("dataset-stats", help="print Table I rows")
+    stats.add_argument("--dataset", default=None, help="restrict to one dataset")
+    stats.add_argument("--scale", choices=("ci", "paper"), default="ci")
+
+    train = commands.add_parser("train", help="train LightLT on a dataset")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--imbalance-factor", type=int, default=50, choices=(50, 100))
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--ensemble", action="store_true", help="run the full ensemble")
+    train.add_argument("--fast", action="store_true", help="shorter training")
+    train.add_argument("--save-index", default=None, help="write the quantized index here")
+
+    experiment = commands.add_parser("experiment", help="reproduce a table/figure")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--full", action="store_true", help="full training budget (slower)"
+    )
+    return parser
+
+
+def _cmd_list_datasets() -> int:
+    from repro.data import available_datasets
+
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_list_experiments() -> int:
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_dataset_stats(args: argparse.Namespace) -> int:
+    from repro.data import available_datasets, load_dataset
+    from repro.experiments import format_table1
+
+    names = [args.dataset] if args.dataset else available_datasets()
+    rows = []
+    for name in names:
+        for factor in (50, 100):
+            rows.append(load_dataset(name, factor, scale=args.scale).summary())
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze
+    from repro.core import EnsembleConfig, train_ensemble, train_lightlt
+    from repro.data import load_dataset
+    from repro.experiments import (
+        default_loss_config,
+        default_model_config,
+        default_training_config,
+    )
+    from repro.retrieval.persistence import save_index
+
+    dataset = load_dataset(args.dataset, args.imbalance_factor, seed=args.seed)
+    model_config = default_model_config(dataset)
+    loss_config = default_loss_config(dataset)
+    training_config = default_training_config(dataset, fast=args.fast)
+    if args.ensemble:
+        result = train_ensemble(
+            dataset,
+            model_config,
+            loss_config,
+            training_config,
+            EnsembleConfig(num_members=2 if args.fast else 4),
+            seed=args.seed,
+        )
+        model = result.model
+    else:
+        model, _ = train_lightlt(
+            dataset, model_config, loss_config, training_config, seed=args.seed
+        )
+
+    report = analyze(model, dataset)
+    for line in report.summary_lines():
+        print(line)
+    if args.save_index:
+        index = model.build_index(
+            dataset.database.features, labels=dataset.database.labels
+        )
+        save_index(index, args.save_index)
+        print(f"index saved to {args.save_index}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as exp
+
+    fast = not args.full
+    if args.name == "table1":
+        print(exp.format_table1(exp.run_table1(seed=args.seed)))
+    elif args.name == "fig4":
+        print(exp.format_fig4(exp.run_fig4()))
+    elif args.name == "table2":
+        print(
+            exp.format_comparison(
+                exp.run_table2(seed=args.seed, fast=fast), "Table II — image datasets"
+            )
+        )
+    elif args.name == "table3":
+        print(
+            exp.format_comparison(
+                exp.run_table3(seed=args.seed, fast=fast), "Table III — text datasets"
+            )
+        )
+    elif args.name == "fig5":
+        print(exp.format_fig5(exp.run_fig5(seed=args.seed, fast=fast)))
+    elif args.name == "table4":
+        print(exp.format_table4(exp.run_table4(seed=args.seed, fast=fast)))
+    elif args.name == "fig6":
+        print(exp.format_fig6(exp.run_fig6(seed=args.seed, fast=fast)))
+    elif args.name == "fig7":
+        print(exp.format_fig7(exp.run_fig7(seed=args.seed, fast=fast)))
+    elif args.name == "fig8":
+        print(exp.format_fig8(exp.run_fig8(seed=args.seed, fast=fast)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        return _cmd_list_datasets()
+    if args.command == "list-experiments":
+        return _cmd_list_experiments()
+    if args.command == "dataset-stats":
+        return _cmd_dataset_stats(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""``repro.cluster`` — classical ML substrate.
+
+k-means (PQ codebooks), PCA (PCAH/ITQ), greedy DPP MAP inference (LTHNet
+prototypes), exact t-SNE and cluster-quality scores (Fig. 8).
+"""
+
+from repro.cluster.dpp import dpp_prototypes, greedy_map_dpp, rbf_kernel
+from repro.cluster.kmeans import KMeansResult, assign_to_centroids, kmeans, kmeans_pp_init
+from repro.cluster.pca import PCA, fit_pca
+from repro.cluster.scores import davies_bouldin_index, silhouette_score
+from repro.cluster.tsne import joint_probabilities, kl_divergence, tsne
+
+__all__ = [
+    "KMeansResult",
+    "PCA",
+    "assign_to_centroids",
+    "davies_bouldin_index",
+    "dpp_prototypes",
+    "fit_pca",
+    "greedy_map_dpp",
+    "joint_probabilities",
+    "kl_divergence",
+    "kmeans",
+    "kmeans_pp_init",
+    "rbf_kernel",
+    "silhouette_score",
+    "tsne",
+]

@@ -1,0 +1,69 @@
+"""Principal component analysis via singular value decomposition.
+
+Substrate for the PCAH and ITQ baselines and for 2-D projections in the
+visualisation experiment (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PCA:
+    """Fitted principal-component model.
+
+    Attributes
+    ----------
+    components:
+        ``(d, k)`` projection matrix whose columns are the top-k principal
+        directions sorted by explained variance.
+    mean:
+        ``(d,)`` training mean removed before projection.
+    explained_variance:
+        Variance captured by each kept component.
+    """
+
+    components: np.ndarray
+    mean: np.ndarray
+    explained_variance: np.ndarray
+
+    @property
+    def num_components(self) -> int:
+        return self.components.shape[1]
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Project rows onto the principal subspace."""
+        return (np.asarray(features, dtype=np.float64) - self.mean) @ self.components
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projections back to the original space (lossy)."""
+        return projected @ self.components.T + self.mean
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured per component."""
+        total = self.explained_variance.sum()
+        if total <= 0:
+            return np.zeros_like(self.explained_variance)
+        return self.explained_variance / total
+
+
+def fit_pca(features: np.ndarray, num_components: int) -> PCA:
+    """Fit PCA on ``features`` keeping ``num_components`` directions."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D array")
+    n, d = features.shape
+    if not 1 <= num_components <= min(n, d):
+        raise ValueError(
+            f"num_components must be in [1, {min(n, d)}], got {num_components}"
+        )
+    mean = features.mean(axis=0)
+    centered = features - mean
+    # Thin SVD: centered = U S Vt ; principal axes are rows of Vt.
+    _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:num_components].T
+    explained = (singular_values[:num_components] ** 2) / max(n - 1, 1)
+    return PCA(components=components, mean=mean, explained_variance=explained)

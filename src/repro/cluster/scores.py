@@ -1,0 +1,73 @@
+"""Cluster-quality scores.
+
+Fig. 8 of the paper argues visually that the full loss yields tighter,
+better-separated class clusters; we quantify the same claim with the
+silhouette coefficient and the Davies-Bouldin index so the comparison is
+assertable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_dists(points: np.ndarray) -> np.ndarray:
+    sq_norms = (points**2).sum(axis=1)
+    d2 = sq_norms[:, None] + sq_norms[None, :] - 2.0 * points @ points.T
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points (range [-1, 1]).
+
+    For each point: ``a`` is the mean distance to its own cluster, ``b`` the
+    smallest mean distance to another cluster, and the silhouette is
+    ``(b - a) / max(a, b)``. Higher means tighter, better-separated classes.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise ValueError("silhouette requires at least two classes")
+    distances = _pairwise_dists(points)
+    scores = np.zeros(len(points))
+    masks = {c: labels == c for c in classes}
+    for i in range(len(points)):
+        own = masks[labels[i]].copy()
+        own[i] = False
+        if not own.any():
+            scores[i] = 0.0  # singleton cluster contributes 0 by convention
+            continue
+        a = distances[i][own].mean()
+        b = min(
+            distances[i][masks[c]].mean() for c in classes if c != labels[i]
+        )
+        scores[i] = (b - a) / max(a, b, 1e-12)
+    return float(scores.mean())
+
+
+def davies_bouldin_index(points: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better clustering)."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise ValueError("Davies-Bouldin requires at least two classes")
+    centroids = np.stack([points[labels == c].mean(axis=0) for c in classes])
+    scatters = np.array(
+        [
+            np.linalg.norm(points[labels == c] - centroids[k], axis=1).mean()
+            for k, c in enumerate(classes)
+        ]
+    )
+    separations = _pairwise_dists(centroids)
+    worst_ratios = []
+    for i in range(len(classes)):
+        ratios = [
+            (scatters[i] + scatters[j]) / max(separations[i, j], 1e-12)
+            for j in range(len(classes))
+            if j != i
+        ]
+        worst_ratios.append(max(ratios))
+    return float(np.mean(worst_ratios))

@@ -1,0 +1,118 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) on NumPy.
+
+Supports the Fig. 8 reproduction: 2-D visualisation of the quantized
+representations learned under different loss combinations. Sized for a few
+hundred points (exact pairwise affinities, no Barnes-Hut tree), which is
+exactly the regime of the paper's 5-class visualisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import make_rng
+
+
+def _pairwise_sq_dists(points: np.ndarray) -> np.ndarray:
+    sq_norms = (points**2).sum(axis=1)
+    d2 = sq_norms[:, None] + sq_norms[None, :] - 2.0 * points @ points.T
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def _binary_search_beta(
+    sq_dists_row: np.ndarray, target_entropy: float, max_steps: int = 50
+) -> np.ndarray:
+    """Find the Gaussian precision giving the target perplexity for one row."""
+    beta_low, beta_high = 0.0, np.inf
+    beta = 1.0
+    probabilities = np.zeros_like(sq_dists_row)
+    for _ in range(max_steps):
+        exponents = -sq_dists_row * beta
+        exponents -= exponents.max()
+        probabilities = np.exp(exponents)
+        total = probabilities.sum()
+        probabilities /= total
+        entropy = -(probabilities * np.log(np.maximum(probabilities, 1e-300))).sum()
+        difference = entropy - target_entropy
+        if abs(difference) < 1e-5:
+            break
+        if difference > 0:
+            beta_low = beta
+            beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+        else:
+            beta_high = beta
+            beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+    return probabilities
+
+
+def joint_probabilities(points: np.ndarray, perplexity: float) -> np.ndarray:
+    """Symmetrised high-dimensional affinities ``P`` with given perplexity."""
+    n = len(points)
+    if perplexity >= n:
+        raise ValueError("perplexity must be smaller than the number of points")
+    sq_dists = _pairwise_sq_dists(points)
+    target_entropy = np.log(perplexity)
+    conditional = np.zeros((n, n))
+    mask = ~np.eye(n, dtype=bool)
+    for i in range(n):
+        row = _binary_search_beta(sq_dists[i][mask[i]], target_entropy)
+        conditional[i][mask[i]] = row
+    joint = (conditional + conditional.T) / (2.0 * n)
+    return np.maximum(joint, 1e-12)
+
+
+def tsne(
+    points: np.ndarray,
+    num_components: int = 2,
+    perplexity: float = 30.0,
+    iterations: int = 400,
+    learning_rate: float = 100.0,
+    rng: np.random.Generator | int = 0,
+    early_exaggeration: float = 4.0,
+    exaggeration_steps: int = 100,
+) -> np.ndarray:
+    """Embed ``points`` into ``num_components`` dimensions with exact t-SNE."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    rng = make_rng(rng)
+    p = joint_probabilities(points, min(perplexity, (n - 1) / 3.0))
+    embedding = rng.normal(0.0, 1e-4, size=(n, num_components))
+    velocity = np.zeros_like(embedding)
+    gains = np.ones_like(embedding)
+
+    for step in range(iterations):
+        exaggeration = early_exaggeration if step < exaggeration_steps else 1.0
+        momentum = 0.5 if step < exaggeration_steps else 0.8
+
+        sq_dists = _pairwise_sq_dists(embedding)
+        student = 1.0 / (1.0 + sq_dists)
+        np.fill_diagonal(student, 0.0)
+        q = np.maximum(student / student.sum(), 1e-12)
+
+        # Gradient of KL(P || Q) under the Student-t kernel.
+        pq_diff = (exaggeration * p - q) * student
+        gradient = 4.0 * (
+            np.diag(pq_diff.sum(axis=1)) - pq_diff
+        ) @ embedding
+
+        same_sign = np.sign(gradient) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.maximum(gains, 0.01, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * gradient
+        embedding = embedding + velocity
+        embedding -= embedding.mean(axis=0)
+    return embedding
+
+
+def kl_divergence(points: np.ndarray, embedding: np.ndarray, perplexity: float = 30.0) -> float:
+    """KL(P || Q) of a finished embedding; lower is a better fit."""
+    p = joint_probabilities(points, min(perplexity, (len(points) - 1) / 3.0))
+    sq_dists = _pairwise_sq_dists(embedding)
+    student = 1.0 / (1.0 + sq_dists)
+    np.fill_diagonal(student, 0.0)
+    q = np.maximum(student / student.sum(), 1e-12)
+    return float((p * np.log(p / q)).sum())

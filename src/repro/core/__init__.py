@@ -1,0 +1,79 @@
+"""``repro.core`` — the LightLT contribution.
+
+DSQ quantizer (Eqns. 2-11), combined long-tail loss (Eqns. 12-16), the
+end-to-end model (Fig. 1), the trainer (Algorithm 1), and the
+weight-averaging ensemble with DSQ re-alignment (§III-E).
+"""
+
+from repro.core.codebook import CodebookChain
+from repro.core.dsq import DSQ, DSQOutput, TOPOLOGIES
+from repro.core.ensemble import (
+    EnsembleConfig,
+    EnsembleResult,
+    average_members,
+    fine_tune_dsq,
+    greedy_soup_selection,
+    train_ensemble,
+)
+from repro.core.losses import (
+    LightLTCriterion,
+    LossBreakdown,
+    LossConfig,
+    center_loss,
+    ranking_loss,
+    triplet_loss,
+)
+from repro.core.model import LightLT, LightLTConfig, LightLTOutput
+from repro.core.warmstart import residual_kmeans_codebooks, warm_start_codebooks
+from repro.core.quantize import (
+    QuantizeStepOutput,
+    codebook_usage,
+    codeword_similarities,
+    quantize_step,
+    usage_entropy,
+)
+from repro.core.trainer import (
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    clip_gradients,
+    evaluate_map,
+    train_lightlt,
+    warm_start_prototypes,
+)
+
+__all__ = [
+    "CodebookChain",
+    "DSQ",
+    "DSQOutput",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "LightLT",
+    "LightLTConfig",
+    "LightLTCriterion",
+    "LightLTOutput",
+    "LossBreakdown",
+    "LossConfig",
+    "QuantizeStepOutput",
+    "TOPOLOGIES",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "average_members",
+    "center_loss",
+    "clip_gradients",
+    "codebook_usage",
+    "codeword_similarities",
+    "evaluate_map",
+    "fine_tune_dsq",
+    "greedy_soup_selection",
+    "quantize_step",
+    "ranking_loss",
+    "train_ensemble",
+    "train_lightlt",
+    "warm_start_prototypes",
+    "triplet_loss",
+    "usage_entropy",
+    "residual_kmeans_codebooks",
+    "warm_start_codebooks",
+]

@@ -1,0 +1,118 @@
+"""Codebook chain with the second "skip" of Double Skip Quantization.
+
+Eqn. (10) of the paper: ``C_k = FFN(C_{k-1}) · g_k + P_k`` where ``FFN`` is
+a one-hidden-layer ReLU network applied row-wise, ``g_k`` is a learnable
+scalar gate, and ``P_k`` is the level's own main codebook. The chain keeps
+gradients flowing from late codebooks back to early ones (Eqn. 11), which
+is what lets LightLT stack many encoder-decoder pairs without the softmax
+gradients vanishing.
+
+Setting ``use_skip=False`` yields independent codebooks ``C_k = P_k`` — the
+"vanilla residual mechanism" ablated in Table IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import FeedForward, Module, Parameter, Tensor, no_grad
+from repro.nn import init as nn_init
+from repro.rng import make_rng, spawn
+
+
+class CodebookChain(Module):
+    """Learnable stack of ``M`` codebooks of ``K`` codewords each.
+
+    Parameters
+    ----------
+    num_codebooks:
+        ``M``, the number of encoder-decoder pairs.
+    num_codewords:
+        ``K``, rows per codebook.
+    dim:
+        ``d``, codeword dimensionality (matches the backbone output).
+    rng:
+        Seed or generator for initialisation.
+    use_skip:
+        Enable the Eqn. (10) codebook skip (True = DSQ, False = vanilla).
+    ffn_hidden:
+        Hidden width of the row-wise FFN; defaults to ``2·dim``.
+    init_std:
+        Standard deviation of the Gaussian codeword initialisation.
+    """
+
+    def __init__(
+        self,
+        num_codebooks: int,
+        num_codewords: int,
+        dim: int,
+        rng: np.random.Generator | int = 0,
+        use_skip: bool = True,
+        ffn_hidden: int | None = None,
+        init_std: float = 0.1,
+    ):
+        super().__init__()
+        if num_codebooks < 1:
+            raise ValueError("need at least one codebook")
+        if num_codewords < 2:
+            raise ValueError("need at least two codewords per codebook")
+        rng = make_rng(rng)
+        self.num_codebooks = num_codebooks
+        self.num_codewords = num_codewords
+        self.dim = dim
+        self.use_skip = use_skip
+        hidden = ffn_hidden or 2 * dim
+
+        child_rngs = spawn(rng, num_codebooks + 1)
+        self.main_codebooks = [
+            Parameter(
+                nn_init.normal((num_codewords, dim), child_rngs[k], std=init_std),
+                name=f"P{k}",
+            )
+            for k in range(num_codebooks)
+        ]
+        if use_skip and num_codebooks > 1:
+            # One FFN + gate per transition C_{k-1} -> C_k (k >= 2). The
+            # FFN's output layer starts at zero and the gates at a small
+            # positive value, so the skip is an exact no-op at
+            # initialisation and opens gently: early training behaves like
+            # the vanilla chain while the cross-codebook gradient path of
+            # Eqn. (11) stays available.
+            self.ffns = []
+            for _ in range(num_codebooks - 1):
+                ffn = FeedForward(dim, hidden, child_rngs[-1])
+                ffn.fc2.weight.data[:] = 0.0
+                self.ffns.append(ffn)
+            self.gates = [
+                Parameter(np.full(1, 0.1), name=f"g{k + 1}")
+                for k in range(num_codebooks - 1)
+            ]
+        else:
+            self.ffns = []
+            self.gates = []
+
+    def materialize(self) -> list[Tensor]:
+        """Effective codebooks ``[C_1, ..., C_M]`` as autograd tensors.
+
+        ``C_1 = P_1`` and, with the skip enabled,
+        ``C_k = FFN_k(C_{k-1}) · g_k + P_k``.
+        """
+        codebooks: list[Tensor] = [self.main_codebooks[0]]
+        for k in range(1, self.num_codebooks):
+            if self.use_skip:
+                transformed = self.ffns[k - 1](codebooks[k - 1])
+                codebook = transformed * self.gates[k - 1] + self.main_codebooks[k]
+            else:
+                codebook = self.main_codebooks[k]
+            codebooks.append(codebook)
+        return codebooks
+
+    def materialize_arrays(self) -> np.ndarray:
+        """Effective codebooks as a plain ``(M, K, d)`` array (inference)."""
+        with no_grad():
+            stacked = [c.data.copy() for c in self.materialize()]
+        return np.stack(stacked, axis=0)
+
+    def gate_values(self) -> np.ndarray:
+        """Current scalar gate values ``g_2..g_M`` (empty when no skip)."""
+        return np.array([float(g.data[0]) for g in self.gates])

@@ -1,0 +1,300 @@
+"""Model weight ensemble with DSQ re-alignment (§III-E, Algorithm 1 lines 7-12).
+
+``n`` LightLT models are trained from different initialisations; their
+parameters are averaged elementwise (Eqn. 23). Codewords of different
+members need not correspond — any permutation of a codebook's rows encodes
+identically (Example 1) — so naively averaged codebooks are meaningless.
+The fix: freeze the averaged backbone and classifier and fine-tune only the
+DSQ parameters for a few epochs, letting the codebooks re-learn a
+consistent geometry on top of the ensembled representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.losses import LightLTCriterion, LossConfig
+from repro.core.model import LightLT, LightLTConfig
+from repro.core.trainer import (
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    warm_start_prototypes,
+)
+from repro.core.warmstart import warm_start_codebooks
+from repro.data.datasets import RetrievalDataset
+from repro.nn import average_state_dicts
+from repro.rng import make_rng, spawn
+
+
+STRATEGIES = ("uniform", "greedy")
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Hyper-parameters of the ensemble step.
+
+    ``strategy`` follows the model-soups recipe the paper builds on [33]:
+    ``"uniform"`` averages every member (Eqn. 23); ``"greedy"`` sorts the
+    members by a held-in validation MAP and adds each to the soup only when
+    it does not hurt that score — more robust when one member landed in a
+    worse basin.
+    """
+
+    num_members: int = 4  # the paper uses 4 on all datasets
+    fine_tune_epochs: int | None = None  # default: same as member training
+    fine_tune_lr: float | None = None  # default: member learning rate
+    strategy: str = "greedy"
+    validation_queries: int = 200
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+
+
+@dataclass
+class EnsembleResult:
+    """Everything the ensemble procedure produces."""
+
+    model: LightLT  # final averaged + fine-tuned model
+    criterion: LightLTCriterion
+    member_histories: list[TrainingHistory]
+    fine_tune_history: TrainingHistory
+    member_states: list[dict] = field(repr=False, default_factory=list)
+
+
+def average_members(
+    members: list[tuple[LightLT, LightLTCriterion]],
+) -> tuple[dict, dict]:
+    """Average model and criterion states across ensemble members."""
+    if not members:
+        raise ValueError("need at least one member to average")
+    model_states = [model.state_dict() for model, _ in members]
+    criterion_states = [criterion.state_dict() for _, criterion in members]
+    return average_state_dicts(model_states), average_state_dicts(criterion_states)
+
+
+def train_ensemble(
+    dataset: RetrievalDataset,
+    model_config: LightLTConfig,
+    loss_config: LossConfig = LossConfig(),
+    training_config: TrainingConfig = TrainingConfig(),
+    ensemble_config: EnsembleConfig = EnsembleConfig(),
+    seed: int = 0,
+) -> EnsembleResult:
+    """Full Algorithm 1: train members, average weights, re-align the DSQ.
+
+    Each member gets its own derived seed, so initialisations (and batch
+    orders) differ while the whole procedure stays reproducible.
+    """
+    if ensemble_config.num_members < 1:
+        raise ValueError("num_members must be at least 1")
+    member_seeds = [
+        int(child.integers(2**31)) for child in spawn(make_rng(seed), ensemble_config.num_members)
+    ]
+
+    # All members share the backbone starting point (in the paper every
+    # member begins from the same pre-trained ResNet-34/BERT weights; only
+    # the DSQ and classification layers are re-initialised per member).
+    reference = Trainer(model_config, loss_config, training_config, seed=seed)
+    shared_backbone_state = reference.build(dataset)[0].backbone.state_dict()
+
+    members: list[tuple[LightLT, LightLTCriterion]] = []
+    member_histories: list[TrainingHistory] = []
+    for member_seed in member_seeds:
+        trainer = Trainer(model_config, loss_config, training_config, seed=member_seed)
+        model, criterion = trainer.build(dataset)
+        model.backbone.load_state_dict(shared_backbone_state)
+        model, criterion, history = trainer.fit(
+            dataset,
+            model=model,
+            criterion=criterion,
+            run_warm_start=training_config.warm_start,
+        )
+        members.append((model, criterion))
+        member_histories.append(history)
+
+    member_states = [model.state_dict() for model, _ in members]
+
+    if ensemble_config.strategy == "greedy":
+        chosen = greedy_soup_selection(
+            members,
+            dataset,
+            model_config,
+            loss_config,
+            training_config,
+            validation_queries=ensemble_config.validation_queries,
+            seed=seed,
+        )
+    else:
+        chosen = list(range(len(members)))
+    model_state, criterion_state = average_members([members[i] for i in chosen])
+
+    # Load the averaged weights into a fresh model/criterion pair.
+    trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+    ensembled, criterion = trainer.build(dataset)
+    ensembled.load_state_dict(model_state)
+    criterion.load_state_dict(criterion_state)
+
+    fine_tune_history = fine_tune_dsq(
+        ensembled,
+        criterion,
+        dataset,
+        loss_config=loss_config,
+        training_config=training_config,
+        epochs=ensemble_config.fine_tune_epochs or training_config.epochs,
+        learning_rate=ensemble_config.fine_tune_lr,
+        seed=seed,
+    )
+
+    # Final model selection, as in the model-soups protocol [33]: keep the
+    # fine-tuned soup only if it beats the best individual member on the
+    # held-in validation score. The soup's DSQ is re-learned from scratch
+    # after averaging, which occasionally loses to a member whose codebooks
+    # co-adapted with its backbone for the full training run.
+    soup_score = _validation_map(
+        ensembled, dataset, ensemble_config.validation_queries, seed
+    )
+    member_scores = [
+        _validation_map(model, dataset, ensemble_config.validation_queries, seed)
+        for model, _ in members
+    ]
+    best_member = int(np.argmax(member_scores))
+    if member_scores[best_member] > soup_score:
+        ensembled, criterion = members[best_member]
+    return EnsembleResult(
+        model=ensembled,
+        criterion=criterion,
+        member_histories=member_histories,
+        fine_tune_history=fine_tune_history,
+        member_states=member_states,
+    )
+
+
+def _validation_map(
+    model: LightLT,
+    dataset: RetrievalDataset,
+    validation_queries: int,
+    seed: int,
+) -> float:
+    """Validation retrieval score used to rank soup candidates.
+
+    The paper tunes hyper-parameters on a validation split (§V-A4). When
+    the dataset carries one, its held-out queries are ranked against the
+    training database; otherwise a train subsample doubles as the query
+    pool (sufficient to *rank* candidates, if optimistic in absolute
+    terms).
+    """
+    from repro.retrieval.metrics import mean_average_precision
+
+    rng = make_rng(seed)
+    if dataset.validation is not None and len(dataset.validation) > 0:
+        pool = dataset.validation
+    else:
+        pool = dataset.train
+    take = min(validation_queries, len(pool))
+    chosen = rng.choice(len(pool), size=take, replace=False)
+    index = model.build_index(dataset.train.features, labels=dataset.train.labels)
+    ranked = model.search_ranked_labels(pool.features[chosen], index)
+    return mean_average_precision(ranked, pool.labels[chosen])
+
+
+def greedy_soup_selection(
+    members: list[tuple[LightLT, LightLTCriterion]],
+    dataset: RetrievalDataset,
+    model_config: LightLTConfig,
+    loss_config: LossConfig,
+    training_config: TrainingConfig,
+    validation_queries: int = 200,
+    seed: int = 0,
+) -> list[int]:
+    """Greedy-soup member selection (Wortsman et al., cited as [33]).
+
+    Members are sorted by validation MAP; each is tentatively added to the
+    soup and kept only if the re-fitted soup's validation MAP does not
+    drop. At least one member (the best) is always selected.
+    """
+    scores = [
+        _validation_map(model, dataset, validation_queries, seed)
+        for model, _ in members
+    ]
+    order = sorted(range(len(members)), key=lambda i: -scores[i])
+
+    def soup_score(indices: list[int]) -> float:
+        model_state, criterion_state = average_members([members[i] for i in indices])
+        trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+        candidate, candidate_criterion = trainer.build(dataset)
+        candidate.load_state_dict(model_state)
+        candidate_criterion.load_state_dict(criterion_state)
+        # Cheap codebook re-fit so the candidate's codes are meaningful.
+        warm_start_codebooks(candidate, dataset.train.features, rng=make_rng(seed))
+        return _validation_map(candidate, dataset, validation_queries, seed)
+
+    chosen = [order[0]]
+    best = soup_score(chosen)
+    for candidate_index in order[1:]:
+        trial = chosen + [candidate_index]
+        trial_score = soup_score(trial)
+        if trial_score >= best:
+            chosen = trial
+            best = trial_score
+    return chosen
+
+
+def fine_tune_dsq(
+    model: LightLT,
+    criterion: LightLTCriterion,
+    dataset: RetrievalDataset,
+    loss_config: LossConfig = LossConfig(),
+    training_config: TrainingConfig = TrainingConfig(),
+    epochs: int = 4,
+    learning_rate: float | None = None,
+    seed: int = 0,
+) -> TrainingHistory:
+    """Codeword re-alignment: optimise only the DSQ subtree (Fig. 2).
+
+    The backbone, classifier, and prototypes stay frozen; gradients flow
+    only into the codebook chain, so the discrete geometry adapts to the
+    averaged continuous representation.
+    """
+    if epochs < 1:
+        return TrainingHistory()
+    # The averaged codebooks are meaningless (Example 1: members' codewords
+    # need not correspond), so re-fit them on the averaged backbone's
+    # embeddings before the gradient fine-tune re-aligns them with the loss.
+    # Prototypes are likewise re-centred on the averaged embedding before
+    # being frozen, so the center/ranking losses pull in a consistent
+    # direction during re-alignment.
+    warm_start_codebooks(model, dataset.train.features, rng=make_rng(seed))
+    warm_start_prototypes(model, criterion, dataset)
+    model.backbone.freeze()
+    model.classifier.freeze()
+    criterion.freeze()
+    model.dsq.unfreeze()
+    try:
+        fine_tune_config = TrainingConfig(
+            epochs=epochs,
+            batch_size=training_config.batch_size,
+            learning_rate=learning_rate or training_config.learning_rate,
+            weight_decay=training_config.weight_decay,
+            schedule=training_config.schedule,
+            warmup_fraction=training_config.warmup_fraction,
+            max_grad_norm=training_config.max_grad_norm,
+        )
+        trainer = Trainer(model.config, loss_config, fine_tune_config, seed=seed)
+        _, _, history = trainer.fit(
+            dataset,
+            model=model,
+            criterion=criterion,
+            trainable_params=model.dsq.parameters(),
+            epochs=epochs,
+        )
+    finally:
+        model.backbone.unfreeze()
+        model.classifier.unfreeze()
+        criterion.unfreeze()
+    return history

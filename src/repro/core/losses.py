@@ -1,0 +1,235 @@
+"""The LightLT training objective (§III-D).
+
+Three terms shape the quantized representations:
+
+- **Class-weighted cross-entropy** (Eqn. 12) keeps codes discriminative
+  while re-weighting classes by effective sample count so the tail is not
+  drowned out by the head.
+- **Center loss** (Eqn. 13) pulls each item's quantized representation
+  toward its class prototype.
+- **Ranking loss** (Eqn. 14) enforces the *relative* ordering: each item
+  must sit closer to its own prototype than to any other class's.
+
+The total is ``L = L_ce + α (L_c + L_r)`` (Eqn. 15). Proposition 1 shows
+``L_c + L_r`` upper-bounds the O(N³) triplet loss; a direct triplet
+implementation is included for that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.longtail import class_weights
+from repro.nn import Module, Parameter, Tensor, cross_entropy, log_softmax, maximum
+from repro.nn import init as nn_init
+from repro.rng import make_rng
+
+
+def _norms_to_prototypes(embeddings: Tensor, prototypes: Tensor, p: int, eps: float = 1e-12) -> Tensor:
+    """``(n, C)`` matrix of ℓ_p distances from each item to each prototype."""
+    if p == 2:
+        emb_sq = (embeddings * embeddings).sum(axis=1, keepdims=True)
+        proto_sq = (prototypes * prototypes).sum(axis=1, keepdims=True)
+        cross = embeddings @ prototypes.T
+        sq = emb_sq + proto_sq.T - cross * 2.0
+        return (maximum(sq, 0.0) + eps).sqrt()
+    if p == 1:
+        n, d = embeddings.shape
+        c = prototypes.shape[0]
+        diff = embeddings.reshape(n, 1, d) - prototypes.reshape(1, c, d)
+        return diff.abs().sum(axis=2)
+    raise ValueError(f"p must be 1 or 2, got {p}")
+
+
+def center_loss(embeddings: Tensor, labels: np.ndarray, prototypes: Tensor, p: int = 2) -> Tensor:
+    """Eqn. (13): mean ℓ_p distance of each item to its class prototype."""
+    labels = np.asarray(labels)
+    own_prototypes = prototypes[labels]
+    diff = embeddings - own_prototypes
+    if p == 2:
+        sq = (diff * diff).sum(axis=1)
+        distances = (sq + 1e-12).sqrt()
+    elif p == 1:
+        distances = diff.abs().sum(axis=1)
+    else:
+        raise ValueError(f"p must be 1 or 2, got {p}")
+    return distances.mean()
+
+
+def ranking_loss(
+    embeddings: Tensor,
+    labels: np.ndarray,
+    prototypes: Tensor,
+    tau: float = 1.0,
+    p: int = 2,
+) -> Tensor:
+    """Eqn. (14): softmax cross-entropy over negative prototype distances.
+
+    ``L_r = -mean_i log [ exp(-‖o_i - z_{y_i}‖/τ) / Σ_c exp(-‖o_i - z_c‖/τ) ]``
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    labels = np.asarray(labels)
+    distances = _norms_to_prototypes(embeddings, prototypes, p=p)
+    logits = distances * (-1.0 / tau)
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    return -picked.mean()
+
+
+def triplet_loss(
+    embeddings: Tensor, labels: np.ndarray, margin: float = 1.0
+) -> Tensor:
+    """Direct triplet loss (Eqn. 16) — the O(N³) objective of Proposition 1.
+
+    ``Σ_i Σ_{j∈{y_i}} Σ_{k∉{y_i}} max(‖o_i-o_j‖ - ‖o_i-o_k‖ + m, 0)``,
+    normalised by the number of triplets. Only usable on small batches;
+    provided as the reference point for the upper-bound property test and
+    the complexity comparison.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    emb_sq = (embeddings * embeddings).sum(axis=1, keepdims=True)
+    cross = embeddings @ embeddings.T
+    sq = maximum(emb_sq + emb_sq.T - cross * 2.0, 0.0)
+    distances = (sq + 1e-12).sqrt()
+
+    total: Tensor | None = None
+    count = 0
+    same = labels[:, None] == labels[None, :]
+    for i in range(n):
+        positives = np.flatnonzero(same[i])
+        positives = positives[positives != i]
+        negatives = np.flatnonzero(~same[i])
+        if len(positives) == 0 or len(negatives) == 0:
+            continue
+        pos_d = distances[i][positives].reshape(len(positives), 1)
+        neg_d = distances[i][negatives].reshape(1, len(negatives))
+        hinge = maximum(pos_d - neg_d + margin, 0.0).sum()
+        total = hinge if total is None else total + hinge
+        count += len(positives) * len(negatives)
+    if total is None:
+        return Tensor(0.0)
+    return total / float(count)
+
+
+@dataclass(frozen=True)
+class LossConfig:
+    """Hyper-parameters of the combined objective (Eqn. 15)."""
+
+    gamma: float = 0.999  # class-weighting strength of Eqn. 12
+    alpha: float = 0.01  # weight of (center + ranking)
+    tau: float = 1.0  # ranking temperature
+    p: int = 2  # prototype distance norm
+    use_center: bool = True
+    use_ranking: bool = True
+    use_class_weights: bool = True
+    # Reconstruction weight. The paper's Eqn. (15) omits an explicit
+    # reconstruction term because its backbone barely moves (pre-trained,
+    # LR 5e-5); with a from-scratch substrate the codebooks otherwise drift
+    # away from the embedding distribution and asymmetric search degrades.
+    # Documented as a reproduction addition in DESIGN.md; set to 0 to train
+    # with the paper's literal objective.
+    beta: float = 1.0
+    commitment: float = 0.25  # weight of the embedding-side (commitment) term
+
+
+@dataclass
+class LossBreakdown:
+    """Scalar tensors per term, plus their weighted total."""
+
+    total: Tensor
+    classification: Tensor
+    center: Tensor | None = None
+    ranking: Tensor | None = None
+    reconstruction: Tensor | None = None
+
+    def to_floats(self) -> dict[str, float]:
+        values = {"total": self.total.item(), "classification": self.classification.item()}
+        if self.center is not None:
+            values["center"] = self.center.item()
+        if self.ranking is not None:
+            values["ranking"] = self.ranking.item()
+        if self.reconstruction is not None:
+            values["reconstruction"] = self.reconstruction.item()
+        return values
+
+
+class LightLTCriterion(Module):
+    """Stateful criterion holding the class prototypes ``z_c``.
+
+    The prototypes of Eqns. (13)-(14) are learnable parameters trained
+    jointly with the model, as in the original center-loss formulation.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        dim: int,
+        train_class_counts: np.ndarray,
+        config: LossConfig = LossConfig(),
+        rng: np.random.Generator | int = 0,
+    ):
+        super().__init__()
+        self.config = config
+        self.num_classes = num_classes
+        rng = make_rng(rng)
+        self.prototypes = Parameter(
+            nn_init.normal((num_classes, dim), rng, std=0.05), name="prototypes"
+        )
+        counts = np.asarray(train_class_counts, dtype=np.float64)
+        if len(counts) != num_classes:
+            raise ValueError("train_class_counts length must equal num_classes")
+        if config.use_class_weights:
+            self._weights = class_weights(counts, config.gamma)
+        else:
+            self._weights = None
+
+    def forward(
+        self,
+        logits: Tensor,
+        quantized: Tensor,
+        labels: np.ndarray,
+        embedding: Tensor | None = None,
+    ) -> LossBreakdown:
+        """Eqn. (15): ``L_ce + α (L_c + L_r)``, plus optional β·‖f(x)−o‖²."""
+        labels = np.asarray(labels)
+        classification = cross_entropy(logits, labels, weights=self._weights)
+        total = classification
+        center_term: Tensor | None = None
+        ranking_term: Tensor | None = None
+        reconstruction_term: Tensor | None = None
+        if self.config.use_center:
+            center_term = center_loss(quantized, labels, self.prototypes, p=self.config.p)
+            total = total + center_term * self.config.alpha
+        if self.config.use_ranking:
+            ranking_term = ranking_loss(
+                quantized,
+                labels,
+                self.prototypes,
+                tau=self.config.tau,
+                p=self.config.p,
+            )
+            total = total + ranking_term * self.config.alpha
+        if self.config.beta > 0 and embedding is not None:
+            # VQ-VAE-style split: the codebook term pulls the reconstruction
+            # toward the (frozen) embedding; the small commitment term keeps
+            # the embedding near the codewords without letting the backbone
+            # collapse its variance to cheat the objective.
+            codebook_diff = embedding.detach() - quantized
+            codebook_term = (codebook_diff * codebook_diff).sum(axis=1).mean()
+            commit_diff = embedding - quantized.detach()
+            commit_term = (commit_diff * commit_diff).sum(axis=1).mean()
+            reconstruction_term = (
+                codebook_term + commit_term * self.config.commitment
+            )
+            total = total + reconstruction_term * self.config.beta
+        return LossBreakdown(
+            total=total,
+            classification=classification,
+            center=center_term,
+            ranking=ranking_term,
+            reconstruction=reconstruction_term,
+        )

@@ -1,0 +1,113 @@
+"""The differentiable quantization step (Eqns. 3-7).
+
+Encoding selects, for each input vector, the most similar codeword of a
+codebook. The hard ``argmax`` is non-differentiable, so training combines a
+tempered softmax relaxation (Eqn. 5) with the Straight-Through Estimator
+(Eqn. 6): the forward pass uses the exact one-hot code, the backward pass
+flows through the softmax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Tensor, l2_normalize, one_hot, softmax, straight_through
+
+SIMILARITIES = ("neg_l2", "dot", "cosine")
+
+
+def codeword_similarities(inputs: Tensor, codebook: Tensor, similarity: str = "neg_l2") -> Tensor:
+    """Similarity ``s(e, C[j])`` between each input row and each codeword.
+
+    ``neg_l2`` (the paper's default, negative squared Euclidean distance)
+    makes the encoder equivalent to nearest-codeword selection, which is
+    what the ADC index assumes at inference time.
+    """
+    if similarity == "neg_l2":
+        input_sq = (inputs * inputs).sum(axis=1, keepdims=True)
+        code_sq = (codebook * codebook).sum(axis=1, keepdims=True)
+        cross = inputs @ codebook.T
+        return cross * 2.0 - input_sq - code_sq.T
+    if similarity == "dot":
+        return inputs @ codebook.T
+    if similarity == "cosine":
+        return l2_normalize(inputs, axis=1) @ l2_normalize(codebook, axis=1).T
+    raise ValueError(f"similarity must be one of {SIMILARITIES}, got {similarity!r}")
+
+
+@dataclass
+class QuantizeStepOutput:
+    """Result of quantizing a batch against one codebook.
+
+    Attributes
+    ----------
+    codes:
+        ``(n,)`` selected codeword ids (hard argmax).
+    assignment:
+        ``(n, K)`` straight-through assignment matrix: numerically one-hot,
+        with softmax gradients.
+    soft_assignment:
+        ``(n, K)`` the tempered softmax itself (useful for diagnostics such
+        as codebook-usage entropy).
+    decoded:
+        ``(n, d)`` decoder output ``C^T b`` (Eqn. 7).
+    """
+
+    codes: np.ndarray
+    assignment: Tensor
+    soft_assignment: Tensor
+    decoded: Tensor
+
+
+def quantize_step(
+    inputs: Tensor,
+    codebook: Tensor,
+    temperature: float = 1.0,
+    similarity: str = "neg_l2",
+    hard: bool = True,
+) -> QuantizeStepOutput:
+    """One encoder-decoder pass (Eqns. 3-7).
+
+    With ``hard=True`` (training and inference default) the forward value of
+    the assignment is exactly one-hot thanks to the straight-through
+    estimator; ``hard=False`` keeps the soft relaxation end to end, which is
+    occasionally useful for analysis.
+    """
+    scores = codeword_similarities(inputs, codebook, similarity=similarity)
+    soft = softmax(scores, axis=1, temperature=temperature)
+    codes = scores.data.argmax(axis=1)
+    if hard:
+        hard_assignment = one_hot(codes, codebook.shape[0])
+        assignment = straight_through(hard_assignment, soft)
+    else:
+        assignment = soft
+    decoded = assignment @ codebook
+    return QuantizeStepOutput(
+        codes=codes,
+        assignment=assignment,
+        soft_assignment=soft,
+        decoded=decoded,
+    )
+
+
+def codebook_usage(codes: np.ndarray, num_codewords: int) -> np.ndarray:
+    """Fraction of inputs assigned to each codeword (dead-code diagnostic)."""
+    counts = np.bincount(np.asarray(codes).reshape(-1), minlength=num_codewords)
+    total = counts.sum()
+    return counts / total if total else counts.astype(np.float64)
+
+
+def usage_entropy(codes: np.ndarray, num_codewords: int) -> float:
+    """Normalised entropy of codeword usage in [0, 1]; 1 = perfectly uniform.
+
+    Low entropy signals codebook collapse — the failure mode the residual
+    skip connection (first "skip" of DSQ) is designed to prevent.
+    """
+    usage = codebook_usage(codes, num_codewords)
+    positive = usage[usage > 0]
+    if len(positive) <= 1:
+        return 0.0
+    entropy = float(-(positive * np.log(positive)).sum())
+    return entropy / np.log(num_codewords)

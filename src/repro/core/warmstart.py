@@ -1,0 +1,70 @@
+"""Codebook warm-starting from residual k-means.
+
+Random codebooks start far from the embedding distribution, which makes the
+early tempered-softmax assignments nearly uniform and slows training badly.
+Deep quantization implementations conventionally initialise codebooks with
+k-means (the classic PQ/RVQ recipe); we fit level 1 on the backbone
+embeddings and every further level on the residuals left by the previous
+levels — exactly matching the DSQ residual topology of Eqn. (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import kmeans
+from repro.core.model import LightLT
+from repro.rng import make_rng, spawn
+
+
+def residual_kmeans_codebooks(
+    embeddings: np.ndarray,
+    num_codebooks: int,
+    num_codewords: int,
+    rng: np.random.Generator | int = 0,
+    max_iterations: int = 25,
+) -> np.ndarray:
+    """``(M, K, d)`` codebooks from stage-wise residual k-means."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if len(embeddings) < num_codewords:
+        raise ValueError(
+            f"need at least {num_codewords} embeddings to fit a codebook, "
+            f"got {len(embeddings)}"
+        )
+    rng = make_rng(rng)
+    child_rngs = spawn(rng, num_codebooks)
+    residual = embeddings.copy()
+    codebooks = np.zeros((num_codebooks, num_codewords, embeddings.shape[1]))
+    for level in range(num_codebooks):
+        result = kmeans(
+            residual, num_codewords, rng=child_rngs[level], max_iterations=max_iterations
+        )
+        codebooks[level] = result.centroids
+        residual = residual - result.centroids[result.assignments]
+    return codebooks
+
+
+def warm_start_codebooks(
+    model: LightLT,
+    features: np.ndarray,
+    rng: np.random.Generator | int = 0,
+    max_iterations: int = 25,
+) -> None:
+    """Initialise a model's main codebooks ``P_k`` from residual k-means.
+
+    Runs the current backbone over ``features`` and replaces each ``P_k``
+    in place. With the codebook skip's gates initialised at zero the
+    effective codebooks equal the ``P_k``, so after warm-starting the DSQ
+    behaves like a fitted residual quantizer from step one of training.
+    """
+    embeddings = model.embed(features)
+    codebooks = residual_kmeans_codebooks(
+        embeddings,
+        num_codebooks=model.dsq.num_codebooks,
+        num_codewords=model.dsq.num_codewords,
+        rng=rng,
+        max_iterations=max_iterations,
+    )
+    for level, parameter in enumerate(model.dsq.codebooks.main_codebooks):
+        parameter.data = codebooks[level].copy()
+    model.train()

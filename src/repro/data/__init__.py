@@ -1,0 +1,56 @@
+"""``repro.data`` — long-tail dataset substrate.
+
+Implements Definition 1 (Zipf class sizes, imbalance factor), the class
+weighting of Eqn. (12), Table I's dataset profiles as seeded synthetic
+feature generators, and batch loading utilities.
+"""
+
+from repro.data.datasets import RetrievalDataset, Split
+from repro.data.loader import BalancedDataLoader, DataLoader
+from repro.data.longtail import (
+    LongTailSpec,
+    class_counts,
+    class_weights,
+    head_tail_split,
+    imbalance_factor,
+    labels_from_sizes,
+    zipf_class_sizes,
+    zipf_exponent,
+)
+from repro.data.registry import (
+    IMAGE_DATASETS,
+    PROFILES,
+    SUPPORTED_IMBALANCE_FACTORS,
+    TEXT_DATASETS,
+    available_datasets,
+    load_dataset,
+)
+from repro.data.synthetic import FeatureModel, hierarchy_feature_model, make_feature_model
+from repro.data.transforms import Standardizer, add_gaussian_noise, center
+
+__all__ = [
+    "BalancedDataLoader",
+    "DataLoader",
+    "FeatureModel",
+    "IMAGE_DATASETS",
+    "LongTailSpec",
+    "PROFILES",
+    "RetrievalDataset",
+    "SUPPORTED_IMBALANCE_FACTORS",
+    "Split",
+    "Standardizer",
+    "TEXT_DATASETS",
+    "add_gaussian_noise",
+    "available_datasets",
+    "center",
+    "class_counts",
+    "class_weights",
+    "head_tail_split",
+    "hierarchy_feature_model",
+    "imbalance_factor",
+    "labels_from_sizes",
+    "load_dataset",
+    "make_feature_model",
+    "zipf_class_sizes",
+    "zipf_exponent",
+]

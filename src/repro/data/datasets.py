@@ -1,0 +1,86 @@
+"""Dataset containers used across training, evaluation, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.longtail import class_counts, imbalance_factor
+
+
+@dataclass
+class Split:
+    """A matched pair of feature matrix and label vector."""
+
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.features) != len(self.labels):
+            raise ValueError(
+                f"features ({len(self.features)}) and labels ({len(self.labels)}) "
+                "must have the same length"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def dim(self) -> int:
+        return self.features.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "Split":
+        """Row subset preserving the (features, labels) pairing."""
+        return Split(self.features[indices], self.labels[indices])
+
+
+@dataclass
+class RetrievalDataset:
+    """Train / query / database splits for a retrieval experiment.
+
+    Mirrors the evaluation protocol of §V-A: the model trains on the
+    long-tail ``train`` split; retrieval quality is measured by ranking the
+    ``database`` split against each item of the ``query`` split, with
+    relevance defined by label equality.
+    """
+
+    name: str
+    num_classes: int
+    target_imbalance_factor: float
+    train: Split
+    query: Split
+    database: Split
+    validation: Split | None = None  # held-out tuning split (§V-A4)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def dim(self) -> int:
+        return self.train.dim
+
+    def train_class_counts(self) -> np.ndarray:
+        """Per-class training counts (the ``π`` vector of Definition 1)."""
+        return class_counts(self.train.labels, self.num_classes)
+
+    def measured_imbalance_factor(self) -> float:
+        """Actual ``IF`` of the generated training split."""
+        counts = self.train_class_counts()
+        return imbalance_factor(counts[counts > 0])
+
+    def summary(self) -> dict:
+        """Row for the Table I reproduction."""
+        counts = self.train_class_counts()
+        nonzero = counts[counts > 0]
+        return {
+            "name": self.name,
+            "C": self.num_classes,
+            "pi_1": int(nonzero.max()),
+            "pi_C": int(nonzero.min()),
+            "n_train": len(self.train),
+            "n_query": len(self.query),
+            "n_db": len(self.database),
+            "IF_target": self.target_imbalance_factor,
+            "IF_measured": round(self.measured_imbalance_factor(), 1),
+        }

@@ -1,0 +1,88 @@
+"""Mini-batch iteration over feature/label splits."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.datasets import Split
+from repro.rng import make_rng
+
+
+class DataLoader:
+    """Iterates a :class:`Split` in shuffled mini-batches.
+
+    Each full iteration is one epoch. Shuffling uses the loader's own
+    generator so epochs are reproducible given the constructor seed but
+    differ from each other.
+    """
+
+    def __init__(
+        self,
+        split: Split,
+        batch_size: int,
+        rng: np.random.Generator | int = 0,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if len(split) == 0:
+            raise ValueError("cannot iterate an empty split")
+        self.split = split
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = make_rng(rng)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        full, partial = divmod(len(self.split), self.batch_size)
+        if partial and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.split))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        stop = len(indices)
+        if self.drop_last:
+            stop = (stop // self.batch_size) * self.batch_size
+        for start in range(0, stop, self.batch_size):
+            batch = indices[start : start + self.batch_size]
+            yield self.split.features[batch], self.split.labels[batch]
+
+
+class BalancedDataLoader(DataLoader):
+    """Loader that oversamples rare classes to uniform class probability.
+
+    Provided for the sampling-based long-tail mitigation family discussed in
+    §II-B; used by ablations to contrast re-weighting (LightLT's choice)
+    against re-sampling.
+    """
+
+    def __init__(
+        self,
+        split: Split,
+        batch_size: int,
+        rng: np.random.Generator | int = 0,
+        num_batches: int | None = None,
+    ):
+        super().__init__(split, batch_size, rng=rng, shuffle=True)
+        self.num_batches = num_batches or max(len(split) // batch_size, 1)
+        labels = split.labels
+        self._classes = np.unique(labels)
+        self._index_by_class = {c: np.flatnonzero(labels == c) for c in self._classes}
+
+    def __len__(self) -> int:
+        return self.num_batches
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for _ in range(self.num_batches):
+            chosen_classes = self._rng.choice(self._classes, size=self.batch_size)
+            rows = np.array(
+                [self._rng.choice(self._index_by_class[c]) for c in chosen_classes]
+            )
+            yield self.split.features[rows], self.split.labels[rows]

@@ -1,0 +1,137 @@
+"""Long-tail dataset construction per Definition 1 of the paper.
+
+A dataset is *long-tail* when the sorted class sizes follow a power law
+``π_i = π_1 · i^{-p}`` (Zipf's law); the imbalance factor is ``IF = π_1/π_C``.
+This module computes the class-size profile for a requested ``(C, π_1, IF)``
+triple, draws label arrays matching it, and derives the class weights used
+by the class-weighted cross-entropy loss of Eqn. (12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import make_rng
+
+
+def zipf_exponent(num_classes: int, imbalance_factor: float) -> float:
+    """Exponent ``p`` such that ``π_C/π_1 = C^{-p} = 1/IF``.
+
+    Follows Definition 1: with ``π_i = π_1 · i^{-p}``, the imbalance factor
+    ``π_1/π_C`` equals ``C^{p}``, so ``p = ln(IF)/ln(C)``.
+    """
+    if num_classes < 2:
+        raise ValueError("a long-tail dataset needs at least two classes")
+    if imbalance_factor < 1:
+        raise ValueError("imbalance factor must be >= 1")
+    return math.log(imbalance_factor) / math.log(num_classes)
+
+
+def zipf_class_sizes(
+    num_classes: int,
+    head_size: int,
+    imbalance_factor: float,
+    min_size: int = 1,
+) -> np.ndarray:
+    """Sorted (descending) class sizes following Zipf's law.
+
+    Parameters
+    ----------
+    num_classes:
+        ``C`` in the paper's notation.
+    head_size:
+        ``π_1``, the size of the largest class.
+    imbalance_factor:
+        ``IF = π_1 / π_C``.
+    min_size:
+        Floor applied after rounding so every class keeps at least one item.
+    """
+    exponent = zipf_exponent(num_classes, imbalance_factor)
+    ranks = np.arange(1, num_classes + 1, dtype=np.float64)
+    sizes = np.round(head_size * ranks**-exponent).astype(np.int64)
+    return np.maximum(sizes, min_size)
+
+
+def imbalance_factor(class_sizes: np.ndarray) -> float:
+    """Measured ``IF = max/min`` of a class-size vector (Definition 1)."""
+    sizes = np.asarray(class_sizes, dtype=np.float64)
+    if sizes.size == 0 or (sizes <= 0).any():
+        raise ValueError("class sizes must be positive and non-empty")
+    return float(sizes.max() / sizes.min())
+
+
+def labels_from_sizes(class_sizes: np.ndarray, rng: np.random.Generator | int = 0, shuffle: bool = True) -> np.ndarray:
+    """Expand a class-size vector into a label array ``(sum(sizes),)``."""
+    rng = make_rng(rng)
+    labels = np.repeat(np.arange(len(class_sizes)), class_sizes)
+    if shuffle:
+        rng.shuffle(labels)
+    return labels
+
+
+def class_counts(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Per-class item counts (``π`` vector, unsorted by class id)."""
+    return np.bincount(np.asarray(labels), minlength=num_classes)
+
+
+def class_weights(counts: np.ndarray, gamma: float) -> np.ndarray:
+    """Class weights ``(1-γ)/(1-γ^{π_c})`` of Eqn. (12).
+
+    ``γ = 0`` degrades to the standard cross-entropy (all weights 1);
+    as ``γ → 1`` the weight of class ``c`` approaches ``1/π_c``, i.e. full
+    inverse-frequency re-weighting. Weights are normalised to mean 1 so the
+    loss scale stays comparable across γ values.
+    """
+    if not 0.0 <= gamma < 1.0:
+        raise ValueError(f"gamma must lie in [0, 1), got {gamma}")
+    counts = np.asarray(counts, dtype=np.float64)
+    if (counts < 0).any():
+        raise ValueError("class counts must be non-negative")
+    if gamma == 0.0:
+        weights = np.ones_like(counts)
+    else:
+        safe_counts = np.maximum(counts, 1.0)
+        weights = (1.0 - gamma) / (1.0 - gamma**safe_counts)
+    present = counts > 0
+    if present.any():
+        weights = weights / weights[present].mean()
+    return weights
+
+
+@dataclass(frozen=True)
+class LongTailSpec:
+    """A ``(C, π_1, IF)`` long-tail profile plus derived sizes."""
+
+    num_classes: int
+    head_size: int
+    imbalance_factor: float
+
+    def sizes(self) -> np.ndarray:
+        return zipf_class_sizes(self.num_classes, self.head_size, self.imbalance_factor)
+
+    @property
+    def tail_size(self) -> int:
+        """``π_C``, the smallest class size."""
+        return int(self.sizes()[-1])
+
+    @property
+    def total(self) -> int:
+        """Total number of training items across all classes."""
+        return int(self.sizes().sum())
+
+
+def head_tail_split(class_sizes: np.ndarray, head_fraction: float = 0.5) -> tuple[np.ndarray, np.ndarray]:
+    """Class ids of head vs tail classes.
+
+    Head classes are the smallest prefix of the sorted classes that holds at
+    least ``head_fraction`` of all items — the paper's informal definition of
+    "a small number of dominant classes contain the majority of the data".
+    """
+    sizes = np.asarray(class_sizes, dtype=np.float64)
+    order = np.argsort(-sizes)
+    cumulative = np.cumsum(sizes[order]) / sizes.sum()
+    cutoff = int(np.searchsorted(cumulative, head_fraction) + 1)
+    return order[:cutoff], order[cutoff:]

@@ -1,0 +1,53 @@
+"""Feature-space transforms shared by models and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Standardizer:
+    """Zero-mean / unit-variance scaling fitted on a training split.
+
+    Shallow baselines (PCAH, ITQ, SDH, ...) are sensitive to feature scale;
+    fitting on train and applying to query/database keeps the comparison to
+    deep models fair.
+    """
+
+    mean: np.ndarray | None = None
+    std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        features = np.asarray(features, dtype=np.float64)
+        self.mean = features.mean(axis=0)
+        self.std = features.std(axis=0)
+        self.std = np.where(self.std < 1e-12, 1.0, self.std)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Standardizer must be fitted before transform")
+        return (np.asarray(features, dtype=np.float64) - self.mean) / self.std
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+def center(features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Subtract the column means; returns ``(centered, means)``."""
+    features = np.asarray(features, dtype=np.float64)
+    means = features.mean(axis=0)
+    return features - means, means
+
+
+def add_gaussian_noise(
+    features: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive isotropic noise; used by robustness tests and augmentations."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return np.array(features, copy=True)
+    return features + rng.normal(0.0, sigma, size=features.shape)

@@ -1,0 +1,110 @@
+"""``repro.experiments`` — one runner per table/figure in the paper.
+
+| Paper artifact | Runner |
+|---|---|
+| Table I | :func:`run_table1` |
+| Fig. 4 | :func:`run_fig4` |
+| Table II | :func:`run_table2` |
+| Table III | :func:`run_table3` |
+| Fig. 5 | :func:`run_fig5` |
+| Table IV | :func:`run_table4` |
+| Fig. 6 | :func:`run_fig6` |
+| Fig. 7 | :func:`run_fig7` |
+| Fig. 8 | :func:`run_fig8` |
+"""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    format_fig5,
+    format_fig6,
+    format_table4,
+    run_fig5,
+    run_fig6,
+    run_table4,
+)
+from repro.experiments.comparison import (
+    ComparisonResult,
+    format_comparison,
+    run_comparison,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.config import (
+    PAPER_FIG7,
+    PAPER_MAP,
+    PAPER_TABLE4,
+    default_ensemble_config,
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.experiments.datasets_exp import (
+    format_fig4,
+    format_table1,
+    run_fig4,
+    run_table1,
+)
+from repro.experiments.efficiency import (
+    format_fig7,
+    measurements_as_dicts,
+    run_fig7,
+)
+from repro.experiments.extensions import (
+    Proposition1Point,
+    build_hierarchical_dataset,
+    format_mitigation,
+    format_proposition1,
+    run_hierarchical_transfer,
+    run_mitigation_comparison,
+    run_proposition1,
+)
+from repro.experiments.reporting import ascii_scatter, format_series, format_table
+from repro.experiments.visualization import (
+    LOSS_VARIANTS,
+    VisualizationResult,
+    format_fig8,
+    run_fig8,
+)
+
+__all__ = [
+    "AblationResult",
+    "ComparisonResult",
+    "LOSS_VARIANTS",
+    "PAPER_FIG7",
+    "PAPER_MAP",
+    "PAPER_TABLE4",
+    "Proposition1Point",
+    "VisualizationResult",
+    "ascii_scatter",
+    "build_hierarchical_dataset",
+    "default_ensemble_config",
+    "default_loss_config",
+    "default_model_config",
+    "default_training_config",
+    "format_comparison",
+    "format_fig4",
+    "format_fig5",
+    "format_fig6",
+    "format_fig7",
+    "format_fig8",
+    "format_mitigation",
+    "format_proposition1",
+    "format_series",
+    "format_table",
+    "format_table1",
+    "format_table4",
+    "measurements_as_dicts",
+    "run_comparison",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_hierarchical_transfer",
+    "run_mitigation_comparison",
+    "run_proposition1",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,178 @@
+"""Ablation experiments: Fig. 5 (loss), Table IV (DSQ), Fig. 6 (ensemble)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.ensemble import EnsembleConfig, train_ensemble
+from repro.core.losses import LossConfig
+from repro.core.trainer import Trainer, evaluate_map
+from repro.data.registry import load_dataset
+from repro.experiments.config import (
+    PAPER_TABLE4,
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class AblationResult:
+    """One (dataset, IF, variant) MAP measurement."""
+
+    dataset: str
+    imbalance_factor: int
+    variant: str
+    map_score: float
+    paper_map: float | None = None
+
+
+def _train_and_score(dataset, model_config, loss_config, training_config, seed: int) -> float:
+    trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+    model, _, _ = trainer.fit(dataset)
+    return evaluate_map(model, dataset)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — loss function ablation
+# ---------------------------------------------------------------------------
+
+def run_fig5(
+    dataset_names: tuple[str, ...] = ("cifar100", "nc"),
+    imbalance_factors: tuple[int, ...] = (50, 100),
+    scale: str = "ci",
+    seed: int = 0,
+    fast: bool = False,
+) -> list[AblationResult]:
+    """LightLT with only the cross-entropy loss vs the full objective."""
+    results = []
+    for name in dataset_names:
+        for factor in imbalance_factors:
+            dataset = load_dataset(name, factor, scale=scale, seed=seed)
+            model_config = default_model_config(dataset)
+            training_config = default_training_config(dataset, fast=fast)
+            base = default_loss_config(dataset)
+            variants = {
+                "CE only": replace(base, use_center=False, use_ranking=False),
+                "full loss": base,
+            }
+            for label, loss_config in variants.items():
+                score = _train_and_score(
+                    dataset, model_config, loss_config, training_config, seed
+                )
+                results.append(AblationResult(name, factor, label, score))
+    return results
+
+
+def format_fig5(results: list[AblationResult]) -> str:
+    headers = ["dataset", "IF", "variant", "MAP"]
+    rows = [
+        [r.dataset, r.imbalance_factor, r.variant, r.map_score] for r in results
+    ]
+    return format_table(headers, rows, title="Fig. 5 — loss-function ablation")
+
+
+# ---------------------------------------------------------------------------
+# Table IV — DSQ vs vanilla residual
+# ---------------------------------------------------------------------------
+
+def run_table4(
+    dataset_names: tuple[str, ...] = ("cifar100", "nc"),
+    imbalance_factors: tuple[int, ...] = (50, 100),
+    scale: str = "ci",
+    seed: int = 0,
+    fast: bool = False,
+) -> list[AblationResult]:
+    """DSQ (both skips) vs the vanilla residual mechanism (no codebook skip).
+
+    As in the paper, the ensemble module is removed to isolate the DSQ
+    effect.
+    """
+    results = []
+    for name in dataset_names:
+        for factor in imbalance_factors:
+            dataset = load_dataset(name, factor, scale=scale, seed=seed)
+            training_config = default_training_config(dataset, fast=fast)
+            loss_config = default_loss_config(dataset)
+            base_config = default_model_config(dataset)
+            variants = {
+                "Residual": replace(base_config, use_codebook_skip=False),
+                "DSQ": base_config,
+            }
+            paper = PAPER_TABLE4.get((name, factor), {})
+            for label, model_config in variants.items():
+                score = _train_and_score(
+                    dataset, model_config, loss_config, training_config, seed
+                )
+                results.append(
+                    AblationResult(name, factor, label, score, paper.get(label))
+                )
+    return results
+
+
+def format_table4(results: list[AblationResult]) -> str:
+    headers = ["dataset", "IF", "variant", "MAP", "paper"]
+    rows = [
+        [
+            r.dataset,
+            r.imbalance_factor,
+            r.variant,
+            r.map_score,
+            r.paper_map if r.paper_map is not None else "-",
+        ]
+        for r in results
+    ]
+    return format_table(headers, rows, title="Table IV — DSQ vs vanilla residual")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — number of ensemble models
+# ---------------------------------------------------------------------------
+
+def run_fig6(
+    dataset_names: tuple[str, ...] = ("cifar100", "nc"),
+    imbalance_factors: tuple[int, ...] = (50, 100),
+    member_counts: tuple[int, ...] = (1, 2, 4),
+    scale: str = "ci",
+    seed: int = 0,
+    fast: bool = False,
+) -> list[AblationResult]:
+    """MAP as a function of the number of ensemble members.
+
+    ``1`` member means LightLT without the ensemble step.
+    """
+    results = []
+    for name in dataset_names:
+        for factor in imbalance_factors:
+            dataset = load_dataset(name, factor, scale=scale, seed=seed)
+            model_config = default_model_config(dataset)
+            loss_config = default_loss_config(dataset)
+            training_config = default_training_config(dataset, fast=fast)
+            for count in member_counts:
+                if count <= 1:
+                    score = _train_and_score(
+                        dataset, model_config, loss_config, training_config, seed
+                    )
+                    label = "w/o ensemble"
+                else:
+                    outcome = train_ensemble(
+                        dataset,
+                        model_config,
+                        loss_config,
+                        training_config,
+                        EnsembleConfig(num_members=count),
+                        seed=seed,
+                    )
+                    score = evaluate_map(outcome.model, dataset)
+                    label = f"{count} models"
+                results.append(AblationResult(name, factor, label, score))
+    return results
+
+
+def format_fig6(results: list[AblationResult]) -> str:
+    headers = ["dataset", "IF", "ensemble", "MAP"]
+    rows = [
+        [r.dataset, r.imbalance_factor, r.variant, r.map_score] for r in results
+    ]
+    return format_table(headers, rows, title="Fig. 6 — ensemble size sweep")

@@ -1,0 +1,132 @@
+"""Tables II and III — MAP comparison of LightLT against all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    LightLTEnsembleMethod,
+    LightLTMethod,
+    RetrievalMethod,
+    image_baselines,
+    text_baselines,
+)
+from repro.data.registry import load_dataset
+from repro.experiments.config import (
+    PAPER_MAP,
+    default_ensemble_config,
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.experiments.reporting import format_table
+from repro.retrieval.metrics import mean_average_precision
+
+
+@dataclass
+class ComparisonResult:
+    """MAP of one method on one dataset/IF configuration."""
+
+    dataset: str
+    imbalance_factor: int
+    method: str
+    map_score: float
+    paper_map: float | None
+
+
+def _lightlt_methods(dataset, fast: bool, seed: int) -> list[RetrievalMethod]:
+    model_config = default_model_config(dataset)
+    loss_config = default_loss_config(dataset)
+    training_config = default_training_config(dataset, fast=fast)
+    return [
+        LightLTMethod(model_config, loss_config, training_config, seed=seed),
+        LightLTEnsembleMethod(
+            model_config,
+            loss_config,
+            training_config,
+            default_ensemble_config(fast=fast),
+            seed=seed,
+        ),
+    ]
+
+
+def run_comparison(
+    dataset_name: str,
+    imbalance_factor: int,
+    methods: list[RetrievalMethod] | None = None,
+    scale: str = "ci",
+    seed: int = 0,
+    fast: bool = False,
+    include_lightlt: bool = True,
+) -> list[ComparisonResult]:
+    """Fit every method on one dataset configuration and score MAP."""
+    dataset = load_dataset(dataset_name, imbalance_factor, scale=scale, seed=seed)
+    if methods is None:
+        if dataset.metadata.get("modality") == "text":
+            methods = text_baselines(seed=seed, fast=fast)
+        else:
+            methods = image_baselines(seed=seed, fast=fast)
+    if include_lightlt:
+        methods = [*methods, *_lightlt_methods(dataset, fast, seed)]
+
+    results = []
+    paper_rows = PAPER_MAP.get(dataset_name, {})
+    for method in methods:
+        method.fit(dataset.train, dataset.num_classes)
+        ranked = method.rank(dataset.query.features, dataset.database.features)
+        score = mean_average_precision(
+            dataset.database.labels[ranked], dataset.query.labels
+        )
+        results.append(
+            ComparisonResult(
+                dataset=dataset_name,
+                imbalance_factor=imbalance_factor,
+                method=method.name,
+                map_score=score,
+                paper_map=paper_rows.get(method.name, {}).get(imbalance_factor),
+            )
+        )
+    return results
+
+
+def run_table2(scale: str = "ci", seed: int = 0, fast: bool = False) -> list[ComparisonResult]:
+    """Table II: all image configurations (CIFAR-100 / ImageNet-100)."""
+    results = []
+    for name in ("cifar100", "imagenet100"):
+        for imbalance_factor in (50, 100):
+            results.extend(
+                run_comparison(name, imbalance_factor, scale=scale, seed=seed, fast=fast)
+            )
+    return results
+
+
+def run_table3(scale: str = "ci", seed: int = 0, fast: bool = False) -> list[ComparisonResult]:
+    """Table III: all text configurations (NC / QBA)."""
+    results = []
+    for name in ("nc", "qba"):
+        for imbalance_factor in (50, 100):
+            results.extend(
+                run_comparison(name, imbalance_factor, scale=scale, seed=seed, fast=fast)
+            )
+    return results
+
+
+def format_comparison(results: list[ComparisonResult], title: str) -> str:
+    """Pivot results into the paper's method × (dataset, IF) layout."""
+    configs = sorted({(r.dataset, r.imbalance_factor) for r in results})
+    methods = []
+    for result in results:
+        if result.method not in methods:
+            methods.append(result.method)
+    by_key = {(r.method, r.dataset, r.imbalance_factor): r for r in results}
+    headers = ["method"] + [f"{d} IF={f}" for d, f in configs] + ["paper (first cfg)"]
+    rows = []
+    for method in methods:
+        row: list[object] = [method]
+        for dataset, factor in configs:
+            hit = by_key.get((method, dataset, factor))
+            row.append(hit.map_score if hit else float("nan"))
+        first = by_key.get((method, *configs[0]))
+        row.append(first.paper_map if first and first.paper_map is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

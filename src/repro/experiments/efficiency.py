@@ -1,0 +1,84 @@
+"""Fig. 7 — inference speedup and compression vs database scale."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.core.trainer import Trainer
+from repro.data.registry import load_dataset
+from repro.experiments.config import (
+    PAPER_FIG7,
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.experiments.reporting import format_table
+from repro.retrieval.costs import EfficiencyMeasurement, efficiency_sweep
+
+
+def run_fig7(
+    dataset_name: str = "qba",
+    imbalance_factor: int = 100,
+    fractions: tuple[float, ...] = (1e-3, 1e-2, 1e-1, 1.0),
+    scale: str = "ci",
+    seed: int = 0,
+    fast: bool = True,
+    repeats: int = 3,
+) -> list[EfficiencyMeasurement]:
+    """Train LightLT on QBA IF=100 and sweep the database fraction (Fig. 7).
+
+    The *measured* speedup is a wall-clock ratio between exhaustive search
+    and ADC lookups over the model's codebooks; the *theoretical* curves
+    come from §IV's operation/byte counts.
+    """
+    dataset = load_dataset(dataset_name, imbalance_factor, scale=scale, seed=seed)
+    trainer = Trainer(
+        default_model_config(dataset),
+        default_loss_config(dataset),
+        default_training_config(dataset, fast=fast),
+        seed=seed,
+    )
+    model, _, _ = trainer.fit(dataset)
+    queries = model.embed(dataset.query.features)
+    database = model.embed(dataset.database.features)
+    return efficiency_sweep(
+        queries,
+        database,
+        model.dsq.materialized_codebooks(),
+        fractions=fractions,
+        repeats=repeats,
+    )
+
+
+def format_fig7(measurements: list[EfficiencyMeasurement]) -> str:
+    headers = [
+        "db fraction",
+        "n_db",
+        "speedup (measured)",
+        "speedup (theory)",
+        "compression",
+        "paper speedup",
+        "paper compression",
+    ]
+    rows = []
+    for m in measurements:
+        paper = PAPER_FIG7.get(m.fraction, {})
+        rows.append(
+            [
+                m.fraction,
+                m.n_db,
+                m.measured_speedup,
+                m.theoretical_speedup,
+                m.measured_compression,
+                paper.get("speedup", "-"),
+                paper.get("compression", "-"),
+            ]
+        )
+    return format_table(
+        headers, rows, title="Fig. 7 — efficiency vs database scale", float_digits=2
+    )
+
+
+def measurements_as_dicts(measurements: list[EfficiencyMeasurement]) -> list[dict]:
+    """Serializable form for logging/EXPERIMENTS.md generation."""
+    return [asdict(m) for m in measurements]

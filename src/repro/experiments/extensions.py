@@ -1,0 +1,287 @@
+"""Extension experiments beyond the paper's evaluation section.
+
+Three analyses the paper motivates but does not run:
+
+1. **Proposition 1 in practice** — the center+ranking surrogate vs the
+   direct triplet loss: per-batch wall-clock scaling (O(N) vs O(N³)) and
+   the bound itself, measured on real model outputs.
+2. **Re-weighting vs re-sampling** (§II-B) — the paper chooses
+   class-weighted CE over oversampling; this experiment compares both
+   mitigations (and no mitigation) under the same budget.
+3. **Head→tail structure** — retrieval quality on a *hierarchical* corpus
+   where tail classes sit near head classes in feature space, the regime
+   LTHNet's knowledge transfer targets (§I discusses its limits).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.losses import LossConfig, center_loss, ranking_loss, triplet_loss
+from repro.core.trainer import Trainer, evaluate_map
+from repro.data.datasets import RetrievalDataset, Split
+from repro.data.loader import BalancedDataLoader
+from repro.data.longtail import labels_from_sizes, zipf_class_sizes
+from repro.data.registry import load_dataset
+from repro.data.synthetic import hierarchy_feature_model
+from repro.experiments.config import (
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.experiments.reporting import format_table
+from repro.nn import Tensor
+from repro.rng import make_rng, spawn
+
+
+# ---------------------------------------------------------------------------
+# 1. Proposition 1: surrogate vs triplet loss
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Proposition1Point:
+    """One batch-size measurement."""
+
+    batch_size: int
+    surrogate_seconds: float
+    triplet_seconds: float
+    surrogate_value: float
+    triplet_value: float
+
+    @property
+    def speedup(self) -> float:
+        return self.triplet_seconds / max(self.surrogate_seconds, 1e-12)
+
+
+def run_proposition1(
+    batch_sizes: tuple[int, ...] = (16, 32, 64, 128),
+    dim: int = 16,
+    num_classes: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+) -> list[Proposition1Point]:
+    """Time L_c + L_r against the direct triplet loss across batch sizes.
+
+    Both losses run forward+backward on identical clustered batches; the
+    surrogate should scale linearly in the batch size while the triplet
+    loss scales cubically (§III-D's complexity argument).
+    """
+    rng = make_rng(seed)
+    prototypes_np = rng.normal(size=(num_classes, dim)) * 3.0
+    results = []
+    for batch_size in batch_sizes:
+        labels = rng.integers(0, num_classes, size=batch_size)
+        points = prototypes_np[labels] + rng.normal(scale=0.5, size=(batch_size, dim))
+
+        def surrogate() -> float:
+            embeddings = Tensor(points.copy(), requires_grad=True)
+            prototypes = Tensor(prototypes_np)
+            value = center_loss(embeddings, labels, prototypes) + ranking_loss(
+                embeddings, labels, prototypes
+            )
+            value.backward()
+            return value.item()
+
+        def triplet() -> float:
+            embeddings = Tensor(points.copy(), requires_grad=True)
+            value = triplet_loss(embeddings, labels, margin=0.0)
+            if value.requires_grad:
+                value.backward()
+            return value.item()
+
+        surrogate_time = min(_time_call(surrogate) for _ in range(repeats))
+        triplet_time = min(_time_call(triplet) for _ in range(repeats))
+        results.append(
+            Proposition1Point(
+                batch_size=batch_size,
+                surrogate_seconds=surrogate_time,
+                triplet_seconds=triplet_time,
+                surrogate_value=surrogate(),
+                triplet_value=triplet(),
+            )
+        )
+    return results
+
+
+def _time_call(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def format_proposition1(points: list[Proposition1Point]) -> str:
+    headers = ["batch", "L_c+L_r (s)", "triplet (s)", "speedup", "L_c+L_r", "triplet"]
+    rows = [
+        [
+            p.batch_size,
+            p.surrogate_seconds,
+            p.triplet_seconds,
+            p.speedup,
+            p.surrogate_value,
+            p.triplet_value,
+        ]
+        for p in points
+    ]
+    return format_table(
+        headers, rows, title="Proposition 1 — surrogate vs triplet loss", float_digits=4
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. Re-weighting vs re-sampling (§II-B)
+# ---------------------------------------------------------------------------
+
+def run_mitigation_comparison(
+    dataset_name: str = "qba",
+    imbalance_factor: int = 100,
+    scale: str = "ci",
+    seed: int = 0,
+    fast: bool = True,
+) -> list[tuple[str, float]]:
+    """Compare long-tail mitigations under one training budget.
+
+    - ``none``: plain CE, natural sampling.
+    - ``re-weighting``: the paper's class-weighted CE (Eqn. 12).
+    - ``re-sampling``: plain CE with class-balanced oversampling.
+    """
+    dataset = load_dataset(dataset_name, imbalance_factor, scale=scale, seed=seed)
+    model_config = default_model_config(dataset)
+    training_config = default_training_config(dataset, fast=fast)
+    base_loss = default_loss_config(dataset)
+
+    results = []
+    for label, loss_config, balanced in (
+        ("none", replace(base_loss, use_class_weights=False), False),
+        ("re-weighting", base_loss, False),
+        ("re-sampling", replace(base_loss, use_class_weights=False), True),
+    ):
+        score = _train_with_mitigation(
+            dataset, model_config, loss_config, training_config, balanced, seed
+        )
+        results.append((label, score))
+    return results
+
+
+def _train_with_mitigation(
+    dataset, model_config, loss_config, training_config, balanced: bool, seed: int
+) -> float:
+    trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+    if not balanced:
+        model, _, _ = trainer.fit(dataset)
+        return evaluate_map(model, dataset)
+
+    # Re-sampling path: hand-rolled loop over a BalancedDataLoader.
+    from repro.nn import AdamW
+
+    model, criterion = trainer.build(dataset)
+    if training_config.warm_start:
+        from repro.core.trainer import warm_start_prototypes
+        from repro.core.warmstart import warm_start_codebooks
+
+        warm_start_codebooks(model, dataset.train.features, rng=make_rng(seed))
+        warm_start_prototypes(model, criterion, dataset)
+    model.train()
+    backbone_params = model.backbone.parameters()
+    other_params = (
+        model.dsq.parameters() + model.classifier.parameters() + criterion.parameters()
+    )
+    optimizer = AdamW(
+        [
+            {"params": backbone_params, "lr_scale": training_config.backbone_lr_scale},
+            {"params": other_params, "lr_scale": 1.0},
+        ],
+        lr=training_config.learning_rate,
+        weight_decay=training_config.weight_decay,
+    )
+    loader = BalancedDataLoader(
+        dataset.train,
+        batch_size=training_config.batch_size,
+        rng=spawn(make_rng(seed), 2)[1],
+    )
+    for _ in range(training_config.epochs):
+        for features, labels in loader:
+            optimizer.zero_grad()
+            output = model(Tensor(features))
+            breakdown = criterion(
+                output.logits, output.quantized, labels, embedding=output.embedding
+            )
+            breakdown.total.backward()
+            optimizer.step()
+    model.eval()
+    return evaluate_map(model, dataset)
+
+
+def format_mitigation(results: list[tuple[str, float]], title: str) -> str:
+    return format_table(["mitigation", "MAP"], [list(r) for r in results], title=title)
+
+
+# ---------------------------------------------------------------------------
+# 3. Hierarchical head→tail structure
+# ---------------------------------------------------------------------------
+
+def build_hierarchical_dataset(
+    num_classes: int = 20,
+    num_superclasses: int = 5,
+    head_size: int = 120,
+    imbalance_factor: float = 40.0,
+    dim: int = 32,
+    n_query: int = 200,
+    n_db: int = 1000,
+    seed: int = 0,
+) -> RetrievalDataset:
+    """A long-tail corpus whose tail classes neighbour head classes.
+
+    Classes are grouped under superclasses with small within-group offsets,
+    so rare classes have a semantically-similar frequent sibling — the
+    regime in which head→tail knowledge transfer (LTHNet's premise) and
+    class weighting interact.
+    """
+    rng = make_rng(seed)
+    model_rng, train_rng, query_rng, db_rng, val_rng = spawn(rng, 5)
+    feature_model = hierarchy_feature_model(
+        num_classes=num_classes,
+        dim=dim,
+        num_superclasses=num_superclasses,
+        separation=4.0,
+        sub_separation=1.4,
+        intra_sigma=0.55,
+        rng=model_rng,
+    )
+    train_sizes = zipf_class_sizes(num_classes, head_size, imbalance_factor)
+    train_labels = labels_from_sizes(train_sizes, rng=train_rng)
+    query_labels = np.tile(np.arange(num_classes), n_query // num_classes)
+    db_labels = np.tile(np.arange(num_classes), n_db // num_classes)
+    val_labels = np.tile(np.arange(num_classes), 4)
+    return RetrievalDataset(
+        name="hierarchical",
+        num_classes=num_classes,
+        target_imbalance_factor=imbalance_factor,
+        train=Split(feature_model.sample(train_labels, train_rng), train_labels),
+        query=Split(feature_model.sample(query_labels, query_rng), query_labels),
+        database=Split(feature_model.sample(db_labels, db_rng), db_labels),
+        validation=Split(feature_model.sample(val_labels, val_rng), val_labels),
+        metadata={"modality": "image", "scale": "ci", "dim": dim, "seed": seed},
+    )
+
+
+def run_hierarchical_transfer(seed: int = 0, fast: bool = True) -> dict[str, float]:
+    """LightLT head/tail MAP on the hierarchical corpus, γ on vs off."""
+    from repro.analysis import head_tail_report
+
+    dataset = build_hierarchical_dataset(seed=seed)
+    model_config = default_model_config(dataset)
+    training_config = default_training_config(dataset, fast=fast)
+    outcomes: dict[str, float] = {}
+    for label, loss_config in (
+        ("unweighted_tail", replace(default_loss_config(dataset), use_class_weights=False)),
+        ("weighted_tail", default_loss_config(dataset)),
+    ):
+        trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+        model, _, _ = trainer.fit(dataset)
+        report = head_tail_report(model, dataset)
+        outcomes[label] = report.tail_map
+        outcomes[label.replace("tail", "overall")] = report.overall_map
+    return outcomes

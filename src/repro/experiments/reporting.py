@@ -1,0 +1,96 @@
+"""Plain-text result rendering for the experiment runners.
+
+No plotting stack is available offline, so tables are rendered as aligned
+ASCII and figures as data series (plus a coarse ASCII scatter for Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+    float_digits: int = 4,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    def stringify(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    cells = [[stringify(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_labels: list[str],
+    x_values: list[object],
+    series: list[list[float]],
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against shared x values."""
+    headers = [x_label, *y_labels]
+    rows = [
+        [x, *(s[i] for s in series)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    labels: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Coarse character-grid scatter plot of 2-D points coloured by label.
+
+    Each label is assigned one character; collisions show the most frequent
+    label in the cell. Enough to eyeball the Fig. 8 cluster structure in a
+    terminal.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("ascii_scatter needs (n, 2) points")
+    symbols = "ox+*#@%&$"
+    unique = list(np.unique(labels))
+    if len(unique) > len(symbols):
+        raise ValueError(f"at most {len(symbols)} distinct labels supported")
+    lows = points.min(axis=0)
+    highs = points.max(axis=0)
+    span = np.where(highs - lows < 1e-12, 1.0, highs - lows)
+    grid: list[list[dict]] = [[{} for _ in range(width)] for _ in range(height)]
+    for (x, y), label in zip(points, labels):
+        col = min(int((x - lows[0]) / span[0] * (width - 1)), width - 1)
+        row = min(int((y - lows[1]) / span[1] * (height - 1)), height - 1)
+        cell = grid[height - 1 - row][col]
+        cell[label] = cell.get(label, 0) + 1
+    lines = []
+    for row_cells in grid:
+        line = []
+        for cell in row_cells:
+            if not cell:
+                line.append(" ")
+            else:
+                majority = max(cell, key=cell.get)
+                line.append(symbols[unique.index(majority)])
+        lines.append("".join(line))
+    legend = "  ".join(
+        f"{symbols[i]}=class {label}" for i, label in enumerate(unique)
+    )
+    return "\n".join(lines) + "\n" + legend

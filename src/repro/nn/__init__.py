@@ -1,0 +1,99 @@
+"""``repro.nn`` — a from-scratch NumPy autograd and neural-network substrate.
+
+Stands in for PyTorch in this reproduction: reverse-mode autodiff tensors,
+modules/layers, optimisers (including AdamW as used by the paper), learning
+rate schedules, straight-through-estimator support, and numerical gradient
+checking.
+"""
+
+from repro.nn.autograd import is_grad_enabled, no_grad
+from repro.nn.functional import (
+    cosine_similarity,
+    cross_entropy,
+    dropout,
+    l2_normalize,
+    log_softmax,
+    mse,
+    one_hot,
+    pairwise_distances,
+    pairwise_sq_distances,
+    softmax,
+    straight_through,
+)
+from repro.nn.gradcheck import check_gradient, numerical_gradient
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    FeedForward,
+    Identity,
+    LayerNorm,
+    Linear,
+    ReLU,
+    ResidualMLP,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.module import Module, Parameter, average_state_dicts
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LinearWarmupLR,
+    LRScheduler,
+    StepLR,
+    WarmupCosineLR,
+)
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor, concat, maximum, stack, where
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "Dropout",
+    "Embedding",
+    "FeedForward",
+    "Identity",
+    "LRScheduler",
+    "LayerNorm",
+    "Linear",
+    "LinearWarmupLR",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "ResidualMLP",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "StepLR",
+    "Tanh",
+    "Tensor",
+    "WarmupCosineLR",
+    "average_state_dicts",
+    "check_gradient",
+    "concat",
+    "cosine_similarity",
+    "cross_entropy",
+    "dropout",
+    "is_grad_enabled",
+    "l2_normalize",
+    "load_state",
+    "log_softmax",
+    "maximum",
+    "mse",
+    "no_grad",
+    "numerical_gradient",
+    "one_hot",
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "save_state",
+    "softmax",
+    "stack",
+    "straight_through",
+    "where",
+]

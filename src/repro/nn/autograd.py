@@ -1,0 +1,118 @@
+"""Reverse-mode automatic differentiation machinery.
+
+This module holds the plumbing shared by every differentiable operation:
+broadcast-aware gradient reduction, the topological walk used by
+:meth:`repro.nn.tensor.Tensor.backward`, and a context manager that globally
+disables gradient recording (the equivalent of ``torch.no_grad``).
+
+The design follows the classic tape-free formulation: every tensor produced
+by an operation stores the parent tensors it was derived from and a closure
+that, given the gradient of the loss with respect to the output, accumulates
+gradients into the parents. ``backward`` then visits the graph in reverse
+topological order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.nn.tensor import Tensor
+
+
+class _GradMode:
+    """Process-wide switch that controls whether operations record a graph."""
+
+    enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations currently record the autograd graph."""
+    return _GradMode.enabled
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording within its body.
+
+    Tensors created inside the block have ``requires_grad=False`` regardless
+    of their inputs, which both saves memory and marks the values as
+    constants for later backward passes (used by the straight-through
+    estimator and by evaluation loops).
+    """
+    previous = _GradMode.enabled
+    _GradMode.enabled = False
+    try:
+        yield
+    finally:
+        _GradMode.enabled = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    NumPy broadcasting stretches size-1 (or missing) axes during the forward
+    pass; the chain rule therefore requires summing the incoming gradient
+    over every stretched axis on the way back.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were size 1 in the original shape.
+    reduced_axes = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if reduced_axes:
+        grad = grad.sum(axis=reduced_axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def topological_order(root: "Tensor") -> list["Tensor"]:
+    """Return the graph reachable from ``root`` in topological order.
+
+    Only tensors that participate in gradient computation (``requires_grad``)
+    are visited; constant branches are pruned early, which keeps backward
+    passes cheap when most of the graph is frozen (e.g. ensemble fine-tuning
+    where the backbone is fixed).
+    """
+    order: list["Tensor"] = []
+    visited: set[int] = set()
+    stack: list[tuple["Tensor", bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited or not node.requires_grad:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited and parent.requires_grad:
+                stack.append((parent, False))
+    return order
+
+
+def accumulate_grad(tensor: "Tensor", grad: np.ndarray) -> None:
+    """Add ``grad`` into ``tensor.grad``, allocating on first touch."""
+    if tensor.grad is None:
+        tensor.grad = grad.copy()
+    else:
+        tensor.grad += grad
+
+
+def collect_parents(candidates: Iterable[object]) -> tuple["Tensor", ...]:
+    """Filter an iterable down to the Tensor instances requiring grad."""
+    from repro.nn.tensor import Tensor
+
+    return tuple(
+        item
+        for item in candidates
+        if isinstance(item, Tensor) and item.requires_grad
+    )

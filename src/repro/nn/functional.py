@@ -1,0 +1,127 @@
+"""Composite differentiable functions built from tensor primitives.
+
+Everything here is expressed in terms of the ops defined in
+:mod:`repro.nn.tensor`, so gradients come for free and the implementations
+stay close to the equations in the paper (softmax with temperature for
+Eqn. (5), the straight-through estimator for Eqn. (6), distance kernels for
+the center/ranking losses of Eqns. (13)-(14)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, maximum
+
+
+def softmax(logits: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Tempered softmax, numerically stabilised by subtracting the max.
+
+    ``temperature`` below 1 sharpens the distribution towards one-hot; the
+    paper uses this to approximate argmax during DSQ encoding (Eqn. 5).
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = logits * (1.0 / temperature)
+    shifted = scaled - Tensor(scaled.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding as a plain (non-differentiable) array."""
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError("one_hot indices out of range")
+    encoded = np.zeros((*indices.shape, num_classes), dtype=np.float64)
+    np.put_along_axis(encoded, indices[..., None], 1.0, axis=-1)
+    return encoded
+
+
+def straight_through(hard: np.ndarray, soft: Tensor) -> Tensor:
+    """Straight-through estimator: forward ``hard``, backprop through ``soft``.
+
+    Implements Eqn. (6) of the paper:
+    ``b = soft + Sg(one_hot(argmax) - soft)``. The stop-gradient term is a
+    constant tensor, so the output's value equals ``hard`` while its gradient
+    equals the gradient of ``soft``.
+    """
+    if hard.shape != soft.shape:
+        raise ValueError(
+            f"straight-through shapes differ: hard {hard.shape} vs soft {soft.shape}"
+        )
+    return soft + Tensor(hard - soft.data)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, weights: np.ndarray | None = None) -> Tensor:
+    """(Optionally class-weighted) cross-entropy over integer labels.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, C)`` unnormalised scores.
+    labels:
+        ``(n,)`` integer class ids.
+    weights:
+        Optional ``(C,)`` per-class weights; when given, the loss is the
+        weighted mean, matching Eqn. (12) with weights ``(1-γ)/(1-γ^{π_c})``.
+    """
+    labels = np.asarray(labels)
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    if weights is None:
+        return -picked.mean()
+    sample_weights = np.asarray(weights, dtype=np.float64)[labels]
+    return -(picked * Tensor(sample_weights)).sum() / float(len(labels))
+
+
+def mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over every element."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Scale rows to unit Euclidean norm."""
+    norm = (x * x).sum(axis=axis, keepdims=True).sqrt()
+    return x / (norm + eps)
+
+
+def pairwise_sq_distances(a: Tensor, b: Tensor) -> Tensor:
+    """Squared Euclidean distances between row sets ``a (n,d)`` and ``b (m,d)``.
+
+    Uses the expansion ``|a-b|^2 = |a|^2 + |b|^2 - 2 a·b`` (Eqn. 24), the same
+    identity the ADC search exploits at inference time.
+    """
+    a_sq = (a * a).sum(axis=1, keepdims=True)
+    b_sq = (b * b).sum(axis=1, keepdims=True)
+    cross = a @ b.T
+    distances = a_sq + b_sq.T - cross * 2.0
+    # Guard against tiny negative values introduced by cancellation.
+    return maximum(distances, 0.0)
+
+
+def pairwise_distances(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    """Euclidean distances between row sets; differentiable everywhere > 0."""
+    return (pairwise_sq_distances(a, b) + eps).sqrt()
+
+
+def cosine_similarity(a: Tensor, b: Tensor) -> Tensor:
+    """Cosine similarity matrix between row sets ``a (n,d)`` and ``b (m,d)``."""
+    return l2_normalize(a, axis=1) @ l2_normalize(b, axis=1).T
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when evaluating or when ``rate`` is 0."""
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,60 @@
+"""Numerical gradient checking.
+
+Compares reverse-mode gradients against central finite differences. This is
+the correctness anchor for the whole autograd substrate: every op and loss
+in the repository is validated through it in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(Tensor(x)).item()
+        flat[i] = original - eps
+        minus = fn(Tensor(x)).item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> tuple[bool, float]:
+    """Compare autograd vs numerical gradients of ``fn`` at ``x``.
+
+    Returns ``(ok, max_abs_error)``. ``fn`` must map a tensor to a scalar
+    tensor and be deterministic (no dropout / RNG inside).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    leaf = Tensor(x.copy(), requires_grad=True)
+    out = fn(leaf)
+    if out.size != 1:
+        raise ValueError("check_gradient requires a scalar-valued function")
+    out.backward()
+    analytic = leaf.grad if leaf.grad is not None else np.zeros_like(x)
+    numeric = numerical_gradient(fn, x, eps=eps)
+    error = np.abs(analytic - numeric)
+    tolerance = atol + rtol * np.abs(numeric)
+    return bool((error <= tolerance).all()), float(error.max(initial=0.0))

@@ -1,0 +1,189 @@
+"""Standard neural network layers built on the Module system.
+
+These are the building blocks of the LightLT backbone, classification head,
+and the codebook skip-connection FFN of Eqn. (10), as well as of every deep
+baseline in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Identity(Module):
+    """Pass-through layer; useful as a configurable no-op."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b``.
+
+    Weights use Kaiming-uniform initialisation; the bias starts at zero.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation (used by hashing baselines)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout, active only in training mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self._rng, self.training)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(np.zeros(dim), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class FeedForward(Module):
+    """One-hidden-layer FFN with ReLU, as required by Eqn. (10).
+
+    ``FFN(C) = ReLU(C W1 + b1) W2 + b2`` applied row-wise to a codebook.
+    """
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng)
+        self.fc2 = Linear(hidden_dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations and optional dropout.
+
+    Serves as the trainable backbone ``f(.)`` on top of the (simulated)
+    pre-trained features — the role ResNet-34 / BERT play in the paper.
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        final_activation: bool = False,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        layers: list[Module] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng))
+            is_last = i == len(dims) - 2
+            if not is_last or final_activation:
+                layers.append(ReLU())
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class ResidualMLP(Module):
+    """Gated residual network ``f(x) = x + g · MLP(x)`` with ``g`` starting at 0.
+
+    Models *fine-tuning a pre-trained encoder*: at initialisation the output
+    equals the input features (the simulated pre-trained representation), so
+    training starts from the pre-trained retrieval quality instead of from a
+    random embedding — matching the paper's setup where ResNet-34/BERT
+    backbones begin already trained.
+    """
+
+    def __init__(self, dim: int, hidden_dims: list[int], rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.inner = MLP([dim, *hidden_dims, dim], rng, dropout=dropout)
+        self.gate = Parameter(np.zeros(1), name="gate")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.inner(x) * self.gate
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng), name="weight")
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return self.weight[np.asarray(ids)]

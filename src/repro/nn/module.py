@@ -1,0 +1,149 @@
+"""Module system: parameter containers with named state and train/eval modes.
+
+The API intentionally mirrors the small subset of ``torch.nn.Module`` the
+paper's training procedure needs: recursive parameter discovery, state dicts
+for the weight-averaging ensemble (§III-E), per-subtree freezing for the DSQ
+fine-tuning step, and a train/eval switch for dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable leaf of a module tree."""
+
+    def __init__(self, data: object, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically by the traversal methods
+    below. No metaclass magic — attribute scanning keeps the implementation
+    explicit and debuggable.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs in attribute order."""
+        for attr_name, value in vars(self).items():
+            qualified = f"{prefix}{attr_name}"
+            if isinstance(value, Parameter):
+                yield qualified, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{qualified}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{qualified}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{qualified}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All learnable parameters in the subtree."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's value, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict`; shapes must match."""
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter in the subtree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> None:
+        """Exclude this subtree's parameters from future backward passes."""
+        for param in self.parameters():
+            param.requires_grad = False
+
+    def unfreeze(self) -> None:
+        """Re-enable gradients for this subtree's parameters."""
+        for param in self.parameters():
+            param.requires_grad = True
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch the subtree to training mode (enables dropout)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the subtree to evaluation mode (disables dropout)."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+def average_state_dicts(states: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Elementwise mean of parameter states (Eqn. 23, the model ensemble).
+
+    All dictionaries must share the same keys and shapes; the result is the
+    uniform average used by the paper's weight-ensemble step.
+    """
+    if not states:
+        raise ValueError("need at least one state dict to average")
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise KeyError("state dicts have differing parameter sets")
+    return {
+        key: np.mean([state[key] for state in states], axis=0) for key in sorted(keys)
+    }

@@ -1,0 +1,143 @@
+"""First-order optimisers: SGD (with momentum), Adam, and AdamW.
+
+The paper trains LightLT with AdamW (§V-A4); the baselines reuse the same
+implementations. Each optimiser stores its state per parameter so training
+can be paused, inspected, and resumed deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding parameters, per-parameter LR scales, and a base LR.
+
+    ``params`` may be a flat list of :class:`Parameter`, or a list of group
+    dicts ``{"params": [...], "lr_scale": s}``. Group scales multiply the
+    base learning rate — the mechanism used to fine-tune the backbone at a
+    much smaller step size than the codebooks (the paper trains its
+    pre-trained backbone at 5e-5 while the rest of the model adapts faster).
+    """
+
+    def __init__(self, params, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: list[Parameter] = []
+        self.lr_scales: list[float] = []
+        for entry in params:
+            if isinstance(entry, dict):
+                scale = float(entry.get("lr_scale", 1.0))
+                for param in entry["params"]:
+                    self.params.append(param)
+                    self.lr_scales.append(scale)
+            else:
+                self.params.append(entry)
+                self.lr_scales.append(1.0)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity, scale in zip(self.params, self._velocity, self.lr_scales):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * scale * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step_count
+        bias2 = 1.0 - beta2**self._step_count
+        for param, m, v, scale in zip(self.params, self._m, self._v, self.lr_scales):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                # Classic (L2) coupling; AdamW decouples it instead.
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * scale * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    This is the optimiser the paper uses for all LightLT training runs.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 5e-5,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-2,
+    ):
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        if self.decoupled_weight_decay:
+            for param, scale in zip(self.params, self.lr_scales):
+                if param.grad is not None:
+                    param.data -= self.lr * scale * self.decoupled_weight_decay * param.data
+        super().step()

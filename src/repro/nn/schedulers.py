@@ -1,0 +1,113 @@
+"""Learning-rate schedules.
+
+§V-A4 of the paper uses cosine annealing on the image datasets and a linear
+schedule with warmup on the text datasets; both are provided, plus the
+constant and step schedules used in ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: computes a multiplier of the optimiser's base LR."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = total_steps
+        self.current_step = 0
+
+    def multiplier(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate; returns it."""
+        self.current_step = min(self.current_step + 1, self.total_steps)
+        new_lr = self.base_lr * self.multiplier(self.current_step)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class ConstantLR(LRScheduler):
+    """No-op schedule; keeps the base learning rate."""
+
+    def multiplier(self, step: int) -> float:
+        return 1.0
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer, total_steps)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def multiplier(self, step: int) -> float:
+        return self.gamma ** (step // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over the full horizon."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr_ratio: float = 0.0):
+        super().__init__(optimizer, total_steps)
+        self.min_lr_ratio = min_lr_ratio
+
+    def multiplier(self, step: int) -> float:
+        progress = step / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr_ratio + (1.0 - self.min_lr_ratio) * cosine
+
+
+class LinearWarmupLR(LRScheduler):
+    """Linear ramp from 0 to the base LR, then linear decay to 0.
+
+    Matches the "linear schedule with warm up" used on NC and QBA.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, warmup_steps: int):
+        super().__init__(optimizer, total_steps)
+        if not 0 <= warmup_steps <= total_steps:
+            raise ValueError("warmup_steps must lie within [0, total_steps]")
+        self.warmup_steps = warmup_steps
+
+    def multiplier(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        remaining = self.total_steps - step
+        decay_span = max(self.total_steps - self.warmup_steps, 1)
+        return max(remaining / decay_span, 0.0)
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup followed by cosine decay (used for image profiles)."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        total_steps: int,
+        warmup_steps: int,
+        min_lr_ratio: float = 0.0,
+    ):
+        super().__init__(optimizer, total_steps)
+        if not 0 <= warmup_steps <= total_steps:
+            raise ValueError("warmup_steps must lie within [0, total_steps]")
+        self.warmup_steps = warmup_steps
+        self.min_lr_ratio = min_lr_ratio
+
+    def multiplier(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        decay_span = max(self.total_steps - self.warmup_steps, 1)
+        progress = (step - self.warmup_steps) / decay_span
+        cosine = 0.5 * (1.0 + math.cos(math.pi * min(progress, 1.0)))
+        return self.min_lr_ratio + (1.0 - self.min_lr_ratio) * cosine

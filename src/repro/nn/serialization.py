@@ -1,0 +1,31 @@
+"""Saving and loading module state to ``.npz`` archives.
+
+Used by the examples to persist trained LightLT models and by the ensemble
+workflow to shuttle member weights around without keeping all member graphs
+alive simultaneously.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write ``module.state_dict()`` to ``path`` as a compressed archive."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load an archive produced by :func:`save_state` into ``module``."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,466 @@
+"""A NumPy-backed tensor with reverse-mode automatic differentiation.
+
+This is the foundation the rest of the repository is built on: the paper's
+models (backbone MLPs, DSQ codebooks, classifiers) and losses are all
+expressed as compositions of the primitive operations defined here, and the
+trainer relies on :meth:`Tensor.backward` to produce exact gradients.
+
+Only the operations the reproduction actually needs are implemented, but
+each one supports full NumPy broadcasting and is covered by numerical
+gradient checks in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import (
+    accumulate_grad,
+    is_grad_enabled,
+    topological_order,
+    unbroadcast,
+)
+
+ArrayLike = "np.ndarray | float | int | list | tuple | Tensor"
+
+
+def _as_array(value: object) -> np.ndarray:
+    """Coerce a python scalar / sequence / array into a float64 ndarray."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A multidimensional array that records the operations applied to it.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 ``np.ndarray``.
+    requires_grad:
+        When ``True`` the tensor participates in backward passes. Gradients
+        accumulate into :attr:`grad`, mirroring the PyTorch convention.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: object, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    @staticmethod
+    def _raise_item() -> float:
+        raise ValueError("item() is only valid for tensors with one element")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a result tensor wired into the autograd graph."""
+        grad_parents = tuple(p for p in parents if p.requires_grad)
+        out = cls(data, requires_grad=bool(grad_parents))
+        if out.requires_grad:
+            out._parents = grad_parents
+            out._backward = backward
+        return out
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor severed from the autograd graph.
+
+        Used to implement the stop-gradient operator ``Sg`` of Eqn. (6): the
+        straight-through estimator forwards the hard one-hot code while
+        routing gradients through the tempered softmax.
+        """
+        return Tensor(self.data, requires_grad=False)
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        accumulate_grad(self, grad)
+        for node in reversed(topological_order(self)):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free interior graph state eagerly; leaves keep their grads.
+                node._backward = None
+                node._parents = ()
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: object) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                accumulate_grad(self, unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                accumulate_grad(other_t, unbroadcast(grad, other_t.shape))
+
+        return Tensor._from_op(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, -grad)
+
+        return Tensor._from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other: object) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                accumulate_grad(self, unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                accumulate_grad(other_t, unbroadcast(-grad, other_t.shape))
+
+        return Tensor._from_op(out_data, (self, other_t), backward)
+
+    def __rsub__(self, other: object) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: object) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                accumulate_grad(self, unbroadcast(grad * other_t.data, self.shape))
+            if other_t.requires_grad:
+                accumulate_grad(other_t, unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._from_op(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                accumulate_grad(self, unbroadcast(grad / other_t.data, self.shape))
+            if other_t.requires_grad:
+                accumulate_grad(
+                    other_t,
+                    unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape),
+                )
+
+        return Tensor._from_op(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: object) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    accumulate_grad(self, np.outer(grad, other_t.data) if self.data.ndim == 2 else grad * other_t.data)
+                else:
+                    grad_self = grad @ np.swapaxes(other_t.data, -1, -2)
+                    accumulate_grad(self, unbroadcast(grad_self, self.shape))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    accumulate_grad(other_t, np.outer(self.data, grad) if other_t.data.ndim == 2 else self.data * grad)
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                    accumulate_grad(other_t, unbroadcast(grad_other, other_t.shape))
+
+        return Tensor._from_op(out_data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis=axis)
+            accumulate_grad(self, np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded_out = out_data if keepdims or axis is None else np.expand_dims(out_data, axis)
+            expanded_grad = grad if keepdims or axis is None else np.expand_dims(grad, axis)
+            mask = (self.data == expanded_out).astype(np.float64)
+            # Split gradient evenly among ties to keep the operator linear.
+            mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            accumulate_grad(self, mask * expanded_grad)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def min(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad / self.data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * 0.5 / out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * np.sign(self.data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * mask)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * (1.0 - out_data**2))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * out_data * (1.0 - out_data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def clip(self, low: float | None = None, high: float | None = None) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask *= self.data >= low
+        if high is not None:
+            mask *= self.data <= high
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad * mask)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad.reshape(original_shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes_tuple)
+        inverse = np.argsort(axes_tuple)
+
+        def backward(grad: np.ndarray) -> None:
+            accumulate_grad(self, grad.transpose(inverse))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            accumulate_grad(self, full)
+
+        return Tensor._from_op(np.array(out_data, copy=True), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable; return plain arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: object) -> np.ndarray:
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data > other_data
+
+    def __lt__(self, other: object) -> np.ndarray:
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data < other_data
+
+    def argmax(self, axis: int | None = None) -> np.ndarray:
+        """Index of the maximum; non-differentiable by construction."""
+        return self.data.argmax(axis=axis)
+
+    def argmin(self, axis: int | None = None) -> np.ndarray:
+        return self.data.argmin(axis=axis)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    arrays = [t.data for t in tensors]
+    out_data = np.concatenate(arrays, axis=axis)
+    sizes = [a.shape[axis] for a in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer: list = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                accumulate_grad(tensor, grad[tuple(slicer)])
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, moved):
+            if tensor.requires_grad:
+                accumulate_grad(tensor, piece)
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, if_true: Tensor, if_false: Tensor) -> Tensor:
+    """Differentiable selection: gradients flow to the chosen branch only."""
+    true_t = if_true if isinstance(if_true, Tensor) else Tensor(if_true)
+    false_t = if_false if isinstance(if_false, Tensor) else Tensor(if_false)
+    out_data = np.where(condition, true_t.data, false_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if true_t.requires_grad:
+            accumulate_grad(true_t, unbroadcast(grad * condition, true_t.shape))
+        if false_t.requires_grad:
+            accumulate_grad(false_t, unbroadcast(grad * (~condition), false_t.shape))
+
+    return Tensor._from_op(out_data, (true_t, false_t), backward)
+
+
+def maximum(a: Tensor, b: Tensor | float) -> Tensor:
+    """Elementwise maximum with subgradient split evenly at ties."""
+    b_t = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.maximum(a.data, b_t.data)
+    a_mask = (a.data > b_t.data) + 0.5 * (a.data == b_t.data)
+    b_mask = 1.0 - a_mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            accumulate_grad(a, unbroadcast(grad * a_mask, a.shape))
+        if b_t.requires_grad:
+            accumulate_grad(b_t, unbroadcast(grad * b_mask, b_t.shape))
+
+    return Tensor._from_op(out_data, (a, b_t), backward)

@@ -1,0 +1,57 @@
+"""``repro.retrieval`` — search, metrics, and the §IV efficiency model."""
+
+from repro.retrieval.adc import (
+    adc_distances,
+    build_lookup_tables,
+    encode_nearest,
+    reconstruct,
+    validate_codes,
+)
+from repro.retrieval.costs import (
+    EfficiencyMeasurement,
+    StorageCost,
+    asymptotic_compression_ratio,
+    efficiency_sweep,
+    measure_search_times,
+    storage_cost,
+    theoretical_speedup,
+)
+from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.metrics import (
+    average_precision,
+    mean_average_precision,
+    per_class_average_precision,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.retrieval.search import (
+    exhaustive_search,
+    hamming_distances,
+    rank_by_distance,
+    squared_distances,
+)
+
+__all__ = [
+    "EfficiencyMeasurement",
+    "QuantizedIndex",
+    "StorageCost",
+    "adc_distances",
+    "asymptotic_compression_ratio",
+    "average_precision",
+    "build_lookup_tables",
+    "efficiency_sweep",
+    "encode_nearest",
+    "exhaustive_search",
+    "hamming_distances",
+    "mean_average_precision",
+    "measure_search_times",
+    "per_class_average_precision",
+    "precision_at_k",
+    "rank_by_distance",
+    "recall_at_k",
+    "reconstruct",
+    "squared_distances",
+    "storage_cost",
+    "theoretical_speedup",
+    "validate_codes",
+]

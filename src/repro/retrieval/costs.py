@@ -1,0 +1,146 @@
+"""Space and inference cost model of §IV, plus measured timings.
+
+§IV-A: storing a quantized database costs ``4·K·M·d`` bytes of codebooks,
+``n·M·log2(K)/8`` bytes of codeword ids, and ``4·n`` bytes of stored norms,
+versus ``4·n·d`` bytes for raw float32 vectors — a compression ratio of
+roughly ``32d / (M·log2 K)`` when ``n ≫ K·M·d``.
+
+§IV-B: ADC needs ``O(d·M·K)`` multiply-adds to build a query's lookup
+tables and ``O(n·M)`` adds to score the database, versus ``O(n·d)``
+multiply-adds for exhaustive search.
+
+Fig. 7 plots both the theoretical and measured speedup/compression ratios
+as the database grows; :func:`efficiency_sweep` reproduces that experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrieval.adc import adc_distances, encode_nearest, reconstruct
+from repro.retrieval.search import squared_distances
+
+FLOAT_BYTES = 4  # the paper counts float32 storage
+
+
+@dataclass(frozen=True)
+class StorageCost:
+    """Byte-level storage accounting for one database."""
+
+    codebook_bytes: float
+    code_bytes: float
+    norm_bytes: float
+    continuous_bytes: float
+
+    @property
+    def quantized_bytes(self) -> float:
+        return self.codebook_bytes + self.code_bytes + self.norm_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.continuous_bytes / self.quantized_bytes
+
+
+def storage_cost(n_db: int, dim: int, num_codebooks: int, num_codewords: int) -> StorageCost:
+    """§IV-A byte accounting: ``4KMd + n·M·log2(K)/8 + 4n`` vs ``4nd``."""
+    if min(n_db, dim, num_codebooks, num_codewords) < 1:
+        raise ValueError("all size arguments must be positive")
+    bits_per_code = math.log2(num_codewords)
+    return StorageCost(
+        codebook_bytes=FLOAT_BYTES * num_codewords * num_codebooks * dim,
+        code_bytes=n_db * num_codebooks * bits_per_code / 8.0,
+        norm_bytes=FLOAT_BYTES * n_db,
+        continuous_bytes=FLOAT_BYTES * n_db * dim,
+    )
+
+
+def asymptotic_compression_ratio(dim: int, num_codebooks: int, num_codewords: int) -> float:
+    """Large-``n`` limit ``4d / (M·log2(K)/8 + 4)`` of the compression ratio."""
+    bytes_per_item = num_codebooks * math.log2(num_codewords) / 8.0 + FLOAT_BYTES
+    return FLOAT_BYTES * dim / bytes_per_item
+
+
+def theoretical_speedup(n_db: int, dim: int, num_codebooks: int, num_codewords: int) -> float:
+    """Operation-count ratio of exhaustive search to ADC (§IV-B).
+
+    Exhaustive: ``n·d`` multiply-adds per query. ADC: ``d·M·K`` for the
+    lookup tables plus ``n·M`` table additions.
+    """
+    exhaustive_ops = n_db * dim
+    adc_ops = dim * num_codebooks * num_codewords + n_db * num_codebooks
+    return exhaustive_ops / adc_ops
+
+
+@dataclass
+class EfficiencyMeasurement:
+    """One point of the Fig. 7 sweep."""
+
+    n_db: int
+    fraction: float
+    measured_speedup: float
+    theoretical_speedup: float
+    measured_compression: float
+    theoretical_compression: float
+
+
+def measure_search_times(
+    queries: np.ndarray,
+    database: np.ndarray,
+    codebooks: np.ndarray,
+    codes: np.ndarray,
+    repeats: int = 3,
+) -> tuple[float, float]:
+    """Wall-clock (exhaustive_seconds, adc_seconds), best of ``repeats``."""
+    db_sq_norms = (reconstruct(codes, codebooks) ** 2).sum(axis=1)
+    exhaustive_best = adc_best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        squared_distances(queries, database)
+        exhaustive_best = min(exhaustive_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        adc_distances(queries, codes, codebooks, db_sq_norms=db_sq_norms)
+        adc_best = min(adc_best, time.perf_counter() - start)
+    return exhaustive_best, adc_best
+
+
+def efficiency_sweep(
+    queries: np.ndarray,
+    database: np.ndarray,
+    codebooks: np.ndarray,
+    fractions: tuple[float, ...] = (1e-3, 1e-2, 1e-1, 1.0),
+    repeats: int = 3,
+) -> list[EfficiencyMeasurement]:
+    """Reproduce Fig. 7: ratios as functions of the database fraction.
+
+    The measured compression ratio uses the exact byte accounting of
+    :func:`storage_cost`; the measured speedup is a wall-clock ratio, which
+    at simulator scale is noisy but must reproduce the figure's shape
+    (ratios grow with database size; tiny databases gain nothing).
+    """
+    codebooks = np.asarray(codebooks, dtype=np.float64)
+    m, k, dim = codebooks.shape
+    n_total = len(database)
+    results = []
+    for fraction in sorted(fractions):
+        n_db = max(int(round(n_total * fraction)), 1)
+        subset = database[:n_db]
+        codes = encode_nearest(subset, codebooks, residual=True)
+        exhaustive_s, adc_s = measure_search_times(
+            queries, subset, codebooks, codes, repeats=repeats
+        )
+        cost = storage_cost(n_db, dim, m, k)
+        results.append(
+            EfficiencyMeasurement(
+                n_db=n_db,
+                fraction=fraction,
+                measured_speedup=exhaustive_s / max(adc_s, 1e-12),
+                theoretical_speedup=theoretical_speedup(n_db, dim, m, k),
+                measured_compression=cost.compression_ratio,
+                theoretical_compression=cost.compression_ratio,
+            )
+        )
+    return results

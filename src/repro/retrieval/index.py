@@ -1,0 +1,117 @@
+"""Quantized retrieval index: the deployable artifact of LightLT.
+
+Wraps the storage layout of §IV (codebooks + per-item codeword ids + one
+stored norm per item) behind a search API, so examples and benchmarks can
+index a database once and serve ranked retrieval with ADC lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrieval.adc import adc_distances, encode_nearest, reconstruct, validate_codes
+from repro.retrieval.search import rank_by_distance
+
+
+@dataclass
+class QuantizedIndex:
+    """An immutable database of additive-quantization codes.
+
+    Attributes
+    ----------
+    codebooks:
+        ``(M, K, d)`` codeword tables.
+    codes:
+        ``(n_db, M)`` codeword ids per database item.
+    db_sq_norms:
+        ``(n_db,)`` stored ``‖Σ_j o^j‖²`` values (Eqn. 24's middle term).
+    labels:
+        Optional ``(n_db,)`` item labels carried along for evaluation.
+    """
+
+    codebooks: np.ndarray
+    codes: np.ndarray
+    db_sq_norms: np.ndarray
+    labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.codebooks = np.asarray(self.codebooks, dtype=np.float64)
+        if self.codebooks.ndim != 3:
+            raise ValueError("codebooks must be (M, K, d)")
+        m, k, _ = self.codebooks.shape
+        self.codes = validate_codes(self.codes, m, k)
+        self.db_sq_norms = np.asarray(self.db_sq_norms, dtype=np.float64)
+        if len(self.db_sq_norms) != len(self.codes):
+            raise ValueError("db_sq_norms and codes disagree on database size")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels)
+            if len(self.labels) != len(self.codes):
+                raise ValueError("labels and codes disagree on database size")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        codebooks: np.ndarray,
+        database: np.ndarray,
+        labels: np.ndarray | None = None,
+        codes: np.ndarray | None = None,
+    ) -> "QuantizedIndex":
+        """Index a database.
+
+        If ``codes`` are not supplied (e.g. produced by a trained DSQ
+        encoder), items are encoded greedily with residual nearest-codeword
+        selection — the indexing workflow of Fig. 3.
+        """
+        codebooks = np.asarray(codebooks, dtype=np.float64)
+        if codes is None:
+            codes = encode_nearest(database, codebooks, residual=True)
+        reconstructions = reconstruct(codes, codebooks)
+        return cls(
+            codebooks=codebooks,
+            codes=codes,
+            db_sq_norms=(reconstructions**2).sum(axis=1),
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def num_codebooks(self) -> int:
+        return self.codebooks.shape[0]
+
+    @property
+    def num_codewords(self) -> int:
+        return self.codebooks.shape[1]
+
+    @property
+    def dim(self) -> int:
+        return self.codebooks.shape[2]
+
+    def reconstructions(self) -> np.ndarray:
+        """Decode every database item back to continuous space."""
+        return reconstruct(self.codes, self.codebooks)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Ranked database indices for each query via ADC lookups."""
+        distances = adc_distances(
+            queries, self.codes, self.codebooks, db_sq_norms=self.db_sq_norms
+        )
+        return rank_by_distance(distances, k=k)
+
+    def search_labels(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Ranked database *labels*, ready for MAP evaluation."""
+        if self.labels is None:
+            raise RuntimeError("index was built without labels")
+        return self.labels[self.search(queries, k=k)]

@@ -1,0 +1,107 @@
+"""Ranking metrics for retrieval evaluation.
+
+Implements the paper's evaluation protocol (§V-A3): Average Precision per
+query over the full database with label-equality relevance, and Mean
+Average Precision (MAP) over the query set. Precision/recall at fixed
+cutoffs are provided for supplementary analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_precision(relevance: np.ndarray, cutoff: int | None = None) -> float:
+    """AP of one ranked relevance vector.
+
+    ``AP@n = (Σ_i P(i) · δ(i)) / (Σ_i δ(i))`` where ``P(i)`` is precision at
+    rank ``i`` and ``δ(i)`` marks relevant results, exactly as defined in
+    §V-A3. Queries with no relevant item in the ranking score 0.
+    """
+    relevance = np.asarray(relevance, dtype=np.float64)
+    if relevance.ndim != 1:
+        raise ValueError("relevance must be a 1-D ranked vector")
+    if cutoff is not None:
+        relevance = relevance[:cutoff]
+    total_relevant = relevance.sum()
+    if total_relevant == 0:
+        return 0.0
+    ranks = np.arange(1, len(relevance) + 1, dtype=np.float64)
+    precision_at_i = np.cumsum(relevance) / ranks
+    return float((precision_at_i * relevance).sum() / total_relevant)
+
+
+def mean_average_precision(
+    ranked_db_labels: np.ndarray,
+    query_labels: np.ndarray,
+    cutoff: int | None = None,
+) -> float:
+    """MAP over a query set.
+
+    Parameters
+    ----------
+    ranked_db_labels:
+        ``(n_query, n_db)`` labels of database items in ranked order for
+        each query (output of a search function composed with db labels).
+    query_labels:
+        ``(n_query,)`` ground-truth labels; relevance is label equality.
+    cutoff:
+        Optional rank cutoff (``AP@cutoff``); ``None`` uses the full
+        database as in the paper.
+    """
+    ranked_db_labels = np.asarray(ranked_db_labels)
+    query_labels = np.asarray(query_labels)
+    if ranked_db_labels.shape[0] != query_labels.shape[0]:
+        raise ValueError("ranked labels and query labels disagree on n_query")
+    relevance = (ranked_db_labels == query_labels[:, None]).astype(np.float64)
+    scores = [average_precision(row, cutoff=cutoff) for row in relevance]
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def precision_at_k(
+    ranked_db_labels: np.ndarray, query_labels: np.ndarray, k: int
+) -> float:
+    """Mean fraction of relevant items among each query's top-k results."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    ranked_db_labels = np.asarray(ranked_db_labels)[:, :k]
+    relevance = ranked_db_labels == np.asarray(query_labels)[:, None]
+    return float(relevance.mean())
+
+
+def recall_at_k(
+    ranked_db_labels: np.ndarray,
+    query_labels: np.ndarray,
+    db_labels: np.ndarray,
+    k: int,
+) -> float:
+    """Mean fraction of each query's relevant items found in the top-k."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    query_labels = np.asarray(query_labels)
+    db_labels = np.asarray(db_labels)
+    totals = np.array([(db_labels == label).sum() for label in query_labels])
+    hits = (np.asarray(ranked_db_labels)[:, :k] == query_labels[:, None]).sum(axis=1)
+    valid = totals > 0
+    if not valid.any():
+        return 0.0
+    return float((hits[valid] / totals[valid]).mean())
+
+
+def per_class_average_precision(
+    ranked_db_labels: np.ndarray, query_labels: np.ndarray
+) -> dict[int, float]:
+    """MAP broken down by query class.
+
+    Used to verify the long-tail claim directly: tail-class queries should
+    benefit most from the class-weighted loss.
+    """
+    ranked_db_labels = np.asarray(ranked_db_labels)
+    query_labels = np.asarray(query_labels)
+    result: dict[int, float] = {}
+    for label in np.unique(query_labels):
+        mask = query_labels == label
+        result[int(label)] = mean_average_precision(
+            ranked_db_labels[mask], query_labels[mask]
+        )
+    return result

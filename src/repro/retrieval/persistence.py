@@ -1,0 +1,66 @@
+"""Persisting quantized indexes to disk.
+
+A deployed LightLT system stores exactly what §IV budgets for: the
+codebooks, the per-item codeword ids, the per-item norms, and (optionally)
+labels. This module round-trips a :class:`QuantizedIndex` through a single
+``.npz`` archive so indexes can be built offline and served elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.retrieval.index import QuantizedIndex
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: QuantizedIndex, path: str) -> None:
+    """Write an index to ``path`` as a compressed ``.npz`` archive.
+
+    Codes are stored in the smallest unsigned integer dtype that fits the
+    codebook size, mirroring the ``M·log2(K)/8`` bytes-per-item budget.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if index.num_codewords <= 256:
+        code_dtype = np.uint8
+    elif index.num_codewords <= 65536:
+        code_dtype = np.uint16
+    else:
+        code_dtype = np.uint32
+    payload = {
+        "version": np.array([_FORMAT_VERSION]),
+        "codebooks": index.codebooks.astype(np.float32),
+        "codes": index.codes.astype(code_dtype),
+        "db_sq_norms": index.db_sq_norms.astype(np.float32),
+    }
+    if index.labels is not None:
+        payload["labels"] = index.labels
+    np.savez_compressed(path, **payload)
+
+
+def load_index(path: str) -> QuantizedIndex:
+    """Load an archive produced by :func:`save_index`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        version = int(archive["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return QuantizedIndex(
+            codebooks=archive["codebooks"].astype(np.float64),
+            codes=archive["codes"].astype(np.int64),
+            db_sq_norms=archive["db_sq_norms"].astype(np.float64),
+            labels=archive["labels"] if "labels" in archive.files else None,
+        )
+
+
+def index_file_size(path: str) -> int:
+    """On-disk byte size of a saved index."""
+    return os.path.getsize(path)

@@ -1,0 +1,68 @@
+"""Exhaustive nearest-neighbour search over continuous representations.
+
+This is the uncompressed reference point every quantizer is compared
+against: it defines both the accuracy ceiling and the inference-cost
+baseline (``O(n_db · d)`` per query, §IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """``(n_q, n_db)`` squared Euclidean distance matrix."""
+    queries = np.asarray(queries, dtype=np.float64)
+    database = np.asarray(database, dtype=np.float64)
+    q_sq = (queries**2).sum(axis=1, keepdims=True)
+    db_sq = (database**2).sum(axis=1)
+    d2 = q_sq + db_sq[None, :] - 2.0 * queries @ database.T
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def hamming_distances(query_codes: np.ndarray, db_codes: np.ndarray) -> np.ndarray:
+    """``(n_q, n_db)`` Hamming distances between ±1 binary codes.
+
+    For codes in {-1, +1}^b, ``hamming = (b - q·x) / 2``; used by every
+    binarized-hash baseline.
+    """
+    query_codes = np.asarray(query_codes, dtype=np.float64)
+    db_codes = np.asarray(db_codes, dtype=np.float64)
+    bits = query_codes.shape[1]
+    return (bits - query_codes @ db_codes.T) / 2.0
+
+
+def rank_by_distance(distances: np.ndarray, k: int | None = None) -> np.ndarray:
+    """Ranked database indices (ascending distance), optionally top-k.
+
+    Uses ``argpartition`` for the top-k case so large databases don't pay a
+    full sort per query.
+    """
+    distances = np.asarray(distances)
+    n_db = distances.shape[1]
+    if k is None or k >= n_db:
+        return np.argsort(distances, axis=1, kind="stable")
+    top = np.argpartition(distances, k, axis=1)[:, :k]
+    rows = np.arange(distances.shape[0])[:, None]
+    order = np.argsort(distances[rows, top], axis=1, kind="stable")
+    return top[rows, order]
+
+
+def exhaustive_search(
+    queries: np.ndarray,
+    database: np.ndarray,
+    k: int | None = None,
+    batch_size: int = 1024,
+) -> np.ndarray:
+    """Ranked nearest-neighbour indices by exact Euclidean distance.
+
+    Processes queries in batches to bound peak memory at
+    ``batch_size × n_db`` floats.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    results = []
+    for start in range(0, len(queries), batch_size):
+        block = queries[start : start + batch_size]
+        results.append(rank_by_distance(squared_distances(block, database), k=k))
+    return np.concatenate(results, axis=0) if results else np.empty((0, 0), dtype=np.int64)

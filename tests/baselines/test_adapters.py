@@ -1,0 +1,76 @@
+"""Tests for the LightLT adapters and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LightLTEnsembleMethod,
+    LightLTMethod,
+    evaluate_method,
+    image_baselines,
+    text_baselines,
+)
+from repro.core.ensemble import EnsembleConfig
+from repro.core.losses import LossConfig
+from repro.core.model import LightLTConfig
+from repro.core.trainer import TrainingConfig
+
+
+def adapter_configs(dataset):
+    model_config = LightLTConfig(
+        input_dim=dataset.dim,
+        num_classes=dataset.num_classes,
+        embed_dim=dataset.dim,
+        hidden_dims=(16,),
+        num_codebooks=3,
+        num_codewords=8,
+    )
+    return model_config, LossConfig(), TrainingConfig(epochs=5, batch_size=32)
+
+
+class TestLightLTAdapters:
+    def test_solo_adapter_beats_chance(self, tiny_dataset):
+        model_config, loss_config, training_config = adapter_configs(tiny_dataset)
+        method = LightLTMethod(model_config, loss_config, training_config, seed=0)
+        score = evaluate_method(method, tiny_dataset)
+        assert score > 2.0 / tiny_dataset.num_classes
+
+    def test_ensemble_adapter_runs(self, tiny_dataset):
+        model_config, loss_config, training_config = adapter_configs(tiny_dataset)
+        method = LightLTEnsembleMethod(
+            model_config,
+            loss_config,
+            training_config,
+            EnsembleConfig(num_members=2),
+            seed=0,
+        )
+        score = evaluate_method(method, tiny_dataset)
+        assert score > 2.0 / tiny_dataset.num_classes
+
+    def test_rank_before_fit_raises(self, tiny_dataset):
+        method = LightLTMethod()
+        with pytest.raises(RuntimeError):
+            method.rank(tiny_dataset.query.features, tiny_dataset.database.features)
+
+    def test_default_config_resolution(self, tiny_dataset):
+        method = LightLTMethod(training_config=TrainingConfig(epochs=1, batch_size=32))
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        assert method.model is not None
+
+
+class TestFactories:
+    def test_image_baselines_match_table2_rows(self):
+        names = [m.name for m in image_baselines()]
+        assert names == [
+            "LSH", "PCAH", "ITQ", "KNNH", "SDH", "COSDISH", "FastHash",
+            "FSSH", "SCDH", "DPSH", "HashNet", "DSDH", "CSQ", "LTHNet",
+        ]
+
+    def test_text_baselines_match_table3_rows(self):
+        names = [m.name for m in text_baselines()]
+        assert names == ["LSH", "PQ", "DPQ", "KDE", "LTHNet"]
+
+    def test_fast_mode_trims_epochs(self):
+        full = image_baselines(fast=False)
+        fast = image_baselines(fast=True)
+        assert fast[-1].epochs < full[-1].epochs

@@ -1,0 +1,116 @@
+"""Tests for the deep hashing and deep quantization baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import evaluate_method
+from repro.baselines.deep_base import pairwise_logistic_loss, quantization_penalty
+from repro.baselines.deep_hash import CSQ, DPSH, DSDH, HashNet, hadamard_hash_centers
+from repro.baselines.deep_quant import DPQ, KDE
+from repro.nn import Tensor
+
+DEEP_HASH = [DPSH, HashNet, DSDH, CSQ]
+DEEP_QUANT = [DPQ, KDE]
+
+
+def quick(method_cls, **kwargs):
+    defaults = dict(epochs=4, batch_size=32, seed=0)
+    defaults.update(kwargs)
+    return method_cls(**defaults)
+
+
+class TestDeepHashContract:
+    @pytest.mark.parametrize("method_cls", DEEP_HASH)
+    def test_trains_and_produces_binary_codes(self, method_cls, tiny_dataset):
+        method = quick(method_cls, num_bits=16)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.hash(tiny_dataset.query.features)
+        assert codes.shape == (len(tiny_dataset.query), 16)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    @pytest.mark.parametrize("method_cls", DEEP_HASH)
+    def test_beats_chance(self, method_cls, tiny_dataset):
+        method = quick(method_cls, num_bits=16, epochs=6)
+        score = evaluate_method(method, tiny_dataset)
+        assert score > 1.5 / tiny_dataset.num_classes
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            quick(DPSH).hash(np.zeros((2, 4)))
+
+
+class TestDeepQuantContract:
+    @pytest.mark.parametrize("method_cls", DEEP_QUANT)
+    def test_codes_and_codebooks(self, method_cls, tiny_dataset):
+        method = quick(method_cls, num_codebooks=3, num_codewords=8)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.encode(tiny_dataset.database.features)
+        assert codes.shape == (len(tiny_dataset.database), 3)
+        assert method.codebooks().shape == (3, 8, tiny_dataset.dim)
+
+    @pytest.mark.parametrize("method_cls", DEEP_QUANT)
+    def test_beats_chance(self, method_cls, tiny_dataset):
+        method = quick(method_cls, num_codebooks=3, num_codewords=8, epochs=6)
+        score = evaluate_method(method, tiny_dataset)
+        assert score > 1.5 / tiny_dataset.num_classes
+
+    def test_dpq_subspace_codebooks_are_padded(self, tiny_dataset):
+        method = quick(DPQ, num_codebooks=3, num_codewords=8)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        books = method.codebooks()
+        for m, sub in enumerate(method._slices):
+            mask = np.ones(tiny_dataset.dim, dtype=bool)
+            mask[sub] = False
+            assert np.allclose(books[m][:, mask], 0.0)
+
+
+class TestLossComponents:
+    def test_pairwise_loss_prefers_matching_similarity(self):
+        labels = np.array([0, 0, 1, 1])
+        aligned = Tensor(
+            np.array([[2.0, 0.0], [2.0, 0.0], [-2.0, 0.0], [-2.0, 0.0]])
+        )
+        scrambled = Tensor(
+            np.array([[2.0, 0.0], [-2.0, 0.0], [2.0, 0.0], [-2.0, 0.0]])
+        )
+        good = pairwise_logistic_loss(aligned, labels).item()
+        bad = pairwise_logistic_loss(scrambled, labels).item()
+        assert good < bad
+
+    def test_pairwise_loss_weighted_mode(self):
+        labels = np.array([0] * 2 + [1] * 8)
+        outputs = Tensor(np.random.default_rng(0).normal(size=(10, 4)))
+        unweighted = pairwise_logistic_loss(outputs, labels, weighted=False).item()
+        weighted = pairwise_logistic_loss(outputs, labels, weighted=True).item()
+        assert weighted != unweighted
+
+    def test_quantization_penalty_zero_at_pm1(self):
+        codes = Tensor(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert quantization_penalty(codes).item() == pytest.approx(0.0)
+
+    def test_quantization_penalty_positive_off_corners(self):
+        assert quantization_penalty(Tensor(np.zeros((2, 3)))).item() == pytest.approx(1.0)
+
+
+class TestHashCenters:
+    def test_hadamard_centers_are_spread(self):
+        centers = hadamard_hash_centers(8, 16, np.random.default_rng(0))
+        assert centers.shape == (8, 16)
+        assert set(np.unique(centers)) <= {-1.0, 1.0}
+        # Sylvester rows are mutually at Hamming distance b/2.
+        for i in range(8):
+            for j in range(i + 1, 8):
+                distance = (centers[i] != centers[j]).sum()
+                assert distance >= 4
+
+    def test_more_classes_than_hadamard_rows(self):
+        centers = hadamard_hash_centers(100, 32, np.random.default_rng(0))
+        assert centers.shape == (100, 32)
+        assert set(np.unique(centers)) <= {-1.0, 1.0}
+
+
+class TestHashNetContinuation:
+    def test_beta_grows(self, tiny_dataset):
+        method = quick(HashNet, num_bits=8, epochs=3)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        assert method._beta > method.beta_start

@@ -1,0 +1,33 @@
+"""Tests for the deep triplet quantization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DTQ, evaluate_method
+
+
+def quick_dtq(**overrides) -> DTQ:
+    defaults = dict(epochs=4, num_codebooks=3, num_codewords=8, seed=0)
+    defaults.update(overrides)
+    return DTQ(**defaults)
+
+
+class TestDTQ:
+    def test_trains_and_encodes(self, tiny_dataset):
+        method = quick_dtq()
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.encode(tiny_dataset.database.features)
+        assert codes.shape == (len(tiny_dataset.database), 3)
+        assert method.codebooks().shape == (3, 8, tiny_dataset.dim)
+
+    def test_beats_chance(self, tiny_dataset):
+        score = evaluate_method(quick_dtq(epochs=6), tiny_dataset)
+        assert score > 2.0 / tiny_dataset.num_classes
+
+    def test_small_batch_default(self):
+        assert quick_dtq().batch_size == 32
+
+    def test_margin_configurable(self, tiny_dataset):
+        method = quick_dtq(margin=0.5, epochs=2)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        assert method.margin == 0.5

@@ -1,0 +1,60 @@
+"""Tests for the LTHNet baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import evaluate_method
+from repro.baselines.lthnet import LTHNet
+
+
+def quick_lthnet(**overrides) -> LTHNet:
+    defaults = dict(epochs=5, batch_size=32, seed=0, num_bits=16, prototypes_per_class=3)
+    defaults.update(overrides)
+    return LTHNet(**defaults)
+
+
+class TestLTHNet:
+    def test_trains_and_hashes(self, tiny_dataset):
+        method = quick_lthnet()
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.hash(tiny_dataset.query.features)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    def test_beats_chance(self, tiny_dataset):
+        score = evaluate_method(quick_lthnet(epochs=8), tiny_dataset)
+        assert score > 2.0 / tiny_dataset.num_classes
+
+    def test_prototype_memory_structure(self, tiny_dataset):
+        method = quick_lthnet()
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        assert method._prototypes is not None
+        assert method._prototypes.shape[1] == method.num_bits
+        # Head classes get the full budget; tail classes at most their size.
+        counts = np.bincount(
+            tiny_dataset.train.labels, minlength=tiny_dataset.num_classes
+        )
+        for class_id in range(tiny_dataset.num_classes):
+            n_protos = (method._prototype_labels == class_id).sum()
+            assert n_protos <= min(method.prototypes_per_class, max(counts[class_id], 1))
+            if counts[class_id] > 0:
+                assert n_protos >= 1
+
+    def test_tail_class_contributes_all_items(self, tiny_dataset):
+        method = quick_lthnet(prototypes_per_class=100)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        counts = np.bincount(
+            tiny_dataset.train.labels, minlength=tiny_dataset.num_classes
+        )
+        tail_class = int(np.argmin(np.where(counts > 0, counts, np.inf)))
+        n_protos = (method._prototype_labels == tail_class).sum()
+        assert n_protos == counts[tail_class]
+
+    def test_class_weights_favor_tail(self, tiny_dataset):
+        method = quick_lthnet()
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        counts = np.bincount(
+            tiny_dataset.train.labels, minlength=tiny_dataset.num_classes
+        )
+        head = int(np.argmax(counts))
+        tail = int(np.argmin(np.where(counts > 0, counts, np.inf)))
+        assert method._class_weights[tail] > method._class_weights[head]

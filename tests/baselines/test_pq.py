@@ -1,0 +1,99 @@
+"""Tests for the shallow quantization baselines (PQ/OPQ/RVQ/SCDH)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import evaluate_method
+from repro.baselines.pq import OPQ, PQ, RVQ, SCDH
+from repro.retrieval.adc import reconstruct
+
+
+class TestPQ:
+    def test_codebook_layout(self, tiny_dataset):
+        pq = PQ(num_codebooks=3, num_codewords=8)
+        pq.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        books = pq.codebooks()
+        assert books.shape == (3, 8, tiny_dataset.dim)
+        # Subspace codewords are zero outside their own slice.
+        slices = pq._subspace_slices(tiny_dataset.dim)
+        for m, sub in enumerate(slices):
+            mask = np.ones(tiny_dataset.dim, dtype=bool)
+            mask[sub] = False
+            assert np.allclose(books[m][:, mask], 0.0)
+
+    def test_codes_shape_and_range(self, tiny_dataset):
+        pq = PQ(num_codebooks=4, num_codewords=8)
+        pq.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = pq.encode(tiny_dataset.database.features)
+        assert codes.shape == (len(tiny_dataset.database), 4)
+        assert codes.max() < 8
+
+    def test_beats_chance(self, tiny_dataset):
+        score = evaluate_method(PQ(num_codebooks=3, num_codewords=8), tiny_dataset)
+        assert score > 2.0 / tiny_dataset.num_classes
+
+    def test_dim_smaller_than_codebooks_raises(self, tiny_dataset):
+        pq = PQ(num_codebooks=100)
+        with pytest.raises(ValueError):
+            pq.fit(tiny_dataset.train, tiny_dataset.num_classes)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PQ().encode(np.zeros((2, 8)))
+        with pytest.raises(RuntimeError):
+            PQ().codebooks()
+
+
+class TestOPQ:
+    def test_rotation_is_orthogonal(self, tiny_dataset):
+        opq = OPQ(num_codebooks=3, num_codewords=8, outer_iterations=2)
+        opq.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        gram = opq._rotation @ opq._rotation.T
+        assert np.allclose(gram, np.eye(tiny_dataset.dim), atol=1e-8)
+
+    def test_opq_reconstruction_not_worse_than_pq(self, tiny_dataset):
+        def recon_error(method):
+            method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+            prepared = method.embed_queries(tiny_dataset.train.features)
+            codes = method.encode(tiny_dataset.train.features)
+            recon = reconstruct(codes, method.codebooks())
+            return ((prepared - recon) ** 2).mean()
+
+        pq_err = recon_error(PQ(num_codebooks=3, num_codewords=8, seed=0))
+        opq_err = recon_error(OPQ(num_codebooks=3, num_codewords=8, seed=0, outer_iterations=3))
+        assert opq_err <= pq_err * 1.1
+
+
+class TestRVQ:
+    def test_rvq_reconstruction_beats_pq(self, tiny_dataset):
+        # Additive residual codebooks use the full dimension per level and
+        # should compress this correlated data better than subspace PQ.
+        def recon_error(method):
+            method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+            prepared = method.embed_queries(tiny_dataset.train.features)
+            codes = method.encode(tiny_dataset.train.features)
+            return ((prepared - reconstruct(codes, method.codebooks())) ** 2).mean()
+
+        assert recon_error(RVQ(3, 8, seed=0)) < recon_error(PQ(3, 8, seed=0))
+
+    def test_beats_chance(self, tiny_dataset):
+        assert evaluate_method(RVQ(3, 8), tiny_dataset) > 2.0 / tiny_dataset.num_classes
+
+
+class TestSCDH:
+    def test_binary_codes(self, tiny_dataset):
+        scdh = SCDH(num_bits=16)
+        scdh.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = scdh.hash(tiny_dataset.query.features)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    def test_supervision_helps_over_itq(self, tiny_dataset):
+        from repro.baselines.shallow_hash import ITQ
+
+        itq = evaluate_method(ITQ(num_bits=16), tiny_dataset)
+        scdh = evaluate_method(SCDH(num_bits=16), tiny_dataset)
+        assert scdh >= itq - 0.03
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SCDH()._apply(np.zeros((2, 4)))

@@ -1,0 +1,75 @@
+"""Tests for the shallow hashing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import evaluate_method, sign_codes
+from repro.baselines.shallow_hash import ITQ, KNNH, LSH, PCAH
+
+
+ALL_SHALLOW = [LSH, PCAH, ITQ, KNNH]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("method_cls", ALL_SHALLOW)
+    def test_codes_are_binary_pm1(self, method_cls, tiny_dataset):
+        # PCA-based hashers cap the code length at the feature dimension,
+        # so ask for fewer bits than dims.
+        method = method_cls(num_bits=8)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.hash(tiny_dataset.query.features)
+        assert codes.shape == (len(tiny_dataset.query), 8)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    @pytest.mark.parametrize("method_cls", ALL_SHALLOW)
+    def test_beats_chance(self, method_cls, tiny_dataset):
+        score = evaluate_method(method_cls(num_bits=16), tiny_dataset)
+        assert score > 1.2 / tiny_dataset.num_classes
+
+    @pytest.mark.parametrize("method_cls", ALL_SHALLOW)
+    def test_rank_shape(self, method_cls, tiny_dataset):
+        method = method_cls(num_bits=16)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        ranked = method.rank(
+            tiny_dataset.query.features[:3], tiny_dataset.database.features
+        )
+        assert ranked.shape == (3, len(tiny_dataset.database))
+
+    @pytest.mark.parametrize("method_cls", ALL_SHALLOW)
+    def test_hash_before_fit_raises(self, method_cls):
+        with pytest.raises(RuntimeError):
+            method_cls().hash(np.zeros((2, 4)))
+
+
+class TestLSH:
+    def test_data_independent_projection(self, tiny_dataset):
+        a = LSH(num_bits=8, seed=0)
+        b = LSH(num_bits=8, seed=0)
+        a.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        b.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        assert np.allclose(a._projection, b._projection)
+
+    def test_seed_changes_projection(self, tiny_dataset):
+        a = LSH(num_bits=8, seed=0)
+        b = LSH(num_bits=8, seed=1)
+        a.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        b.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        assert not np.allclose(a._projection, b._projection)
+
+
+class TestITQ:
+    def test_rotation_is_orthogonal(self, tiny_dataset):
+        itq = ITQ(num_bits=8)
+        itq.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        gram = itq._rotation @ itq._rotation.T
+        assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+    def test_itq_at_least_as_good_as_pcah(self, tiny_dataset):
+        pcah = evaluate_method(PCAH(num_bits=12), tiny_dataset)
+        itq = evaluate_method(ITQ(num_bits=12), tiny_dataset)
+        assert itq >= pcah - 0.05
+
+
+class TestSignCodes:
+    def test_zero_maps_to_plus_one(self):
+        assert sign_codes(np.array([0.0, -0.5, 0.5])).tolist() == [1.0, -1.0, 1.0]

@@ -1,0 +1,61 @@
+"""Tests for the shallow supervised hashing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import evaluate_method, pairwise_similarity_labels
+from repro.baselines.shallow_hash import LSH
+from repro.baselines.supervised_hash import COSDISH, FSSH, SDH, FastHash
+
+SUPERVISED = [SDH, COSDISH, FastHash, FSSH]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("method_cls", SUPERVISED)
+    def test_codes_binary(self, method_cls, tiny_dataset):
+        method = method_cls(num_bits=16)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.hash(tiny_dataset.database.features)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+        assert codes.shape[1] == 16
+
+    @pytest.mark.parametrize("method_cls", SUPERVISED)
+    def test_marked_supervised(self, method_cls):
+        assert method_cls.supervised
+
+    @pytest.mark.parametrize("method_cls", [SDH, FSSH])
+    def test_beats_lsh(self, method_cls, tiny_dataset):
+        # Supervision should comfortably beat the random baseline.
+        supervised = evaluate_method(method_cls(num_bits=16), tiny_dataset)
+        random_baseline = evaluate_method(LSH(num_bits=16), tiny_dataset)
+        assert supervised > random_baseline - 0.02
+
+    @pytest.mark.parametrize("method_cls", SUPERVISED)
+    def test_hash_before_fit_raises(self, method_cls):
+        with pytest.raises(RuntimeError):
+            method_cls().hash(np.zeros((2, 3)))
+
+
+class TestPairwiseLabels:
+    def test_similarity_matrix(self):
+        labels = np.array([0, 0, 1])
+        sim = pairwise_similarity_labels(labels)
+        assert np.array_equal(sim, [[1, 1, -1], [1, 1, -1], [-1, -1, 1]])
+
+
+class TestFastHash:
+    def test_stump_based_hash_is_piecewise_constant(self, tiny_dataset):
+        method = FastHash(num_bits=4, stumps_per_bit=2)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        # Tiny perturbations rarely change threshold-based codes.
+        features = tiny_dataset.query.features[:5]
+        perturbed = features + 1e-9
+        assert np.array_equal(method.hash(features), method.hash(perturbed))
+
+
+class TestSDH:
+    def test_more_iterations_do_not_crash_and_stay_binary(self, tiny_dataset):
+        method = SDH(num_bits=8, iterations=20)
+        method.fit(tiny_dataset.train, tiny_dataset.num_classes)
+        codes = method.hash(tiny_dataset.query.features)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}

@@ -1,0 +1,74 @@
+"""Tests for greedy DPP MAP inference."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dpp import dpp_prototypes, greedy_map_dpp, rbf_kernel
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self):
+        points = np.random.default_rng(0).normal(size=(10, 4))
+        kernel = rbf_kernel(points)
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_symmetric_and_bounded(self):
+        points = np.random.default_rng(1).normal(size=(8, 3))
+        kernel = rbf_kernel(points)
+        assert np.allclose(kernel, kernel.T)
+        assert (kernel > 0).all() and (kernel <= 1.0 + 1e-12).all()
+
+    def test_closer_points_more_similar(self):
+        points = np.array([[0.0], [0.1], [5.0]])
+        kernel = rbf_kernel(points, gamma=1.0)
+        assert kernel[0, 1] > kernel[0, 2]
+
+
+class TestGreedyMAP:
+    def test_selects_diverse_items(self):
+        # Two tight clusters: the first two selections should straddle them.
+        rng = np.random.default_rng(2)
+        cluster_a = rng.normal(0.0, 0.05, size=(20, 2))
+        cluster_b = rng.normal(5.0, 0.05, size=(20, 2))
+        points = np.concatenate([cluster_a, cluster_b])
+        kernel = rbf_kernel(points, gamma=1.0)
+        selected = greedy_map_dpp(kernel, 2)
+        sides = {int(points[i][0] > 2.5) for i in selected}
+        assert sides == {0, 1}
+
+    def test_no_duplicates(self):
+        points = np.random.default_rng(3).normal(size=(30, 4))
+        selected = greedy_map_dpp(rbf_kernel(points), 10)
+        assert len(selected) == len(set(selected))
+
+    def test_respects_max_items(self):
+        points = np.random.default_rng(4).normal(size=(12, 3))
+        assert len(greedy_map_dpp(rbf_kernel(points), 5)) <= 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            greedy_map_dpp(np.zeros((2, 3)), 1)
+        with pytest.raises(ValueError):
+            greedy_map_dpp(np.eye(3), 0)
+
+
+class TestPrototypes:
+    def test_small_class_returns_everything(self):
+        points = np.random.default_rng(5).normal(size=(3, 4))
+        prototypes = dpp_prototypes(points, 10)
+        assert np.allclose(prototypes, points)
+
+    def test_large_class_is_subsampled(self):
+        points = np.random.default_rng(6).normal(size=(50, 4))
+        prototypes = dpp_prototypes(points, 5)
+        assert prototypes.shape == (5, 4)
+
+    def test_prototypes_are_rows_of_input(self):
+        points = np.random.default_rng(7).normal(size=(20, 3))
+        prototypes = dpp_prototypes(points, 4)
+        for proto in prototypes:
+            assert any(np.allclose(proto, row) for row in points)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dpp_prototypes(np.zeros((0, 3)), 2)

@@ -1,0 +1,79 @@
+"""Tests for k-means and k-means++ seeding."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import assign_to_centroids, kmeans, kmeans_pp_init
+
+
+def blobs(seed: int = 0, per_cluster: int = 50, centers: int = 4, dim: int = 6):
+    rng = np.random.default_rng(seed)
+    prototypes = rng.normal(size=(centers, dim)) * 6.0
+    labels = np.repeat(np.arange(centers), per_cluster)
+    points = prototypes[labels] + rng.normal(scale=0.3, size=(len(labels), dim))
+    return points, labels, prototypes
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, labels, prototypes = blobs()
+        result = kmeans(points, 4, rng=1)
+        # Every true cluster is dominated by one k-means cluster.
+        for c in range(4):
+            assignments = result.assignments[labels == c]
+            majority = np.bincount(assignments).max() / len(assignments)
+            assert majority > 0.95
+
+    def test_inertia_nonincreasing_with_k(self):
+        points, _, _ = blobs()
+        inertias = [kmeans(points, k, rng=0).inertia for k in (2, 4, 8)]
+        assert inertias[0] >= inertias[1] >= inertias[2]
+
+    def test_all_clusters_used(self):
+        points, _, _ = blobs()
+        result = kmeans(points, 16, rng=0)
+        assert len(np.unique(result.assignments)) == 16
+
+    def test_converges_before_max_iterations(self):
+        points, _, _ = blobs()
+        result = kmeans(points, 4, rng=0, max_iterations=100)
+        assert result.iterations < 100
+
+    def test_deterministic_given_seed(self):
+        points, _, _ = blobs()
+        a = kmeans(points, 4, rng=7)
+        b = kmeans(points, 4, rng=7)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_errors(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 4)
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(3), 1)
+
+    def test_duplicate_points_are_handled(self):
+        points = np.ones((20, 3))
+        result = kmeans(points, 3, rng=0)
+        assert np.isfinite(result.centroids).all()
+
+
+class TestHelpers:
+    def test_assign_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(30, 4))
+        centroids = rng.normal(size=(5, 4))
+        fast = assign_to_centroids(points, centroids)
+        brute = (
+            ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(-1).argmin(axis=1)
+        )
+        assert np.array_equal(fast, brute)
+
+    def test_pp_init_prefers_spread(self):
+        points, _, prototypes = blobs()
+        seeds = kmeans_pp_init(points, 4, np.random.default_rng(0))
+        # Each seed should be near a distinct prototype.
+        nearest = ((seeds[:, None, :] - prototypes[None]) ** 2).sum(-1).argmin(axis=1)
+        assert len(set(nearest.tolist())) == 4

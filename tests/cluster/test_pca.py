@@ -1,0 +1,49 @@
+"""Tests for the SVD-based PCA."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.pca import fit_pca
+
+
+def low_rank_data(seed: int = 0, n: int = 200, dim: int = 10, rank: int = 3):
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(rank, dim))
+    coeffs = rng.normal(size=(n, rank)) * np.array([5.0, 2.0, 1.0])
+    return coeffs @ basis + rng.normal(scale=0.01, size=(n, dim)) + 3.0
+
+
+class TestPCA:
+    def test_captures_low_rank_structure(self):
+        data = low_rank_data()
+        pca = fit_pca(data, 3)
+        assert pca.explained_variance_ratio().sum() > 0.99
+
+    def test_components_are_orthonormal(self):
+        pca = fit_pca(low_rank_data(), 3)
+        gram = pca.components.T @ pca.components
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_sorted(self):
+        pca = fit_pca(low_rank_data(), 3)
+        assert (np.diff(pca.explained_variance) <= 0).all()
+
+    def test_transform_centers_data(self):
+        data = low_rank_data()
+        projected = fit_pca(data, 2).transform(data)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_inverse_transform_roundtrip(self):
+        data = low_rank_data()
+        pca = fit_pca(data, 3)
+        recon = pca.inverse_transform(pca.transform(data))
+        assert np.abs(recon - data).max() < 0.2
+
+    def test_invalid_component_counts(self):
+        data = low_rank_data(n=20, dim=5)
+        with pytest.raises(ValueError):
+            fit_pca(data, 0)
+        with pytest.raises(ValueError):
+            fit_pca(data, 6)
+        with pytest.raises(ValueError):
+            fit_pca(np.zeros(5), 1)

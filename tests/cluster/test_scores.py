@@ -1,0 +1,59 @@
+"""Tests for cluster-quality scores."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.scores import davies_bouldin_index, silhouette_score
+
+
+def labelled_blobs(spread: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+    labels = np.repeat(np.arange(3), 30)
+    points = centers[labels] + rng.normal(scale=spread, size=(90, 2))
+    return points, labels
+
+
+class TestSilhouette:
+    def test_tight_clusters_score_high(self):
+        points, labels = labelled_blobs(spread=0.2)
+        assert silhouette_score(points, labels) > 0.8
+
+    def test_mixed_clusters_score_low(self):
+        points, labels = labelled_blobs(spread=5.0)
+        assert silhouette_score(points, labels) < 0.3
+
+    def test_tighter_is_higher(self):
+        tight, labels = labelled_blobs(spread=0.3)
+        loose, _ = labelled_blobs(spread=2.0)
+        assert silhouette_score(tight, labels) > silhouette_score(loose, labels)
+
+    def test_range(self):
+        points, labels = labelled_blobs(spread=1.0)
+        score = silhouette_score(points, labels)
+        assert -1.0 <= score <= 1.0
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int))
+
+    def test_singleton_cluster_contributes_zero(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [10.5, 0.0]])
+        labels = np.array([0, 1, 1])
+        score = silhouette_score(points, labels)
+        assert np.isfinite(score)
+
+
+class TestDaviesBouldin:
+    def test_lower_for_tighter_clusters(self):
+        tight, labels = labelled_blobs(spread=0.3)
+        loose, _ = labelled_blobs(spread=2.0)
+        assert davies_bouldin_index(tight, labels) < davies_bouldin_index(loose, labels)
+
+    def test_positive(self):
+        points, labels = labelled_blobs(spread=1.0)
+        assert davies_bouldin_index(points, labels) > 0
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            davies_bouldin_index(np.zeros((5, 2)), np.zeros(5, dtype=int))

@@ -1,0 +1,60 @@
+"""Tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.scores import silhouette_score
+from repro.cluster.tsne import joint_probabilities, kl_divergence, tsne
+
+
+def two_blobs(seed: int = 0, per: int = 25, dim: int = 8):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.3, size=(per, dim))
+    b = rng.normal(0.0, 0.3, size=(per, dim)) + 4.0
+    labels = np.array([0] * per + [1] * per)
+    return np.concatenate([a, b]), labels
+
+
+class TestJointProbabilities:
+    def test_symmetric_and_normalised(self):
+        points, _ = two_blobs()
+        p = joint_probabilities(points, perplexity=10)
+        assert np.allclose(p, p.T)
+        assert np.isclose(p.sum(), 1.0)
+        assert (p > 0).all()
+
+    def test_perplexity_must_be_feasible(self):
+        points, _ = two_blobs(per=3)
+        with pytest.raises(ValueError):
+            joint_probabilities(points, perplexity=10)
+
+
+class TestTSNE:
+    def test_preserves_cluster_structure(self):
+        points, labels = two_blobs()
+        embedding = tsne(points, perplexity=10, iterations=300, rng=0)
+        assert embedding.shape == (50, 2)
+        assert silhouette_score(embedding, labels) > 0.5
+
+    def test_deterministic_given_seed(self):
+        points, _ = two_blobs()
+        a = tsne(points, perplexity=10, iterations=50, rng=1)
+        b = tsne(points, perplexity=10, iterations=50, rng=1)
+        assert np.allclose(a, b)
+
+    def test_embedding_is_centered(self):
+        points, _ = two_blobs()
+        embedding = tsne(points, perplexity=10, iterations=50, rng=0)
+        assert np.allclose(embedding.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_kl_divergence_improves_with_iterations(self):
+        points, _ = two_blobs()
+        rough = tsne(points, perplexity=10, iterations=20, rng=0)
+        refined = tsne(points, perplexity=10, iterations=300, rng=0)
+        assert kl_divergence(points, refined, perplexity=10) < kl_divergence(
+            points, rough, perplexity=10
+        )

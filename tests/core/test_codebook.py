@@ -1,0 +1,74 @@
+"""Tests for the codebook chain (Eqn. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codebook import CodebookChain
+from repro.nn import Tensor
+
+
+class TestConstruction:
+    def test_shapes(self):
+        chain = CodebookChain(4, 8, 6, rng=0)
+        books = chain.materialize()
+        assert len(books) == 4
+        assert all(book.shape == (8, 6) for book in books)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            CodebookChain(0, 8, 6)
+        with pytest.raises(ValueError):
+            CodebookChain(2, 1, 6)
+
+    def test_no_skip_has_no_ffn(self):
+        chain = CodebookChain(3, 8, 6, rng=0, use_skip=False)
+        assert chain.ffns == [] and chain.gates == []
+
+    def test_single_codebook_has_no_skip_machinery(self):
+        chain = CodebookChain(1, 8, 6, rng=0, use_skip=True)
+        assert chain.ffns == []
+
+
+class TestSkipBehaviour:
+    def test_skip_is_noop_at_initialisation(self):
+        # The FFN output layer starts at zero, so the effective codebooks
+        # equal the main tables until training opens the transform.
+        chain = CodebookChain(4, 8, 6, rng=0, use_skip=True)
+        assert np.allclose(chain.gate_values(), 0.1)
+        books = chain.materialize_arrays()
+        for k, parameter in enumerate(chain.main_codebooks):
+            assert np.allclose(books[k], parameter.data)
+
+    def test_nonzero_ffn_mixes_previous_codebook(self):
+        chain = CodebookChain(2, 8, 6, rng=0, use_skip=True)
+        closed = chain.materialize_arrays()[1]
+        rng = np.random.default_rng(0)
+        chain.ffns[0].fc2.weight.data = rng.normal(size=chain.ffns[0].fc2.weight.shape)
+        opened = chain.materialize_arrays()[1]
+        assert not np.allclose(closed, opened)
+
+    def test_vanilla_codebooks_are_independent_parameters(self):
+        chain = CodebookChain(3, 8, 6, rng=0, use_skip=False)
+        books = chain.materialize_arrays()
+        chain.main_codebooks[0].data += 100.0
+        after = chain.materialize_arrays()
+        assert np.allclose(books[1], after[1])  # level 2 untouched
+        assert not np.allclose(books[0], after[0])
+
+    def test_skip_gradient_reaches_earlier_codebook(self):
+        # The whole point of Eqn. 10: loss on the LAST codebook's output
+        # produces gradient in the FIRST codebook's parameters.
+        chain = CodebookChain(3, 8, 6, rng=0, use_skip=True)
+        rng = np.random.default_rng(1)
+        for ffn in chain.ffns:
+            ffn.fc2.weight.data = rng.normal(size=ffn.fc2.weight.shape) * 0.1
+        books = chain.materialize()
+        (books[-1] ** 2).sum().backward()
+        assert chain.main_codebooks[0].grad is not None
+        assert np.abs(chain.main_codebooks[0].grad).sum() > 0
+
+    def test_no_skip_blocks_cross_level_gradient(self):
+        chain = CodebookChain(3, 8, 6, rng=0, use_skip=False)
+        books = chain.materialize()
+        (books[-1] ** 2).sum().backward()
+        assert chain.main_codebooks[0].grad is None

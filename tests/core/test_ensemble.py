@@ -1,0 +1,170 @@
+"""Tests for the weight-averaging ensemble and DSQ fine-tuning (§III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import (
+    EnsembleConfig,
+    average_members,
+    fine_tune_dsq,
+    train_ensemble,
+)
+from repro.core.losses import LossConfig
+from repro.core.model import LightLTConfig
+from repro.core.trainer import Trainer, TrainingConfig, evaluate_map
+
+
+def model_config_for(dataset) -> LightLTConfig:
+    return LightLTConfig(
+        input_dim=dataset.dim,
+        num_classes=dataset.num_classes,
+        embed_dim=dataset.dim,
+        hidden_dims=(16,),
+        num_codebooks=3,
+        num_codewords=8,
+    )
+
+
+def quick_tc(**overrides) -> TrainingConfig:
+    defaults = dict(epochs=5, batch_size=32, learning_rate=2e-3)
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+class TestEnsembleConfig:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(strategy="bagging")
+
+    def test_invalid_member_count(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            train_ensemble(
+                tiny_dataset,
+                model_config_for(tiny_dataset),
+                ensemble_config=EnsembleConfig(num_members=0),
+            )
+
+
+class TestAverageMembers:
+    def test_average_is_elementwise_mean(self, tiny_dataset):
+        config = model_config_for(tiny_dataset)
+        trainer_a = Trainer(config, LossConfig(), quick_tc(epochs=1), seed=0)
+        trainer_b = Trainer(config, LossConfig(), quick_tc(epochs=1), seed=1)
+        a = trainer_a.build(tiny_dataset)
+        b = trainer_b.build(tiny_dataset)
+        model_state, criterion_state = average_members([a, b])
+        key = next(iter(model_state))
+        expected = (a[0].state_dict()[key] + b[0].state_dict()[key]) / 2.0
+        assert np.allclose(model_state[key], expected)
+        assert set(criterion_state) == set(a[1].state_dict())
+
+    def test_empty_members(self):
+        with pytest.raises(ValueError):
+            average_members([])
+
+
+class TestTrainEnsemble:
+    def test_full_pipeline_runs_and_is_competitive(self, tiny_dataset):
+        config = model_config_for(tiny_dataset)
+        lc = LossConfig()
+        tc = quick_tc(epochs=6)
+        solo_trainer = Trainer(config, lc, tc, seed=0)
+        solo, _, _ = solo_trainer.fit(tiny_dataset)
+        solo_map = evaluate_map(solo, tiny_dataset)
+
+        result = train_ensemble(
+            tiny_dataset, config, lc, tc, EnsembleConfig(num_members=2), seed=0
+        )
+        ensemble_map = evaluate_map(result.model, tiny_dataset)
+        assert len(result.member_histories) == 2
+        assert len(result.member_states) == 2
+        # The soup-vs-best-member selection makes regressions bounded.
+        assert ensemble_map > solo_map - 0.05
+
+    def test_uniform_strategy_runs(self, tiny_dataset):
+        config = model_config_for(tiny_dataset)
+        result = train_ensemble(
+            tiny_dataset,
+            config,
+            LossConfig(),
+            quick_tc(epochs=3),
+            EnsembleConfig(num_members=2, strategy="uniform", fine_tune_epochs=2),
+            seed=0,
+        )
+        assert evaluate_map(result.model, tiny_dataset) > 0
+
+    def test_members_share_backbone_init_but_differ_elsewhere(self, tiny_dataset):
+        # Capture the member models through the returned states.
+        config = model_config_for(tiny_dataset)
+        result = train_ensemble(
+            tiny_dataset,
+            config,
+            LossConfig(),
+            quick_tc(epochs=1),
+            EnsembleConfig(num_members=2, fine_tune_epochs=1),
+            seed=0,
+        )
+        state_a, state_b = result.member_states
+        codebook_keys = [k for k in state_a if "main_codebooks" in k]
+        assert any(
+            not np.allclose(state_a[k], state_b[k]) for k in codebook_keys
+        )
+
+
+class TestFineTuneDSQ:
+    def test_only_dsq_changes(self, tiny_dataset):
+        config = model_config_for(tiny_dataset)
+        trainer = Trainer(config, LossConfig(), quick_tc(epochs=2), seed=0)
+        model, criterion, _ = trainer.fit(tiny_dataset)
+        backbone_before = model.backbone.state_dict()
+        classifier_before = model.classifier.state_dict()
+        dsq_before = model.dsq.state_dict()
+        fine_tune_dsq(
+            model, criterion, tiny_dataset, LossConfig(), quick_tc(), epochs=2
+        )
+        for key, value in model.backbone.state_dict().items():
+            assert np.array_equal(value, backbone_before[key])
+        for key, value in model.classifier.state_dict().items():
+            assert np.array_equal(value, classifier_before[key])
+        assert any(
+            not np.array_equal(model.dsq.state_dict()[k], dsq_before[k])
+            for k in dsq_before
+        )
+
+    def test_unfreezes_afterwards(self, tiny_dataset):
+        config = model_config_for(tiny_dataset)
+        trainer = Trainer(config, LossConfig(), quick_tc(epochs=1), seed=0)
+        model, criterion, _ = trainer.fit(tiny_dataset)
+        fine_tune_dsq(model, criterion, tiny_dataset, LossConfig(), quick_tc(), epochs=1)
+        assert all(p.requires_grad for p in model.backbone.parameters())
+        assert all(p.requires_grad for p in criterion.parameters())
+
+    def test_zero_epochs_is_noop(self, tiny_dataset):
+        config = model_config_for(tiny_dataset)
+        trainer = Trainer(config, LossConfig(), quick_tc(epochs=1), seed=0)
+        model, criterion, _ = trainer.fit(tiny_dataset)
+        history = fine_tune_dsq(
+            model, criterion, tiny_dataset, LossConfig(), quick_tc(), epochs=0
+        )
+        assert history.epochs == []
+
+
+class TestCodewordPermutationMotivation:
+    def test_example1_permuted_codebooks_average_badly(self):
+        # Example 1 of the paper: two permuted codebooks encode identically,
+        # but their naive mean loses the codeword structure entirely.
+        rng = np.random.default_rng(0)
+        codebook = rng.normal(size=(6, 4))
+        permutation = rng.permutation(6)
+        permuted = codebook[permutation]
+        averaged = (codebook + permuted) / 2.0
+        features = rng.normal(size=(50, 4))
+
+        def reconstruction_error(book):
+            distances = ((features[:, None] - book[None]) ** 2).sum(-1)
+            return distances.min(axis=1).mean()
+
+        assert reconstruction_error(codebook) == pytest.approx(
+            reconstruction_error(permuted)
+        )
+        assert reconstruction_error(averaged) > reconstruction_error(codebook)

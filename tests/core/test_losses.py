@@ -1,0 +1,199 @@
+"""Tests for the LightLT loss functions (Eqns. 12-16, Proposition 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import (
+    LightLTCriterion,
+    LossConfig,
+    center_loss,
+    ranking_loss,
+    triplet_loss,
+)
+from repro.nn import Tensor
+from repro.nn.gradcheck import check_gradient
+
+
+def clustered_embeddings(seed: int = 0, per_class: int = 8, classes: int = 3, dim: int = 5):
+    rng = np.random.default_rng(seed)
+    prototypes = rng.normal(size=(classes, dim)) * 4.0
+    labels = np.repeat(np.arange(classes), per_class)
+    points = prototypes[labels] + rng.normal(scale=0.3, size=(len(labels), dim))
+    return points, labels, prototypes
+
+
+class TestCenterLoss:
+    def test_zero_when_on_prototypes(self):
+        _, labels, prototypes = clustered_embeddings()
+        loss = center_loss(Tensor(prototypes[labels]), labels, Tensor(prototypes))
+        assert loss.item() < 1e-5
+
+    def test_grows_with_distance(self):
+        points, labels, prototypes = clustered_embeddings()
+        near = center_loss(Tensor(points), labels, Tensor(prototypes)).item()
+        far = center_loss(Tensor(points + 5.0), labels, Tensor(prototypes)).item()
+        assert far > near
+
+    def test_l1_variant(self):
+        points, labels, prototypes = clustered_embeddings()
+        loss = center_loss(Tensor(points), labels, Tensor(prototypes), p=1)
+        assert loss.item() > 0
+
+    def test_invalid_p(self):
+        points, labels, prototypes = clustered_embeddings()
+        with pytest.raises(ValueError):
+            center_loss(Tensor(points), labels, Tensor(prototypes), p=3)
+
+    def test_gradcheck(self):
+        points, labels, prototypes = clustered_embeddings(per_class=3)
+        protos = Tensor(prototypes)
+        ok, err = check_gradient(
+            lambda t: center_loss(t, labels, protos), points
+        )
+        assert ok, err
+
+
+class TestRankingLoss:
+    def test_lower_when_correctly_clustered(self):
+        points, labels, prototypes = clustered_embeddings()
+        good = ranking_loss(Tensor(points), labels, Tensor(prototypes)).item()
+        wrong_labels = (labels + 1) % 3
+        bad = ranking_loss(Tensor(points), wrong_labels, Tensor(prototypes)).item()
+        assert good < bad
+
+    def test_invalid_tau(self):
+        points, labels, prototypes = clustered_embeddings()
+        with pytest.raises(ValueError):
+            ranking_loss(Tensor(points), labels, Tensor(prototypes), tau=0.0)
+
+    def test_gradcheck_wrt_embeddings(self):
+        points, labels, prototypes = clustered_embeddings(per_class=3)
+        protos = Tensor(prototypes)
+        ok, err = check_gradient(
+            lambda t: ranking_loss(t, labels, protos, tau=1.5), points
+        )
+        assert ok, err
+
+    def test_gradcheck_wrt_prototypes(self):
+        points, labels, prototypes = clustered_embeddings(per_class=3)
+        emb = Tensor(points)
+        ok, err = check_gradient(
+            lambda t: ranking_loss(emb, labels, t), prototypes
+        )
+        assert ok, err
+
+
+class TestTripletAndProposition1:
+    def test_triplet_zero_for_perfectly_separated(self):
+        points, labels, _ = clustered_embeddings(per_class=4)
+        loss = triplet_loss(Tensor(points), labels, margin=0.0)
+        assert loss.item() < 0.5
+
+    def test_triplet_positive_when_mixed(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(12, 4))
+        labels = np.array([0, 1] * 6)
+        assert triplet_loss(Tensor(points), labels, margin=1.0).item() > 0
+
+    def test_triplet_degenerate_batches(self):
+        # Single class -> no negatives -> loss 0.
+        points = np.random.default_rng(1).normal(size=(5, 3))
+        assert triplet_loss(Tensor(points), np.zeros(5, dtype=int)).item() == 0.0
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_center_plus_ranking_tracks_triplet(self, seed):
+        # Proposition 1: L_c + L_r approximately upper-bounds the triplet
+        # loss (margin 0, tau=1). We verify the practical reading: whenever
+        # the triplet loss is large (bad clustering), the combined loss is
+        # at least as large.
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(12, 4)) * 2.0
+        labels = rng.integers(0, 3, size=12)
+        if len(np.unique(labels)) < 2:
+            return
+        prototypes = np.stack(
+            [
+                points[labels == c].mean(axis=0) if (labels == c).any() else np.zeros(4)
+                for c in range(3)
+            ]
+        )
+        combined = (
+            center_loss(Tensor(points), labels, Tensor(prototypes)).item()
+            + ranking_loss(Tensor(points), labels, Tensor(prototypes), tau=1.0).item()
+        )
+        triplet = triplet_loss(Tensor(points), labels, margin=0.0).item()
+        assert combined >= triplet - 1.0  # approximate bound, §III-D slack
+
+
+class TestCriterion:
+    def test_breakdown_contains_all_terms(self, tiny_dataset):
+        counts = np.bincount(tiny_dataset.train.labels, minlength=tiny_dataset.num_classes)
+        criterion = LightLTCriterion(
+            tiny_dataset.num_classes, 4, counts, LossConfig(), rng=0
+        )
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(10, tiny_dataset.num_classes)))
+        quantized = Tensor(rng.normal(size=(10, 4)))
+        embedding = Tensor(rng.normal(size=(10, 4)))
+        labels = rng.integers(0, tiny_dataset.num_classes, size=10)
+        breakdown = criterion(logits, quantized, labels, embedding=embedding)
+        values = breakdown.to_floats()
+        assert set(values) == {
+            "total",
+            "classification",
+            "center",
+            "ranking",
+            "reconstruction",
+        }
+        assert values["total"] > 0
+
+    def test_terms_can_be_disabled(self):
+        config = LossConfig(use_center=False, use_ranking=False, beta=0.0)
+        criterion = LightLTCriterion(3, 4, np.array([5, 3, 2]), config, rng=0)
+        rng = np.random.default_rng(1)
+        breakdown = criterion(
+            Tensor(rng.normal(size=(6, 3))),
+            Tensor(rng.normal(size=(6, 4))),
+            rng.integers(0, 3, size=6),
+            embedding=Tensor(rng.normal(size=(6, 4))),
+        )
+        assert breakdown.center is None
+        assert breakdown.ranking is None
+        assert breakdown.reconstruction is None
+        assert breakdown.total.item() == breakdown.classification.item()
+
+    def test_gamma_zero_equals_unweighted(self):
+        rng = np.random.default_rng(2)
+        logits = Tensor(rng.normal(size=(6, 3)))
+        quantized = Tensor(rng.normal(size=(6, 4)))
+        labels = rng.integers(0, 3, size=6)
+        flat = LightLTCriterion(
+            3, 4, np.array([100, 10, 1]), LossConfig(gamma=0.0, use_center=False, use_ranking=False, beta=0.0), rng=0
+        )
+        unweighted = LightLTCriterion(
+            3, 4, np.array([100, 10, 1]), LossConfig(use_class_weights=False, use_center=False, use_ranking=False, beta=0.0), rng=0
+        )
+        a = flat(logits, quantized, labels).total.item()
+        b = unweighted(logits, quantized, labels).total.item()
+        assert a == pytest.approx(b)
+
+    def test_count_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LightLTCriterion(3, 4, np.array([1, 2]), LossConfig(), rng=0)
+
+    def test_reconstruction_term_penalises_mismatch(self):
+        criterion = LightLTCriterion(
+            2, 3, np.array([4, 4]), LossConfig(use_center=False, use_ranking=False), rng=0
+        )
+        rng = np.random.default_rng(3)
+        logits = Tensor(rng.normal(size=(4, 2)))
+        labels = np.array([0, 1, 0, 1])
+        embedding = Tensor(rng.normal(size=(4, 3)))
+        matched = criterion(logits, embedding, labels, embedding=embedding)
+        mismatched = criterion(
+            logits, embedding + 2.0, labels, embedding=embedding
+        )
+        assert mismatched.reconstruction.item() > matched.reconstruction.item()

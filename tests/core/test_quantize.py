@@ -1,0 +1,120 @@
+"""Tests for the differentiable quantization step (Eqns. 3-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantize import (
+    codebook_usage,
+    codeword_similarities,
+    quantize_step,
+    usage_entropy,
+)
+from repro.nn import Parameter, Tensor
+
+
+def setup(seed: int = 0, n: int = 10, k: int = 6, d: int = 4):
+    rng = np.random.default_rng(seed)
+    inputs = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+    codebook = Parameter(rng.normal(size=(k, d)))
+    return inputs, codebook
+
+
+class TestSimilarities:
+    def test_neg_l2_matches_negative_distance(self):
+        inputs, codebook = setup()
+        sims = codeword_similarities(inputs, codebook, "neg_l2").data
+        direct = -(
+            ((inputs.data[:, None] - codebook.data[None]) ** 2).sum(-1)
+        )
+        assert np.allclose(sims, direct)
+
+    def test_dot_similarity(self):
+        inputs, codebook = setup()
+        sims = codeword_similarities(inputs, codebook, "dot").data
+        assert np.allclose(sims, inputs.data @ codebook.data.T)
+
+    def test_cosine_bounds(self):
+        inputs, codebook = setup()
+        sims = codeword_similarities(inputs, codebook, "cosine").data
+        assert (np.abs(sims) <= 1.0 + 1e-9).all()
+
+    def test_unknown_similarity(self):
+        inputs, codebook = setup()
+        with pytest.raises(ValueError):
+            codeword_similarities(inputs, codebook, "manhattan")
+
+
+class TestQuantizeStep:
+    def test_hard_forward_is_one_hot_argmax(self):
+        inputs, codebook = setup()
+        step = quantize_step(inputs, codebook)
+        assert np.allclose(step.assignment.data.sum(axis=1), 1.0)
+        assert np.array_equal(step.assignment.data.argmax(axis=1), step.codes)
+        assert set(np.unique(step.assignment.data)) <= {0.0, 1.0}
+
+    def test_decoded_is_selected_codeword(self):
+        inputs, codebook = setup()
+        step = quantize_step(inputs, codebook)
+        assert np.allclose(step.decoded.data, codebook.data[step.codes])
+
+    def test_nearest_codeword_selected_for_neg_l2(self):
+        inputs, codebook = setup()
+        step = quantize_step(inputs, codebook, similarity="neg_l2")
+        distances = ((inputs.data[:, None] - codebook.data[None]) ** 2).sum(-1)
+        assert np.array_equal(step.codes, distances.argmin(axis=1))
+
+    def test_soft_mode_returns_softmax(self):
+        inputs, codebook = setup()
+        step = quantize_step(inputs, codebook, hard=False)
+        assert np.allclose(step.assignment.data, step.soft_assignment.data)
+        assert not set(np.unique(step.assignment.data)) <= {0.0, 1.0}
+
+    def test_gradient_flows_to_codebook_and_inputs(self):
+        inputs, codebook = setup()
+        step = quantize_step(inputs, codebook, temperature=0.5)
+        (step.decoded**2).sum().backward()
+        assert codebook.grad is not None and np.abs(codebook.grad).sum() > 0
+        assert inputs.grad is not None and np.abs(inputs.grad).sum() > 0
+
+    def test_temperature_sharpens_soft_assignment(self):
+        inputs, codebook = setup()
+        sharp = quantize_step(inputs, codebook, temperature=0.1).soft_assignment.data
+        flat = quantize_step(inputs, codebook, temperature=10.0).soft_assignment.data
+        assert sharp.max(axis=1).mean() > flat.max(axis=1).mean()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_permutation_invariance_of_decoding(self, seed):
+        # Permuting codebook rows permutes the ids but not the decoded
+        # output — the fact that makes naive codebook averaging meaningless
+        # (Example 1 of the paper).
+        rng = np.random.default_rng(seed)
+        inputs = Tensor(rng.normal(size=(6, 3)))
+        codebook = Tensor(rng.normal(size=(5, 3)))
+        permutation = rng.permutation(5)
+        permuted = Tensor(codebook.data[permutation])
+        original = quantize_step(inputs, codebook)
+        shuffled = quantize_step(inputs, permuted)
+        assert np.allclose(original.decoded.data, shuffled.decoded.data)
+        assert np.array_equal(permutation[shuffled.codes], original.codes)
+
+
+class TestUsageDiagnostics:
+    def test_usage_sums_to_one(self):
+        usage = codebook_usage(np.array([0, 0, 1, 2]), 4)
+        assert np.isclose(usage.sum(), 1.0)
+        assert np.allclose(usage, [0.5, 0.25, 0.25, 0.0])
+
+    def test_entropy_uniform_is_one(self):
+        codes = np.arange(8)
+        assert usage_entropy(codes, 8) == pytest.approx(1.0)
+
+    def test_entropy_collapsed_is_zero(self):
+        assert usage_entropy(np.zeros(100, dtype=int), 8) == 0.0
+
+    def test_entropy_monotone_in_balance(self):
+        balanced = usage_entropy(np.arange(100) % 4, 8)
+        skewed = usage_entropy(np.zeros(100, dtype=int) + (np.arange(100) > 90), 8)
+        assert balanced > skewed

@@ -1,0 +1,67 @@
+"""Tests for residual k-means codebook warm-starting."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LightLT, LightLTConfig
+from repro.core.warmstart import residual_kmeans_codebooks, warm_start_codebooks
+
+
+class TestResidualKMeans:
+    def test_shapes(self):
+        features = np.random.default_rng(0).normal(size=(100, 6))
+        books = residual_kmeans_codebooks(features, 3, 8, rng=0)
+        assert books.shape == (3, 8, 6)
+
+    def test_later_levels_have_smaller_codewords(self):
+        # Residual magnitudes shrink level by level, so do fitted centroids.
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(300, 6)) * 3.0
+        books = residual_kmeans_codebooks(features, 3, 8, rng=0)
+        norms = [np.linalg.norm(books[m], axis=1).mean() for m in range(3)]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_reduces_reconstruction_error_vs_random(self):
+        from repro.retrieval.adc import encode_nearest, reconstruct
+
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(200, 6))
+        fitted = residual_kmeans_codebooks(features, 3, 8, rng=0)
+        random_books = rng.normal(size=(3, 8, 6))
+        err_fitted = (
+            (features - reconstruct(encode_nearest(features, fitted), fitted)) ** 2
+        ).mean()
+        err_random = (
+            (features - reconstruct(encode_nearest(features, random_books), random_books)) ** 2
+        ).mean()
+        assert err_fitted < err_random
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            residual_kmeans_codebooks(np.zeros((3, 4)), 2, 8, rng=0)
+
+
+class TestWarmStartModel:
+    def test_overwrites_main_codebooks(self):
+        config = LightLTConfig(
+            input_dim=6, num_classes=3, embed_dim=6, hidden_dims=(8,),
+            num_codebooks=2, num_codewords=4,
+        )
+        model = LightLT(config, rng=0)
+        before = [p.data.copy() for p in model.dsq.codebooks.main_codebooks]
+        features = np.random.default_rng(3).normal(size=(80, 6))
+        warm_start_codebooks(model, features, rng=0)
+        after = [p.data for p in model.dsq.codebooks.main_codebooks]
+        assert all(not np.allclose(a, b) for a, b in zip(before, after))
+
+    def test_improves_model_reconstruction(self):
+        config = LightLTConfig(
+            input_dim=6, num_classes=3, embed_dim=6, hidden_dims=(8,),
+            num_codebooks=2, num_codewords=8,
+        )
+        features = np.random.default_rng(4).normal(size=(100, 6))
+        model = LightLT(config, rng=0)
+        before = model.dsq.reconstruction_error(model.embed(features))
+        warm_start_codebooks(model, features, rng=0)
+        after = model.dsq.reconstruction_error(model.embed(features))
+        assert after < before

@@ -1,0 +1,75 @@
+"""Tests for DataLoader and BalancedDataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Split
+from repro.data.loader import BalancedDataLoader, DataLoader
+
+
+def make_split(n: int = 23, dim: int = 4) -> Split:
+    rng = np.random.default_rng(0)
+    return Split(rng.normal(size=(n, dim)), rng.integers(0, 3, size=n))
+
+
+class TestDataLoader:
+    def test_covers_every_item_once(self):
+        split = make_split()
+        loader = DataLoader(split, batch_size=5, rng=0)
+        seen = np.concatenate([y for _, y in loader])
+        assert len(seen) == len(split)
+        assert sorted(seen.tolist()) == sorted(split.labels.tolist())
+
+    def test_len_matches_iteration(self):
+        loader = DataLoader(make_split(23), batch_size=5, rng=0)
+        assert len(loader) == 5  # 4 full + 1 partial
+        assert sum(1 for _ in loader) == 5
+
+    def test_drop_last(self):
+        loader = DataLoader(make_split(23), batch_size=5, rng=0, drop_last=True)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert all(len(y) == 5 for _, y in batches)
+
+    def test_epochs_differ_with_shuffle(self):
+        loader = DataLoader(make_split(), batch_size=23, rng=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_deterministic_order(self):
+        split = make_split()
+        loader = DataLoader(split, batch_size=23, rng=0, shuffle=False)
+        _, labels = next(iter(loader))
+        assert np.array_equal(labels, split.labels)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_split(), batch_size=0)
+        with pytest.raises(ValueError):
+            DataLoader(Split(np.zeros((0, 2)), np.zeros(0, dtype=int)), batch_size=1)
+
+    def test_features_match_labels(self):
+        split = make_split()
+        loader = DataLoader(split, batch_size=7, rng=1)
+        lookup = {tuple(row): label for row, label in zip(split.features, split.labels)}
+        for features, labels in loader:
+            for row, label in zip(features, labels):
+                assert lookup[tuple(row)] == label
+
+
+class TestBalancedDataLoader:
+    def test_oversamples_tail(self):
+        rng = np.random.default_rng(1)
+        labels = np.array([0] * 95 + [1] * 5)
+        split = Split(rng.normal(size=(100, 3)), labels)
+        loader = BalancedDataLoader(split, batch_size=64, rng=0, num_batches=30)
+        seen = np.concatenate([y for _, y in loader])
+        fraction_tail = (seen == 1).mean()
+        assert 0.4 < fraction_tail < 0.6  # near-uniform despite 5% prevalence
+
+    def test_num_batches_respected(self):
+        split = make_split(50)
+        loader = BalancedDataLoader(split, batch_size=10, rng=0, num_batches=7)
+        assert len(loader) == 7
+        assert sum(1 for _ in loader) == 7

@@ -1,0 +1,148 @@
+"""Tests for Definition 1 machinery: Zipf sizes, IF, class weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.longtail import (
+    LongTailSpec,
+    class_counts,
+    class_weights,
+    head_tail_split,
+    imbalance_factor,
+    labels_from_sizes,
+    zipf_class_sizes,
+    zipf_exponent,
+)
+
+
+class TestZipf:
+    def test_exponent_matches_definition(self):
+        # IF = C^p  =>  sizes[0]/sizes[-1] == IF exactly before rounding.
+        p = zipf_exponent(100, 50.0)
+        assert np.isclose(100.0**p, 50.0)
+
+    def test_sizes_are_sorted_descending(self):
+        sizes = zipf_class_sizes(100, 500, 50)
+        assert (np.diff(sizes) <= 0).all()
+
+    def test_head_and_tail_sizes(self):
+        sizes = zipf_class_sizes(100, 500, 50)
+        assert sizes[0] == 500
+        assert sizes[-1] == 10  # 500 / 50
+
+    def test_if_100_halves_the_tail(self):
+        tail_50 = zipf_class_sizes(100, 500, 50)[-1]
+        tail_100 = zipf_class_sizes(100, 500, 100)[-1]
+        assert tail_100 == tail_50 // 2
+
+    def test_min_size_floor(self):
+        sizes = zipf_class_sizes(100, 10, 100, min_size=1)
+        assert sizes.min() == 1
+
+    @given(
+        st.integers(2, 200),
+        st.integers(10, 2000),
+        st.floats(1.0, 500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_monotone_and_bounded(self, c, head, factor):
+        sizes = zipf_class_sizes(c, head, factor)
+        assert len(sizes) == c
+        assert sizes.max() <= head
+        assert (sizes >= 1).all()
+        assert (np.diff(sizes) <= 0).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_exponent(1, 50)
+        with pytest.raises(ValueError):
+            zipf_exponent(10, 0.5)
+
+
+class TestImbalanceFactor:
+    def test_measures_ratio(self):
+        assert imbalance_factor(np.array([100, 10, 2])) == 50.0
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            imbalance_factor(np.array([]))
+        with pytest.raises(ValueError):
+            imbalance_factor(np.array([5, 0]))
+
+    def test_roundtrip_with_zipf(self):
+        sizes = zipf_class_sizes(50, 1000, 100)
+        assert imbalance_factor(sizes) == pytest.approx(100, rel=0.05)
+
+
+class TestLabels:
+    def test_labels_match_counts(self):
+        sizes = np.array([5, 3, 2])
+        labels = labels_from_sizes(sizes, rng=0)
+        assert len(labels) == 10
+        assert np.array_equal(class_counts(labels, 3), sizes)
+
+    def test_shuffle_flag(self):
+        sizes = np.array([3, 3])
+        ordered = labels_from_sizes(sizes, rng=0, shuffle=False)
+        assert np.array_equal(ordered, [0, 0, 0, 1, 1, 1])
+
+    def test_class_counts_includes_missing_classes(self):
+        counts = class_counts(np.array([0, 0, 2]), 4)
+        assert np.array_equal(counts, [2, 0, 1, 0])
+
+
+class TestClassWeights:
+    def test_gamma_zero_is_uniform(self):
+        weights = class_weights(np.array([100, 10, 1]), gamma=0.0)
+        assert np.allclose(weights, 1.0)
+
+    def test_tail_gets_larger_weight(self):
+        weights = class_weights(np.array([1000, 10, 1]), gamma=0.999)
+        assert weights[2] > weights[1] > weights[0]
+
+    def test_weights_mean_normalised(self):
+        counts = np.array([500, 50, 5])
+        weights = class_weights(counts, gamma=0.99)
+        assert np.isclose(weights.mean(), 1.0)
+
+    @given(st.floats(0.0, 0.9999), st.lists(st.integers(1, 10_000), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_positive_and_antitone(self, gamma, counts):
+        counts = np.array(counts)
+        weights = class_weights(counts, gamma)
+        assert (weights > 0).all()
+        # Rarer class never gets smaller weight than a more common class.
+        order = np.argsort(counts)
+        sorted_weights = weights[order]
+        assert all(
+            sorted_weights[i] >= sorted_weights[i + 1] - 1e-9
+            for i in range(len(sorted_weights) - 1)
+        )
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            class_weights(np.array([1, 2]), gamma=1.0)
+        with pytest.raises(ValueError):
+            class_weights(np.array([1, 2]), gamma=-0.1)
+
+
+class TestSpecAndSplit:
+    def test_spec_total_and_tail(self):
+        spec = LongTailSpec(num_classes=100, head_size=500, imbalance_factor=50)
+        assert spec.tail_size == 10
+        assert spec.total == spec.sizes().sum()
+
+    def test_head_tail_split_covers_all_classes(self):
+        sizes = zipf_class_sizes(20, 100, 50)
+        head, tail = head_tail_split(sizes)
+        assert len(head) + len(tail) == 20
+        assert set(head).isdisjoint(tail)
+
+    def test_head_holds_majority(self):
+        sizes = zipf_class_sizes(20, 100, 50)
+        head, _ = head_tail_split(sizes, head_fraction=0.5)
+        assert sizes[head].sum() >= 0.5 * sizes.sum()
+        # Heads are the largest classes.
+        assert sizes[head].min() >= sizes[np.setdiff1d(np.arange(20), head)].max()

@@ -1,0 +1,99 @@
+"""Tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Split
+from repro.data.registry import (
+    IMAGE_DATASETS,
+    PROFILES,
+    TEXT_DATASETS,
+    available_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_four_datasets_available(self):
+        assert available_datasets() == ["cifar100", "imagenet100", "nc", "qba"]
+        assert set(IMAGE_DATASETS) | set(TEXT_DATASETS) == set(available_datasets())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_invalid_if(self):
+        with pytest.raises(ValueError):
+            load_dataset("nc", imbalance_factor=75)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("nc", scale="huge")
+
+
+class TestCIScale:
+    @pytest.mark.parametrize("name", ["cifar100", "imagenet100", "nc", "qba"])
+    @pytest.mark.parametrize("factor", [50, 100])
+    def test_all_variants_materialise(self, name, factor):
+        ds = load_dataset(name, factor, scale="ci", seed=0)
+        profile = PROFILES[name]
+        assert ds.num_classes == profile.num_classes
+        assert len(ds.query) == profile.ci_n_query
+        assert len(ds.database) == profile.ci_n_db
+        assert ds.train.dim == ds.query.dim == ds.database.dim == profile.ci_dim
+
+    def test_train_is_longtailed(self):
+        ds = load_dataset("nc", 100, scale="ci", seed=0)
+        assert ds.measured_imbalance_factor() >= 20  # clearly imbalanced
+
+    def test_query_and_db_are_balanced(self):
+        ds = load_dataset("nc", 50, scale="ci", seed=0)
+        counts = np.bincount(ds.database.labels, minlength=ds.num_classes)
+        assert counts.max() - counts.min() <= 1
+
+    def test_reproducible_by_seed(self):
+        a = load_dataset("qba", 50, scale="ci", seed=3)
+        b = load_dataset("qba", 50, scale="ci", seed=3)
+        assert np.allclose(a.train.features, b.train.features)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("qba", 50, scale="ci", seed=3)
+        b = load_dataset("qba", 50, scale="ci", seed=4)
+        assert not np.allclose(a.train.features[: len(b.train.features)], b.train.features[: len(a.train.features)])
+
+    def test_if_variants_share_corpus_geometry(self):
+        # Same (name, seed) => same underlying feature model, per the paper
+        # where IF=50/100 are subsamples of one corpus.
+        a = load_dataset("nc", 50, scale="ci", seed=5)
+        b = load_dataset("nc", 100, scale="ci", seed=5)
+        mean_a = np.stack([a.database.features[a.database.labels == c].mean(0) for c in range(10)])
+        mean_b = np.stack([b.database.features[b.database.labels == c].mean(0) for c in range(10)])
+        assert np.linalg.norm(mean_a - mean_b, axis=1).max() < 0.5
+
+
+class TestPaperScale:
+    def test_cifar_matches_table1(self):
+        ds = load_dataset("cifar100", 50, scale="paper", seed=0)
+        summary = ds.summary()
+        assert summary["pi_1"] == 500
+        assert summary["pi_C"] == 10
+        assert summary["n_query"] == 10_000
+        assert summary["n_db"] == 50_000
+        # Table I reports 3,732; rounding of the Zipf tail gives a close total.
+        assert abs(summary["n_train"] - 3_732) < 200
+
+    def test_nc_db_size_depends_on_if(self):
+        assert PROFILES["nc"].paper_n_db[50] == 65_000
+        assert PROFILES["nc"].paper_n_db[100] == 72_000
+
+
+class TestSplitValidation:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Split(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_subset(self):
+        split = Split(np.arange(10).reshape(5, 2), np.arange(5))
+        sub = split.subset(np.array([0, 2]))
+        assert len(sub) == 2
+        assert np.array_equal(sub.labels, [0, 2])

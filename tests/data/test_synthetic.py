@@ -1,0 +1,73 @@
+"""Tests for the synthetic feature-model substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import hierarchy_feature_model, make_feature_model
+
+
+class TestMakeFeatureModel:
+    def test_prototypes_on_sphere(self):
+        model = make_feature_model(10, 16, separation=2.5, intra_sigma=0.5, rng=0)
+        norms = np.linalg.norm(model.means, axis=1)
+        assert np.allclose(norms, 2.5)
+
+    def test_sample_shapes_and_class_structure(self):
+        model = make_feature_model(5, 8, separation=4.0, intra_sigma=0.3, rng=0)
+        labels = np.repeat(np.arange(5), 20)
+        features = model.sample(labels, rng=1)
+        assert features.shape == (100, 8)
+        class_means = np.stack([features[labels == c].mean(axis=0) for c in range(5)])
+        # Empirical class means land near the prototypes.
+        assert np.linalg.norm(class_means - model.means, axis=1).max() < 0.5
+
+    def test_same_seed_same_sample(self):
+        model = make_feature_model(3, 6, 2.0, 0.5, rng=0)
+        labels = np.array([0, 1, 2])
+        assert np.allclose(model.sample(labels, rng=5), model.sample(labels, rng=5))
+
+    def test_labels_out_of_range_raise(self):
+        model = make_feature_model(3, 6, 2.0, 0.5, rng=0)
+        with pytest.raises(ValueError):
+            model.sample(np.array([3]), rng=0)
+
+    def test_nuisance_adds_shared_variance(self):
+        plain = make_feature_model(4, 16, 2.0, 0.5, rng=0)
+        noisy = make_feature_model(
+            4, 16, 2.0, 0.5, rng=0, nuisance_dim=4, nuisance_sigma=1.0
+        )
+        labels = np.zeros(500, dtype=int)
+        var_plain = plain.sample(labels, rng=1).var()
+        var_noisy = noisy.sample(labels, rng=1).var()
+        assert var_noisy > var_plain
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_feature_model(3, 1, 2.0, 0.5, rng=0)
+        with pytest.raises(ValueError):
+            make_feature_model(3, 8, -1.0, 0.5, rng=0)
+        with pytest.raises(ValueError):
+            make_feature_model(3, 8, 1.0, 0.0, rng=0)
+
+
+class TestHierarchyModel:
+    def test_siblings_are_closer_than_strangers(self):
+        model = hierarchy_feature_model(
+            num_classes=8,
+            dim=16,
+            num_superclasses=4,
+            separation=5.0,
+            sub_separation=1.0,
+            intra_sigma=0.2,
+            rng=0,
+        )
+        # Classes c and c+4 share a superclass (assignment = c % 4).
+        sibling = np.linalg.norm(model.means[0] - model.means[4])
+        means_to_others = [
+            np.linalg.norm(model.means[0] - model.means[j]) for j in (1, 2, 3)
+        ]
+        assert sibling < min(means_to_others)
+
+    def test_invalid_superclass_count(self):
+        with pytest.raises(ValueError):
+            hierarchy_feature_model(4, 8, 5, 3.0, 1.0, 0.3, rng=0)

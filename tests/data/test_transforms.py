@@ -1,0 +1,53 @@
+"""Tests for feature-space transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import Standardizer, add_gaussian_noise, center
+
+
+class TestStandardizer:
+    def test_fit_transform_normalises(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(500, 4))
+        z = Standardizer().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_transform_uses_training_statistics(self):
+        train = np.random.default_rng(1).normal(2.0, 1.0, size=(100, 3))
+        scaler = Standardizer().fit(train)
+        test = np.zeros((1, 3))
+        assert np.allclose(scaler.transform(test), -scaler.mean / scaler.std)
+
+    def test_constant_feature_is_safe(self):
+        x = np.ones((10, 2))
+        z = Standardizer().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((2, 2)))
+
+
+class TestCenterAndNoise:
+    def test_center_removes_mean(self):
+        x = np.random.default_rng(2).normal(3.0, 1.0, size=(50, 4))
+        centered, means = center(x)
+        assert np.allclose(centered.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(means, x.mean(axis=0))
+
+    def test_noise_zero_sigma_is_copy(self):
+        x = np.arange(6.0).reshape(2, 3)
+        noisy = add_gaussian_noise(x, 0.0, np.random.default_rng(0))
+        assert np.array_equal(noisy, x)
+        assert noisy is not x
+
+    def test_noise_scale(self):
+        x = np.zeros((2000, 4))
+        noisy = add_gaussian_noise(x, 0.5, np.random.default_rng(0))
+        assert abs(noisy.std() - 0.5) < 0.05
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            add_gaussian_noise(np.zeros((2, 2)), -1.0, np.random.default_rng(0))

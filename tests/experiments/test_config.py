@@ -1,0 +1,75 @@
+"""Tests for the canonical experiment configurations."""
+
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments import (
+    PAPER_MAP,
+    PAPER_TABLE4,
+    default_ensemble_config,
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+
+
+class TestDefaults:
+    def test_model_config_matches_dataset(self):
+        dataset = load_dataset("nc", 50)
+        config = default_model_config(dataset)
+        assert config.input_dim == dataset.dim
+        assert config.num_classes == dataset.num_classes
+        assert config.num_codebooks == 4  # the paper's M
+
+    def test_text_regime_is_discriminative(self):
+        dataset = load_dataset("qba", 50)
+        loss = default_loss_config(dataset)
+        training = default_training_config(dataset)
+        assert loss.beta == 0.0
+        assert loss.alpha == pytest.approx(0.1)
+        assert training.schedule == "linear_warmup"
+        assert training.backbone_lr_scale == 1.0
+        assert not training.warm_start
+
+    def test_image_regime_is_conservative(self):
+        dataset = load_dataset("cifar100", 50)
+        loss = default_loss_config(dataset)
+        training = default_training_config(dataset)
+        assert loss.beta > 0
+        assert training.schedule == "cosine"
+        assert training.backbone_lr_scale < 1.0
+        assert training.warm_start
+
+    def test_fast_flag_trims_epochs(self):
+        dataset = load_dataset("nc", 50)
+        assert (
+            default_training_config(dataset, fast=True).epochs
+            < default_training_config(dataset, fast=False).epochs
+        )
+
+    def test_ensemble_defaults(self):
+        assert default_ensemble_config().num_members == 4  # paper's n
+        assert default_ensemble_config(fast=True).num_members == 2
+
+
+class TestPaperReferenceData:
+    def test_every_dataset_has_lightlt_rows(self):
+        for dataset, rows in PAPER_MAP.items():
+            assert "LightLT" in rows, dataset
+            assert "LightLT w/o ensemble" in rows, dataset
+
+    def test_paper_ordering_lightlt_on_top(self):
+        # The reference numbers themselves encode the paper's headline
+        # claim: LightLT has the highest MAP in every column.
+        for dataset, rows in PAPER_MAP.items():
+            for factor in (50, 100):
+                best = max(rows, key=lambda m: rows[m][factor])
+                assert best == "LightLT", (dataset, factor)
+
+    def test_paper_if100_never_beats_if50_for_lightlt(self):
+        for rows in PAPER_MAP.values():
+            assert rows["LightLT"][100] <= rows["LightLT"][50]
+
+    def test_table4_reference_dsq_always_wins(self):
+        for scores in PAPER_TABLE4.values():
+            assert scores["DSQ"] > scores["Residual"]

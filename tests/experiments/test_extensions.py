@@ -1,0 +1,59 @@
+"""Tests for the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_hierarchical_dataset,
+    format_mitigation,
+    format_proposition1,
+    run_proposition1,
+)
+
+
+class TestProposition1:
+    def test_points_and_formatting(self):
+        points = run_proposition1(batch_sizes=(8, 16), repeats=1)
+        assert [p.batch_size for p in points] == [8, 16]
+        for point in points:
+            assert point.surrogate_seconds > 0
+            assert point.triplet_seconds > 0
+            assert point.speedup > 0
+        text = format_proposition1(points)
+        assert "Proposition 1" in text
+
+    def test_surrogate_bounds_triplet_on_clustered_batches(self):
+        points = run_proposition1(batch_sizes=(32,), repeats=1)
+        assert points[0].surrogate_value >= points[0].triplet_value - 1e-6
+
+
+class TestHierarchicalDataset:
+    def test_structure(self):
+        dataset = build_hierarchical_dataset(seed=1)
+        assert dataset.num_classes == 20
+        assert dataset.measured_imbalance_factor() > 5
+        assert len(dataset.query) == 200
+        assert dataset.validation is not None
+
+    def test_siblings_are_feature_neighbours(self):
+        dataset = build_hierarchical_dataset(seed=2)
+        db = dataset.database
+        means = np.stack(
+            [db.features[db.labels == c].mean(axis=0) for c in range(dataset.num_classes)]
+        )
+        # Class c and c+5 share a superclass (assignment = c % 5); siblings
+        # must be nearer than the average inter-class distance.
+        sibling = np.linalg.norm(means[0] - means[5])
+        all_dists = np.linalg.norm(means[0] - means[1:], axis=1)
+        assert sibling < all_dists.mean()
+
+    def test_reproducible(self):
+        a = build_hierarchical_dataset(seed=3)
+        b = build_hierarchical_dataset(seed=3)
+        assert np.allclose(a.train.features, b.train.features)
+
+
+class TestMitigationFormatting:
+    def test_table_renders(self):
+        text = format_mitigation([("none", 0.2), ("re-weighting", 0.25)], "demo")
+        assert "re-weighting" in text and "0.25" in text

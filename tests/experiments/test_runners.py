@@ -1,0 +1,153 @@
+"""Smoke and shape tests for the experiment runners (tables & figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ascii_scatter,
+    format_comparison,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_series,
+    format_table,
+    format_table1,
+    format_table4,
+    run_comparison,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table4,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("x", ["y"], [1, 2], [[0.1, 0.2]])
+        assert "0.1" in text and "0.2" in text
+
+    def test_ascii_scatter_output(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate([rng.normal(0, 0.2, (10, 2)), rng.normal(4, 0.2, (10, 2))])
+        labels = np.array([0] * 10 + [1] * 10)
+        art = ascii_scatter(points, labels, width=20, height=8)
+        assert "o" in art and "x" in art and "class" in art
+
+    def test_ascii_scatter_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((3, 3)), np.zeros(3))
+
+
+class TestTable1AndFig4:
+    def test_table1_has_eight_rows(self):
+        rows = run_table1(scale="ci")
+        assert len(rows) == 8
+        assert {row["name"] for row in rows} == {"cifar100", "imagenet100", "nc", "qba"}
+        text = format_table1(rows)
+        assert "Table I" in text
+
+    def test_fig4_curves_are_loglinear(self):
+        curves = run_fig4(scale="ci")
+        assert len(curves) == 8
+        for key, curve in curves.items():
+            # log10 sizes against log(index) must be near-linear (Zipf).
+            x = np.log10(np.arange(1, len(curve) + 1))
+            slope, intercept = np.polyfit(x, curve, 1)
+            residuals = curve - (slope * x + intercept)
+            assert np.abs(residuals).max() < 0.25, key
+            assert slope < 0
+        assert "Fig. 4" in format_fig4(curves)
+
+
+class TestComparisonRunner:
+    @pytest.fixture(scope="class")
+    def nc_results(self):
+        # One real (tiny) run shared by the assertions below.
+        return run_comparison(
+            "nc", 50, scale="ci", seed=0, fast=True,
+            methods=[], include_lightlt=True,
+        )
+
+    def test_lightlt_rows_present(self, nc_results):
+        names = [r.method for r in nc_results]
+        assert names == ["LightLT w/o ensemble", "LightLT"]
+        assert all(0.0 <= r.map_score <= 1.0 for r in nc_results)
+
+    def test_paper_reference_attached(self, nc_results):
+        assert nc_results[-1].paper_map == pytest.approx(0.6560)
+
+    def test_format_comparison(self, nc_results):
+        text = format_comparison(nc_results, "demo")
+        assert "LightLT" in text and "nc IF=50" in text
+
+
+class TestAblationRunners:
+    def test_fig5_full_loss_at_least_matches_ce(self):
+        results = run_fig5(
+            dataset_names=("nc",), imbalance_factors=(50,), fast=True
+        )
+        by_variant = {r.variant: r.map_score for r in results}
+        assert set(by_variant) == {"CE only", "full loss"}
+        assert by_variant["full loss"] > by_variant["CE only"] - 0.05
+        assert "Fig. 5" in format_fig5(results)
+
+    def test_table4_runs_both_variants(self):
+        results = run_table4(
+            dataset_names=("nc",), imbalance_factors=(50,), fast=True
+        )
+        variants = {r.variant for r in results}
+        assert variants == {"Residual", "DSQ"}
+        assert "Table IV" in format_table4(results)
+
+    def test_fig6_formatting(self):
+        from repro.experiments import AblationResult
+
+        results = [
+            AblationResult("nc", 50, "w/o ensemble", 0.6),
+            AblationResult("nc", 50, "2 models", 0.62),
+        ]
+        assert "Fig. 6" in format_fig6(results)
+
+
+class TestEfficiencyRunner:
+    def test_fig7_shapes_and_monotonicity(self):
+        measurements = run_fig7(
+            fractions=(0.01, 0.1, 1.0), scale="ci", fast=True, repeats=1
+        )
+        fractions = [m.fraction for m in measurements]
+        assert fractions == [0.01, 0.1, 1.0]
+        compressions = [m.measured_compression for m in measurements]
+        assert compressions == sorted(compressions)
+        assert "Fig. 7" in format_fig7(measurements)
+
+
+class TestVisualizationRunner:
+    def test_fig8_produces_embeddings_and_scores(self):
+        results = run_fig8(
+            classes=(0, 4, 9),
+            points_per_class=12,
+            fast=True,
+            tsne_iterations=60,
+            dataset_name="nc",
+        )
+        assert [r.variant for r in results] == [
+            "CE",
+            "CE+center",
+            "CE+center+ranking",
+        ]
+        for result in results:
+            assert result.coordinates.shape == (36, 2)
+            assert -1.0 <= result.silhouette <= 1.0
+        text = format_fig8(results, with_scatter=True)
+        assert "silhouette" in text

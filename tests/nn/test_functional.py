@@ -1,0 +1,180 @@
+"""Tests for composite differentiable functions, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradient
+
+finite_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 5), st.integers(2, 6)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestSoftmax:
+    @given(finite_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_rows_sum_to_one(self, x):
+        probs = F.softmax(Tensor(x), axis=-1).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_temperature_sharpens(self):
+        logits = Tensor([[1.0, 2.0, 3.0]])
+        hot = F.softmax(logits, temperature=0.1).data
+        warm = F.softmax(logits, temperature=10.0).data
+        assert hot.max() > warm.max()
+
+    def test_low_temperature_approaches_one_hot(self):
+        logits = Tensor([[1.0, 2.0, 5.0]])
+        probs = F.softmax(logits, temperature=0.01).data
+        assert probs[0, 2] > 0.999
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            F.softmax(Tensor([[1.0]]), temperature=0.0)
+
+    def test_numerical_stability_large_logits(self):
+        probs = F.softmax(Tensor([[1e4, 0.0]])).data
+        assert np.isfinite(probs).all()
+
+    def test_gradient(self):
+        rng = np.random.default_rng(0)
+        ok, err = check_gradient(
+            lambda t: (F.softmax(t, temperature=0.5) ** 2).sum(),
+            rng.normal(size=(3, 4)),
+        )
+        assert ok, err
+
+
+class TestLogSoftmaxAndCrossEntropy:
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.default_rng(1).normal(size=(4, 5))
+        assert np.allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data)
+        )
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[20.0, 0.0], [0.0, 20.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform_equals_log_c(self):
+        logits = Tensor(np.zeros((3, 7)))
+        loss = F.cross_entropy(logits, np.array([0, 3, 6]))
+        assert np.isclose(loss.item(), np.log(7))
+
+    def test_weighted_cross_entropy_gradient(self):
+        rng = np.random.default_rng(2)
+        labels = np.array([0, 2, 1])
+        weights = np.array([1.0, 2.0, 0.5])
+        ok, err = check_gradient(
+            lambda t: F.cross_entropy(t, labels, weights=weights),
+            rng.normal(size=(3, 3)),
+        )
+        assert ok, err
+
+    def test_weights_reweight_samples(self):
+        logits = Tensor(np.array([[4.0, 0.0], [0.0, 1.0]]))
+        labels = np.array([1, 0])  # both wrong, by different margins
+        uniform = F.cross_entropy(logits, labels).item()
+        upweight_worst = F.cross_entropy(
+            logits, labels, weights=np.array([0.5, 2.0])
+        ).item()
+        # Class-1 sample (the badly-wrong one) carries weight 2 -> loss rises.
+        assert upweight_worst > uniform
+
+
+class TestOneHotAndSTE:
+    def test_one_hot_shape_and_values(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        assert encoded.shape == (2, 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_straight_through_forward_is_hard(self):
+        soft = F.softmax(Tensor(np.random.default_rng(3).normal(size=(4, 5)), requires_grad=True))
+        hard = F.one_hot(soft.data.argmax(axis=1), 5)
+        st_out = F.straight_through(hard, soft)
+        assert np.allclose(st_out.data, hard)
+
+    def test_straight_through_backward_is_soft(self):
+        logits = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        soft = F.softmax(logits)
+        hard = F.one_hot(soft.data.argmax(axis=1), 2)
+        F.straight_through(hard, soft).sum().backward()
+        # Gradient of sum(softmax) wrt logits is 0 (rows sum to 1), so the
+        # STE path must produce exactly that, not the (zero-grad) hard path.
+        assert logits.grad is not None
+        assert np.allclose(logits.grad, 0.0, atol=1e-12)
+
+    def test_straight_through_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            F.straight_through(np.zeros((2, 3)), Tensor(np.zeros((2, 2))))
+
+
+class TestDistances:
+    def test_pairwise_sq_matches_direct(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(4, 3))
+        direct = ((a[:, None, :] - b[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(F.pairwise_sq_distances(Tensor(a), Tensor(b)).data, direct)
+
+    def test_pairwise_distances_non_negative(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(6, 4))
+        d = F.pairwise_distances(Tensor(a), Tensor(a)).data
+        assert (d >= 0).all()
+        assert np.allclose(np.diag(d), 0.0, atol=1e-5)
+
+    def test_cosine_similarity_bounds(self):
+        rng = np.random.default_rng(6)
+        sims = F.cosine_similarity(
+            Tensor(rng.normal(size=(5, 4))), Tensor(rng.normal(size=(3, 4)))
+        ).data
+        assert (sims <= 1.0 + 1e-9).all() and (sims >= -1.0 - 1e-9).all()
+
+    def test_cosine_self_similarity_is_one(self):
+        x = np.random.default_rng(7).normal(size=(4, 6))
+        sims = F.cosine_similarity(Tensor(x), Tensor(x)).data
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_l2_normalize(self):
+        x = np.random.default_rng(8).normal(size=(5, 3))
+        norms = np.linalg.norm(F.l2_normalize(Tensor(x)).data, axis=1)
+        assert np.allclose(norms, 1.0)
+
+
+class TestDropoutAndMSE:
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(9)
+        x = Tensor(np.ones((2000, 10)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0), training=True)
+
+    def test_mse_zero_for_identical(self):
+        x = Tensor(np.arange(5.0))
+        assert F.mse(x, Tensor(np.arange(5.0))).item() == 0.0
+
+    def test_mse_gradient(self):
+        target = Tensor(np.array([1.0, 2.0, 3.0]))
+        ok, err = check_gradient(lambda t: F.mse(t, target), np.zeros(3))
+        assert ok, err

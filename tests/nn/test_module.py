@@ -1,0 +1,154 @@
+"""Tests for the Module system: traversal, state dicts, freezing, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+    average_state_dicts,
+)
+
+
+def make_mlp(seed: int = 0) -> MLP:
+    return MLP([4, 8, 3], np.random.default_rng(seed), dropout=0.5)
+
+
+class TestTraversal:
+    def test_named_parameters_are_unique_and_dotted(self):
+        mlp = make_mlp()
+        names = [name for name, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+        assert all("." in name for name in names)
+
+    def test_parameters_count_linear(self):
+        linear = Linear(4, 3, np.random.default_rng(0))
+        assert len(linear.parameters()) == 2  # weight + bias
+
+    def test_linear_without_bias(self):
+        linear = Linear(4, 3, np.random.default_rng(0), bias=False)
+        assert len(linear.parameters()) == 1
+
+    def test_parameters_in_lists_are_found(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.items = [Parameter(np.zeros(2)), Parameter(np.ones(3))]
+
+        assert len(Holder().parameters()) == 2
+
+    def test_modules_iterates_depth(self):
+        mlp = make_mlp()
+        kinds = {type(m).__name__ for m in mlp.modules()}
+        assert {"MLP", "Sequential", "Linear"} <= kinds
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = make_mlp(0), make_mlp(1)
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        mlp = make_mlp()
+        state = mlp.state_dict()
+        key = next(iter(state))
+        state[key] += 100.0
+        assert not np.array_equal(dict(mlp.named_parameters())[key].data, state[key])
+
+    def test_missing_key_raises(self):
+        mlp = make_mlp()
+        state = mlp.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        mlp = make_mlp()
+        state = mlp.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        mlp = make_mlp()
+        state = mlp.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+
+class TestAverageStateDicts:
+    def test_mean_of_two(self):
+        a, b = make_mlp(0), make_mlp(1)
+        avg = average_state_dicts([a.state_dict(), b.state_dict()])
+        key = next(iter(avg))
+        expected = (a.state_dict()[key] + b.state_dict()[key]) / 2.0
+        assert np.allclose(avg[key], expected)
+
+    def test_single_state_is_identity(self):
+        a = make_mlp(0)
+        avg = average_state_dicts([a.state_dict()])
+        for key, value in a.state_dict().items():
+            assert np.allclose(avg[key], value)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_state_dicts([])
+
+    def test_mismatched_keys_raise(self):
+        a = make_mlp(0).state_dict()
+        b = dict(a)
+        b["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            average_state_dicts([a, b])
+
+
+class TestModesAndFreezing:
+    def test_train_eval_propagates(self):
+        mlp = make_mlp()
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_dropout_respects_mode(self):
+        rng = np.random.default_rng(0)
+        drop = Dropout(0.9, rng)
+        x = Tensor(np.ones((4, 4)))
+        drop.eval()
+        assert np.array_equal(drop(x).data, x.data)
+        drop.train()
+        assert not np.array_equal(drop(x).data, x.data)
+
+    def test_freeze_blocks_gradients(self):
+        mlp = make_mlp()
+        mlp.eval()
+        mlp.freeze()
+        out = mlp(Tensor(np.ones((2, 4)))).sum()
+        assert not out.requires_grad
+        mlp.unfreeze()
+        out = mlp(Tensor(np.ones((2, 4)))).sum()
+        assert out.requires_grad
+
+    def test_zero_grad_clears_all(self):
+        mlp = make_mlp()
+        mlp.eval()
+        mlp(Tensor(np.ones((2, 4)))).sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestSequential:
+    def test_iteration_and_len(self):
+        seq = Sequential(Linear(2, 2, np.random.default_rng(0)))
+        assert len(seq) == 1
+        assert list(seq)

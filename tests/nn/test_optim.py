@@ -1,0 +1,108 @@
+"""Tests for SGD / Adam / AdamW, including parameter groups."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, AdamW, Parameter, Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    return (param * param).sum()
+
+
+def run_steps(optimizer, param: Parameter, steps: int = 50):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        quadratic_loss(param).backward()
+        optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        run_steps(SGD([p], lr=0.1), p)
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        slow = Parameter(np.array([5.0]))
+        fast = Parameter(np.array([5.0]))
+        run_steps(SGD([slow], lr=0.01), slow, steps=20)
+        run_steps(SGD([fast], lr=0.01, momentum=0.9), fast, steps=20)
+        assert abs(fast.data[0]) < abs(slow.data[0])
+
+    def test_weight_decay_shrinks_without_gradient_signal(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        for _ in range(10):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no backward happened
+        assert p.data[0] == 1.0
+
+
+class TestAdamFamily:
+    def test_adam_converges(self):
+        p = Parameter(np.array([4.0, -4.0]))
+        run_steps(Adam([p], lr=0.2), p, steps=300)
+        assert np.abs(p.data).max() < 0.05
+
+    def test_adamw_converges(self):
+        p = Parameter(np.array([4.0, -4.0]))
+        run_steps(AdamW([p], lr=0.2, weight_decay=1e-3), p, steps=300)
+        assert np.abs(p.data).max() < 0.05
+
+    def test_adamw_decoupled_decay_acts_without_gradients(self):
+        p = Parameter(np.array([2.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero gradient
+        opt.step()
+        assert p.data[0] < 2.0  # decay still applied
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestParameterGroups:
+    def test_lr_scale_slows_group(self):
+        fast = Parameter(np.array([1.0]))
+        slow = Parameter(np.array([1.0]))
+        opt = SGD(
+            [
+                {"params": [fast], "lr_scale": 1.0},
+                {"params": [slow], "lr_scale": 0.01},
+            ],
+            lr=0.1,
+        )
+        for _ in range(5):
+            opt.zero_grad()
+            (quadratic_loss(fast) + quadratic_loss(slow)).backward()
+            opt.step()
+        assert abs(fast.data[0]) < abs(slow.data[0])
+
+    def test_zero_scale_freezes_group(self):
+        frozen = Parameter(np.array([1.0]))
+        opt = AdamW([{"params": [frozen], "lr_scale": 0.0}], lr=0.1, weight_decay=0.1)
+        opt.zero_grad()
+        quadratic_loss(frozen).backward()
+        opt.step()
+        assert frozen.data[0] == 1.0
+
+    def test_mixed_flat_and_group_entries(self):
+        a = Parameter(np.array([1.0]))
+        b = Parameter(np.array([1.0]))
+        opt = SGD([a, {"params": [b], "lr_scale": 2.0}], lr=0.1)
+        opt.zero_grad()
+        (quadratic_loss(a) + quadratic_loss(b)).backward()
+        opt.step()
+        assert abs(b.data[0] - 1.0) > abs(a.data[0] - 1.0) - 1e-12

@@ -1,0 +1,90 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    ConstantLR,
+    CosineAnnealingLR,
+    LinearWarmupLR,
+    Parameter,
+    StepLR,
+    WarmupCosineLR,
+)
+
+
+def make_optimizer(lr: float = 1.0) -> SGD:
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestConstantAndStep:
+    def test_constant_never_changes(self):
+        sched = ConstantLR(make_optimizer(0.5), total_steps=10)
+        assert all(sched.step() == 0.5 for _ in range(10))
+
+    def test_step_lr_decays_at_boundaries(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, total_steps=10, step_size=3, gamma=0.1)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[0] == 1.0 and lrs[2] == pytest.approx(0.1)
+        assert lrs[5] == pytest.approx(0.01)
+
+    def test_step_lr_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), total_steps=10, step_size=0)
+
+
+class TestCosine:
+    def test_starts_near_base_and_ends_at_min(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_steps=100, min_lr_ratio=0.1)
+        first = sched.step()
+        lrs = [sched.step() for _ in range(99)]
+        assert first > 0.99 * np.cos(np.pi / 100)  # near base
+        assert lrs[-1] == pytest.approx(0.1, rel=1e-6)
+
+    def test_monotone_decay(self):
+        sched = CosineAnnealingLR(make_optimizer(1.0), total_steps=50)
+        lrs = [sched.step() for _ in range(50)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_horizon(self):
+        sched = CosineAnnealingLR(make_optimizer(1.0), total_steps=5)
+        for _ in range(5):
+            sched.step()
+        assert sched.step() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestWarmupSchedules:
+    def test_linear_warmup_peaks_at_warmup_end(self):
+        sched = LinearWarmupLR(make_optimizer(1.0), total_steps=10, warmup_steps=5)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs.index(max(lrs)) == 4  # step 5 = end of warmup
+        assert lrs[-1] == pytest.approx(0.0)
+
+    def test_linear_warmup_ramps_linearly(self):
+        sched = LinearWarmupLR(make_optimizer(1.0), total_steps=100, warmup_steps=10)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(np.diff(lrs), 0.1)
+
+    def test_warmup_cosine_shape(self):
+        sched = WarmupCosineLR(make_optimizer(1.0), total_steps=20, warmup_steps=4)
+        lrs = [sched.step() for _ in range(20)]
+        assert lrs[3] == pytest.approx(1.0)  # warmup peak
+        assert all(a >= b - 1e-12 for a, b in zip(lrs[3:], lrs[4:]))  # decay after
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            LinearWarmupLR(make_optimizer(), total_steps=5, warmup_steps=9)
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            ConstantLR(make_optimizer(), total_steps=0)
+
+    def test_scheduler_updates_optimizer(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_steps=4)
+        sched.step()
+        sched.step()
+        assert opt.lr < 1.0

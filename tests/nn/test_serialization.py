@@ -1,0 +1,31 @@
+"""Tests for state save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor, load_state, save_state
+
+
+def test_save_load_roundtrip(tmp_path):
+    source = MLP([4, 6, 2], np.random.default_rng(0))
+    target = MLP([4, 6, 2], np.random.default_rng(1))
+    path = str(tmp_path / "model.npz")
+    save_state(source, path)
+    load_state(target, path)
+    x = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+    source.eval()
+    target.eval()
+    assert np.allclose(source(x).data, target(x).data)
+
+
+def test_load_missing_file(tmp_path):
+    model = MLP([2, 2], np.random.default_rng(0))
+    with pytest.raises(FileNotFoundError):
+        load_state(model, str(tmp_path / "nope.npz"))
+
+
+def test_save_creates_directories(tmp_path):
+    model = MLP([2, 2], np.random.default_rng(0))
+    nested = str(tmp_path / "a" / "b" / "model.npz")
+    save_state(model, nested)
+    load_state(model, nested)

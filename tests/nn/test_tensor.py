@@ -1,0 +1,261 @@
+"""Unit tests for the autograd tensor: values, shapes, and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, maximum, no_grad, stack, where
+from repro.nn.gradcheck import check_gradient
+
+
+class TestTensorBasics:
+    def test_construction_coerces_to_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_requires_grad_defaults_false(self):
+        assert not Tensor([1.0]).requires_grad
+        assert Tensor([1.0], requires_grad=True).requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_on_vector_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        detached = a.detach()
+        assert not detached.requires_grad
+        assert np.array_equal(detached.data, a.data)
+
+    def test_no_grad_context(self):
+        with no_grad():
+            out = Tensor([1.0], requires_grad=True) * 2.0
+        assert not out.requires_grad
+
+    def test_backward_requires_scalar_or_grad(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_constant_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+
+class TestArithmetic:
+    def test_add_values_and_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_add_broadcast_unbroadcasts_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_scalar_radd_rsub_rmul_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert np.allclose((1.0 + a).data, [3.0])
+        assert np.allclose((5.0 - a).data, [3.0])
+        assert np.allclose((3.0 * a).data, [6.0])
+        assert np.allclose((8.0 / a).data, [4.0])
+
+    def test_mul_gradient(self):
+        ok, err = check_gradient(lambda t: (t * t * 2.0).sum(), np.array([1.0, -2.0, 3.0]))
+        assert ok, err
+
+    def test_div_gradient(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, size=(3, 2))
+        denom = Tensor(rng.uniform(1.0, 2.0, size=(3, 2)))
+        ok, err = check_gradient(lambda t: (t / denom).sum(), x)
+        assert ok, err
+
+    def test_pow_gradient(self):
+        ok, err = check_gradient(lambda t: (t**3).sum(), np.array([1.0, 2.0, -1.5]))
+        assert ok, err
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+
+class TestMatmul:
+    def test_matmul_values(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(1)
+        b = Tensor(rng.normal(size=(3, 4)))
+        ok, err = check_gradient(lambda t: ((t @ b) ** 2).sum(), rng.normal(size=(2, 3)))
+        assert ok, err
+
+    def test_matmul_gradient_wrt_rhs(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(2, 3)))
+        ok, err = check_gradient(lambda t: ((a @ t) ** 2).sum(), rng.normal(size=(3, 4)))
+        assert ok, err
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        ok, err = check_gradient(
+            lambda t: (t.mean(axis=0) ** 2).sum(), np.random.default_rng(3).normal(size=(4, 3))
+        )
+        assert ok, err
+
+    def test_max_splits_ties(self):
+        t = Tensor([[1.0, 1.0]], requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.5, 0.5]])
+
+    def test_max_gradient(self):
+        rng = np.random.default_rng(4)
+        ok, err = check_gradient(lambda t: t.max(axis=1).sum(), rng.normal(size=(3, 5)))
+        assert ok, err
+
+    def test_min_matches_numpy(self):
+        x = np.random.default_rng(5).normal(size=(3, 4))
+        assert np.allclose(Tensor(x).min(axis=1).data, x.min(axis=1))
+
+    def test_reshape_roundtrip_grad(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        assert t.grad.shape == (6,)
+
+    def test_transpose_grad(self):
+        rng = np.random.default_rng(6)
+        ok, err = check_gradient(lambda t: (t.T @ t).sum(), rng.normal(size=(3, 2)))
+        assert ok, err
+
+    def test_getitem_fancy_index_grad(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        t[idx].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[0] = 1.0
+        expected[2] = 2.0  # accumulated twice
+        assert np.allclose(t.grad, expected)
+
+    def test_getitem_tuple_index(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        picked = t[np.arange(3), np.array([0, 1, 2])]
+        picked.sum().backward()
+        assert t.grad.sum() == 3.0
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt"],
+    )
+    def test_elementwise_gradients(self, op):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.2, 2.0, size=(3, 3))  # positive domain for sqrt
+        ok, err = check_gradient(lambda t: getattr(t, op)().sum(), x)
+        assert ok, (op, err)
+
+    def test_log_gradient(self):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(0.5, 3.0, size=(4,))
+        ok, err = check_gradient(lambda t: t.log().sum(), x)
+        assert ok, err
+
+    def test_clip_gradient_mask(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestCombinators:
+    def test_concat_values_and_grads(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((3, 2), 2.0), requires_grad=True)
+        out = concat([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_stack_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        stacked = stack([a, b], axis=0)
+        assert stacked.shape == (2, 2)
+        stacked.sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_tie_splitting(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        maximum(a, b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [0.5])
+
+    def test_maximum_with_scalar(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        maximum(a, 0.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # f(x) = (x*2) + (x*3); grad = 5
+        a = Tensor([1.0], requires_grad=True)
+        ((a * 2.0) + (a * 3.0)).sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_reused_node_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        y = a * a  # used once but product of same tensor twice
+        y.sum().backward()
+        assert np.allclose(a.grad, [4.0])

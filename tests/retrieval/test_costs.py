@@ -1,0 +1,72 @@
+"""Tests for the §IV space/inference cost model."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.costs import (
+    asymptotic_compression_ratio,
+    efficiency_sweep,
+    storage_cost,
+    theoretical_speedup,
+)
+
+
+class TestStorageCost:
+    def test_formula_components(self):
+        cost = storage_cost(n_db=1000, dim=64, num_codebooks=4, num_codewords=256)
+        assert cost.codebook_bytes == 4 * 256 * 4 * 64
+        assert cost.code_bytes == 1000 * 4 * 8 / 8  # log2(256) = 8 bits
+        assert cost.norm_bytes == 4 * 1000
+        assert cost.continuous_bytes == 4 * 1000 * 64
+
+    def test_paper_scale_compression_ratio(self):
+        # QBA full database: §V-E reports a 240x compression ratio.
+        cost = storage_cost(n_db=642_000, dim=768, num_codebooks=4, num_codewords=256)
+        assert cost.compression_ratio == pytest.approx(240, rel=0.05)
+
+    def test_tiny_database_may_not_compress(self):
+        # 1/1000 of QBA (~642 rows): codebooks dominate; ratio < 1 (§V-E).
+        cost = storage_cost(n_db=642, dim=768, num_codebooks=4, num_codewords=256)
+        assert cost.compression_ratio < 1.0
+
+    def test_asymptotic_limit_bounds_finite_ratio(self):
+        limit = asymptotic_compression_ratio(768, 4, 256)
+        finite = storage_cost(10**7, 768, 4, 256).compression_ratio
+        assert finite < limit
+        assert finite == pytest.approx(limit, rel=0.05)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            storage_cost(0, 10, 4, 16)
+
+
+class TestSpeedup:
+    def test_grows_with_database(self):
+        small = theoretical_speedup(1_000, 768, 4, 256)
+        large = theoretical_speedup(1_000_000, 768, 4, 256)
+        assert large > small
+
+    def test_tiny_database_no_speedup(self):
+        assert theoretical_speedup(642, 768, 4, 256) < 1.0
+
+    def test_saturates_at_d_over_m(self):
+        # As n -> inf, speedup -> d / M.
+        huge = theoretical_speedup(10**9, 768, 4, 256)
+        assert huge == pytest.approx(768 / 4, rel=0.01)
+
+
+class TestEfficiencySweep:
+    def test_sweep_shapes_and_monotonicity(self):
+        rng = np.random.default_rng(0)
+        codebooks = rng.normal(size=(4, 16, 16))
+        database = rng.normal(size=(2000, 16))
+        queries = rng.normal(size=(20, 16))
+        measurements = efficiency_sweep(
+            queries, database, codebooks, fractions=(0.01, 0.1, 1.0), repeats=1
+        )
+        assert [m.fraction for m in measurements] == [0.01, 0.1, 1.0]
+        compressions = [m.measured_compression for m in measurements]
+        assert compressions[0] < compressions[1] < compressions[2]
+        theory = [m.theoretical_speedup for m in measurements]
+        assert theory[0] < theory[1] < theory[2]
+        assert all(m.measured_speedup > 0 for m in measurements)

@@ -1,0 +1,79 @@
+"""Tests for the QuantizedIndex."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.adc import encode_nearest
+from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.search import exhaustive_search
+
+
+def build_index(seed: int = 0, n: int = 60, with_labels: bool = True):
+    rng = np.random.default_rng(seed)
+    codebooks = rng.normal(size=(3, 16, 8))
+    database = rng.normal(size=(n, 8))
+    labels = rng.integers(0, 4, size=n) if with_labels else None
+    return QuantizedIndex.build(codebooks, database, labels=labels), database
+
+
+class TestConstruction:
+    def test_build_encodes_database(self):
+        index, database = build_index()
+        assert len(index) == len(database)
+        assert index.codes.shape == (60, 3)
+        assert index.num_codebooks == 3
+        assert index.num_codewords == 16
+        assert index.dim == 8
+
+    def test_norms_match_reconstructions(self):
+        index, _ = build_index()
+        recon = index.reconstructions()
+        assert np.allclose(index.db_sq_norms, (recon**2).sum(axis=1))
+
+    def test_invalid_shapes(self):
+        rng = np.random.default_rng(1)
+        codebooks = rng.normal(size=(2, 4, 3))
+        with pytest.raises(ValueError):
+            QuantizedIndex(codebooks, np.zeros((5, 2), dtype=int), np.zeros(4))
+        with pytest.raises(ValueError):
+            QuantizedIndex(
+                codebooks,
+                np.zeros((5, 2), dtype=int),
+                np.zeros(5),
+                labels=np.zeros(4, dtype=int),
+            )
+        with pytest.raises(ValueError):
+            QuantizedIndex(np.zeros((4, 3)), np.zeros((5, 2), dtype=int), np.zeros(5))
+
+
+class TestSearch:
+    def test_search_matches_exhaustive_over_reconstructions(self):
+        index, _ = build_index()
+        rng = np.random.default_rng(2)
+        queries = rng.normal(size=(9, 8))
+        via_index = index.search(queries)
+        via_exact = exhaustive_search(queries, index.reconstructions())
+        assert np.array_equal(via_index, via_exact)
+
+    def test_topk_shape(self):
+        index, _ = build_index()
+        result = index.search(np.zeros((4, 8)), k=5)
+        assert result.shape == (4, 5)
+
+    def test_search_labels(self):
+        index, _ = build_index()
+        labels = index.search_labels(np.zeros((2, 8)), k=3)
+        assert labels.shape == (2, 3)
+
+    def test_search_labels_without_labels_raises(self):
+        index, _ = build_index(with_labels=False)
+        with pytest.raises(RuntimeError):
+            index.search_labels(np.zeros((1, 8)))
+
+    def test_explicit_codes_are_respected(self):
+        rng = np.random.default_rng(3)
+        codebooks = rng.normal(size=(2, 8, 4))
+        database = rng.normal(size=(10, 4))
+        codes = encode_nearest(database, codebooks)
+        built = QuantizedIndex.build(codebooks, database, codes=codes)
+        assert np.array_equal(built.codes, codes)

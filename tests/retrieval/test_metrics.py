@@ -1,0 +1,107 @@
+"""Tests for AP/MAP and companions, including metric property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval.metrics import (
+    average_precision,
+    mean_average_precision,
+    per_class_average_precision,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(np.array([1, 1, 1, 0, 0])) == 1.0
+
+    def test_worst_ranking(self):
+        # All relevant items at the bottom.
+        ap = average_precision(np.array([0, 0, 0, 1, 1]))
+        expected = (1 / 4 + 2 / 5) / 2
+        assert ap == pytest.approx(expected)
+
+    def test_known_value(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+        ap = average_precision(np.array([1, 0, 1, 0]))
+        assert ap == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_no_relevant_items(self):
+        assert average_precision(np.zeros(5)) == 0.0
+
+    def test_cutoff(self):
+        relevance = np.array([0, 0, 1, 1])
+        assert average_precision(relevance, cutoff=2) == 0.0
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros((2, 2)))
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=40).filter(lambda r: sum(r) > 0)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds_and_prefix_monotonicity(self, relevance):
+        relevance = np.array(relevance, dtype=float)
+        ap = average_precision(relevance)
+        assert 0.0 < ap <= 1.0
+        # Moving the first relevant item to rank 1 can only improve AP.
+        first = int(np.argmax(relevance))
+        promoted = np.concatenate(([1.0], np.delete(relevance, first)))
+        assert average_precision(promoted) >= ap - 1e-12
+
+
+class TestMAP:
+    def test_perfect_map(self):
+        ranked = np.array([[1, 1, 0], [2, 0, 0]])
+        assert mean_average_precision(ranked, np.array([1, 2])) == 1.0
+
+    def test_mixed_queries_average(self):
+        ranked = np.array([[1, 0], [0, 1]])
+        labels = np.array([1, 1])
+        # First query: AP=1; second: AP=1/2.
+        assert mean_average_precision(ranked, labels) == pytest.approx(0.75)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_average_precision(np.zeros((2, 3)), np.zeros(3))
+
+    def test_random_ranking_near_class_prior(self):
+        rng = np.random.default_rng(0)
+        db_labels = np.repeat(np.arange(10), 50)
+        ranked = np.stack([rng.permutation(db_labels) for _ in range(40)])
+        query_labels = rng.integers(0, 10, size=40)
+        score = mean_average_precision(ranked, query_labels)
+        assert 0.05 < score < 0.2  # ~0.1 prior for 10 balanced classes
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        ranked = np.array([[1, 1, 0, 0]])
+        assert precision_at_k(ranked, np.array([1]), k=2) == 1.0
+        assert precision_at_k(ranked, np.array([1]), k=4) == 0.5
+
+    def test_recall_at_k(self):
+        ranked = np.array([[1, 0, 1, 0]])
+        db_labels = np.array([1, 1, 0, 0])
+        assert recall_at_k(ranked, np.array([1]), db_labels, k=1) == 0.5
+        assert recall_at_k(ranked, np.array([1]), db_labels, k=4) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros((1, 3)), np.zeros(1), k=0)
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((1, 3)), np.zeros(1), np.zeros(3), k=0)
+
+
+class TestPerClass:
+    def test_breakdown_keys_and_range(self):
+        ranked = np.array([[1, 0], [0, 1], [2, 2]])
+        labels = np.array([1, 1, 2])
+        scores = per_class_average_precision(ranked, labels)
+        assert set(scores) == {1, 2}
+        assert scores[2] == 1.0
+        assert 0 < scores[1] <= 1.0

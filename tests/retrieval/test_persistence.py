@@ -1,0 +1,69 @@
+"""Tests for index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.persistence import index_file_size, load_index, save_index
+
+
+def build_index(seed: int = 0, k: int = 16, with_labels: bool = True):
+    rng = np.random.default_rng(seed)
+    codebooks = rng.normal(size=(3, k, 8))
+    database = rng.normal(size=(50, 8))
+    labels = rng.integers(0, 5, size=50) if with_labels else None
+    return QuantizedIndex.build(codebooks, database, labels=labels)
+
+
+class TestRoundTrip:
+    def test_search_results_survive(self, tmp_path):
+        index = build_index()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        queries = np.random.default_rng(1).normal(size=(7, 8))
+        assert np.array_equal(index.search(queries), restored.search(queries))
+        assert np.array_equal(index.labels, restored.labels)
+
+    def test_float32_storage_tolerance(self, tmp_path):
+        # Codebooks are stored in float32 (the paper's 4-byte budget);
+        # distances change by at most float32 epsilon effects.
+        index = build_index()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        assert np.allclose(index.codebooks, restored.codebooks, atol=1e-6)
+
+    def test_without_labels(self, tmp_path):
+        index = build_index(with_labels=False)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        assert load_index(path).labels is None
+
+    def test_code_dtype_matches_codebook_size(self, tmp_path):
+        small = build_index(k=16)
+        path = str(tmp_path / "small.npz")
+        save_index(small, path)
+        with np.load(path) as archive:
+            assert archive["codes"].dtype == np.uint8
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(str(tmp_path / "absent.npz"))
+
+    def test_file_size_reported(self, tmp_path):
+        index = build_index()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        assert index_file_size(path) > 0
+
+    def test_version_check(self, tmp_path):
+        index = build_index()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["version"] = np.array([99])
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_index(path)

@@ -1,0 +1,66 @@
+"""Tests for exhaustive search and distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.search import (
+    exhaustive_search,
+    hamming_distances,
+    rank_by_distance,
+    squared_distances,
+)
+
+
+class TestSquaredDistances:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        q, db = rng.normal(size=(7, 5)), rng.normal(size=(11, 5))
+        direct = ((q[:, None] - db[None]) ** 2).sum(-1)
+        assert np.allclose(squared_distances(q, db), direct)
+
+    def test_non_negative_under_cancellation(self):
+        q = np.full((1, 4), 1e8)
+        assert (squared_distances(q, q) >= 0).all()
+
+
+class TestHamming:
+    def test_known_distances(self):
+        a = np.array([[1, 1, 1, 1.0]])
+        b = np.array([[1, 1, 1, 1.0], [-1, -1, -1, -1.0], [1, -1, 1, -1.0]])
+        assert np.allclose(hamming_distances(a, b), [[0, 4, 2]])
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        codes = np.where(rng.random((6, 8)) > 0.5, 1.0, -1.0)
+        d = hamming_distances(codes, codes)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+
+class TestRanking:
+    def test_full_ranking_sorted(self):
+        distances = np.array([[3.0, 1.0, 2.0]])
+        assert rank_by_distance(distances).tolist() == [[1, 2, 0]]
+
+    def test_topk_matches_full_sort_prefix(self):
+        rng = np.random.default_rng(2)
+        distances = rng.random((5, 50))
+        full = rank_by_distance(distances)
+        top = rank_by_distance(distances, k=7)
+        assert np.array_equal(full[:, :7], top)
+
+    def test_k_larger_than_db(self):
+        distances = np.array([[2.0, 1.0]])
+        assert rank_by_distance(distances, k=10).shape == (1, 2)
+
+    def test_exhaustive_search_correct_neighbor(self):
+        db = np.array([[0.0, 0.0], [5.0, 5.0], [1.0, 1.0]])
+        ranked = exhaustive_search(np.array([[0.9, 0.9]]), db)
+        assert ranked[0, 0] == 2
+
+    def test_exhaustive_search_batched_equals_unbatched(self):
+        rng = np.random.default_rng(3)
+        q, db = rng.normal(size=(10, 4)), rng.normal(size=(30, 4))
+        assert np.array_equal(
+            exhaustive_search(q, db, batch_size=3), exhaustive_search(q, db)
+        )

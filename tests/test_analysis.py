@@ -1,0 +1,93 @@
+"""Tests for the model analysis / diagnostics module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ModelReport, analyze, codebook_health, head_tail_report
+from repro.core import LightLTConfig, LossConfig, TrainingConfig, train_lightlt
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset_module):
+    dataset = tiny_dataset_module
+    config = LightLTConfig(
+        input_dim=dataset.dim,
+        num_classes=dataset.num_classes,
+        embed_dim=dataset.dim,
+        hidden_dims=(16,),
+        num_codebooks=3,
+        num_codewords=8,
+    )
+    model, _ = train_lightlt(
+        dataset, config, LossConfig(), TrainingConfig(epochs=6, batch_size=32)
+    )
+    return model, dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_module():
+    from tests.conftest import build_tiny_dataset
+
+    return build_tiny_dataset()
+
+
+class TestHeadTailReport:
+    def test_report_structure(self, trained):
+        model, dataset = trained
+        report = head_tail_report(model, dataset)
+        assert 0.0 <= report.overall_map <= 1.0
+        assert set(report.head_classes).isdisjoint(report.tail_classes)
+        assert len(report.head_classes) + len(report.tail_classes) == dataset.num_classes
+        assert set(report.per_class_map) <= set(range(dataset.num_classes))
+
+    def test_gap_is_head_minus_tail(self, trained):
+        model, dataset = trained
+        report = head_tail_report(model, dataset)
+        assert report.head_tail_gap == pytest.approx(report.head_map - report.tail_map)
+
+    def test_head_fraction_moves_the_boundary(self, trained):
+        model, dataset = trained
+        narrow = head_tail_report(model, dataset, head_fraction=0.3)
+        wide = head_tail_report(model, dataset, head_fraction=0.9)
+        assert len(narrow.head_classes) <= len(wide.head_classes)
+
+
+class TestCodebookHealth:
+    def test_health_fields(self, trained):
+        model, dataset = trained
+        health = codebook_health(model, dataset.database.features)
+        assert len(health.usage_entropies) == model.dsq.num_codebooks
+        assert len(health.dead_codewords) == model.dsq.num_codebooks
+        assert all(0.0 <= e <= 1.0 for e in health.usage_entropies)
+        assert all(0 <= d <= health.num_codewords for d in health.dead_codewords)
+        assert health.reconstruction_error >= 0
+        assert health.relative_error >= 0
+
+    def test_trained_model_is_healthy(self, trained):
+        model, dataset = trained
+        health = codebook_health(model, dataset.database.features)
+        assert health.healthy
+
+    def test_degenerate_variance_flagged(self):
+        from repro.analysis import CodebookHealth
+
+        degenerate = CodebookHealth(
+            usage_entropies=[0.0, 0.5],
+            dead_codewords=[7, 0],
+            num_codewords=8,
+            reconstruction_error=1.0,
+            embedding_variance=0.0,
+        )
+        assert not degenerate.healthy
+        assert degenerate.relative_error == float("inf")
+
+
+class TestAnalyze:
+    def test_full_report(self, trained):
+        model, dataset = trained
+        report = analyze(model, dataset)
+        assert isinstance(report, ModelReport)
+        lines = report.summary_lines()
+        assert len(lines) == 4
+        assert "overall MAP" in lines[0]
+        assert "entropy" in lines[1]

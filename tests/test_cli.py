@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestListCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["cifar100", "imagenet100", "nc", "qba"]
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        assert capsys.readouterr().out.split() == list(EXPERIMENTS)
+
+
+class TestDatasetStats:
+    def test_single_dataset(self, capsys):
+        assert main(["dataset-stats", "--dataset", "nc"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert out.count("nc") >= 2  # IF=50 and IF=100 rows
+
+
+class TestTrain:
+    def test_train_fast_with_index(self, tmp_path, capsys):
+        index_path = str(tmp_path / "nc.npz")
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "nc",
+                "--fast",
+                "--save-index",
+                index_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall MAP" in out
+        assert "index saved" in out
+
+        from repro.retrieval.persistence import load_index
+
+        index = load_index(index_path)
+        assert len(index) > 0
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out

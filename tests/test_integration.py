@@ -1,0 +1,142 @@
+"""End-to-end integration tests across packages.
+
+These exercise the full pipeline a user runs: build a long-tail dataset,
+train LightLT (solo and ensembled), index the database, search it with ADC
+lookups, and verify the retrieval accuracy and the paper's headline shape
+claims at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LSH, PQ, evaluate_method
+from repro.core import (
+    EnsembleConfig,
+    LightLTConfig,
+    LossConfig,
+    TrainingConfig,
+    evaluate_map,
+    train_ensemble,
+    train_lightlt,
+)
+from repro.data import class_weights, load_dataset
+from repro.retrieval import (
+    QuantizedIndex,
+    mean_average_precision,
+    per_class_average_precision,
+    storage_cost,
+)
+
+from tests.conftest import build_tiny_dataset
+
+
+def fast_configs(dataset):
+    model_config = LightLTConfig(
+        input_dim=dataset.dim,
+        num_classes=dataset.num_classes,
+        embed_dim=dataset.dim,
+        hidden_dims=(24,),
+        num_codebooks=4,
+        num_codewords=16,
+    )
+    return model_config, LossConfig(), TrainingConfig(epochs=8, batch_size=32)
+
+
+class TestEndToEndPipeline:
+    def test_train_index_search_loop(self, tiny_dataset):
+        model_config, loss_config, training_config = fast_configs(tiny_dataset)
+        model, history = train_lightlt(
+            tiny_dataset, model_config, loss_config, training_config
+        )
+        assert history.series("total")[-1] < history.series("total")[0]
+
+        index = model.build_index(
+            tiny_dataset.database.features, labels=tiny_dataset.database.labels
+        )
+        # Storage accounting applies to the real index contents.
+        cost = storage_cost(
+            len(index), index.dim, index.num_codebooks, index.num_codewords
+        )
+        assert cost.quantized_bytes > 0
+
+        ranked = model.search_ranked_labels(tiny_dataset.query.features, index)
+        score = mean_average_precision(ranked, tiny_dataset.query.labels)
+        assert score > 3.0 / tiny_dataset.num_classes
+
+    def test_lightlt_beats_unsupervised_baselines(self, tiny_dataset):
+        model_config, loss_config, training_config = fast_configs(tiny_dataset)
+        model, _ = train_lightlt(tiny_dataset, model_config, loss_config, training_config)
+        lightlt = evaluate_map(model, tiny_dataset)
+        lsh = evaluate_method(LSH(num_bits=16), tiny_dataset)
+        pq = evaluate_method(PQ(num_codebooks=4, num_codewords=16), tiny_dataset)
+        assert lightlt > lsh
+        assert lightlt > pq - 0.02
+
+    def test_ensemble_pipeline(self, tiny_dataset):
+        model_config, loss_config, training_config = fast_configs(tiny_dataset)
+        result = train_ensemble(
+            tiny_dataset,
+            model_config,
+            loss_config,
+            training_config,
+            EnsembleConfig(num_members=2),
+        )
+        assert evaluate_map(result.model, tiny_dataset) > 3.0 / tiny_dataset.num_classes
+
+
+class TestLongTailBehaviour:
+    def test_higher_imbalance_hurts(self):
+        scores = {}
+        for factor in (4.0, 40.0):
+            dataset = build_tiny_dataset(imbalance_factor=factor, head_size=60, seed=3)
+            model_config, loss_config, training_config = fast_configs(dataset)
+            model, _ = train_lightlt(dataset, model_config, loss_config, training_config)
+            scores[factor] = evaluate_map(model, dataset)
+        assert scores[40.0] <= scores[4.0] + 0.03
+
+    def test_class_weighting_helps_tail_queries(self, tiny_dataset):
+        model_config, _, training_config = fast_configs(tiny_dataset)
+        counts = np.bincount(
+            tiny_dataset.train.labels, minlength=tiny_dataset.num_classes
+        )
+        tail_classes = np.argsort(counts)[:2]
+
+        def tail_map(loss_config):
+            model, _ = train_lightlt(
+                tiny_dataset, model_config, loss_config, training_config
+            )
+            index = model.build_index(
+                tiny_dataset.database.features, labels=tiny_dataset.database.labels
+            )
+            ranked = model.search_ranked_labels(tiny_dataset.query.features, index)
+            per_class = per_class_average_precision(ranked, tiny_dataset.query.labels)
+            return np.mean([per_class[int(c)] for c in tail_classes])
+
+        weighted = tail_map(LossConfig(gamma=0.999))
+        unweighted = tail_map(LossConfig(use_class_weights=False))
+        assert weighted > unweighted - 0.08
+
+    def test_class_weights_integrate_with_registry(self):
+        dataset = load_dataset("nc", imbalance_factor=100, scale="ci", seed=0)
+        counts = np.bincount(dataset.train.labels, minlength=dataset.num_classes)
+        weights = class_weights(counts, gamma=0.999)
+        # Tail class weight dwarfs head class weight under IF=100.
+        assert weights[counts.argmin()] / weights[counts.argmax()] > 5
+
+
+class TestIndexPortability:
+    def test_index_survives_reconstruction_from_parts(self, tiny_dataset):
+        model_config, loss_config, training_config = fast_configs(tiny_dataset)
+        model, _ = train_lightlt(tiny_dataset, model_config, loss_config, training_config)
+        original = model.build_index(
+            tiny_dataset.database.features, labels=tiny_dataset.database.labels
+        )
+        # Rebuild purely from stored arrays (what a deployment would persist).
+        rebuilt = QuantizedIndex(
+            codebooks=original.codebooks.copy(),
+            codes=original.codes.copy(),
+            db_sq_norms=original.db_sq_norms.copy(),
+            labels=original.labels.copy(),
+        )
+        queries = model.embed(tiny_dataset.query.features[:10])
+        assert np.array_equal(original.search(queries), rebuilt.search(queries))

@@ -53,6 +53,28 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--ensemble", action="store_true", help="run the full ensemble")
     train.add_argument("--fast", action="store_true", help="shorter training")
     train.add_argument("--save-index", default=None, help="write the quantized index here")
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write an atomic training checkpoint here after every epoch",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest valid checkpoint in --checkpoint-dir",
+    )
+    train.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=3,
+        help="how many checkpoint files to retain (default: 3)",
+    )
+    train.add_argument(
+        "--guard",
+        action="store_true",
+        help="guarded training: roll back + LR backoff on NaN/Inf loss "
+        "(requires --checkpoint-dir)",
+    )
 
     experiment = commands.add_parser("experiment", help="reproduce a table/figure")
     experiment.add_argument("name", choices=EXPERIMENTS)
@@ -92,7 +114,7 @@ def _cmd_dataset_stats(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.analysis import analyze
-    from repro.core import EnsembleConfig, train_ensemble, train_lightlt
+    from repro.core import EnsembleConfig, Trainer, train_ensemble
     from repro.data import load_dataset
     from repro.experiments import (
         default_loss_config,
@@ -101,11 +123,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     from repro.retrieval.persistence import save_index
 
+    if (args.resume or args.guard) and not args.checkpoint_dir:
+        print("error: --resume and --guard require --checkpoint-dir", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, args.imbalance_factor, seed=args.seed)
     model_config = default_model_config(dataset)
     loss_config = default_loss_config(dataset)
     training_config = default_training_config(dataset, fast=args.fast)
     if args.ensemble:
+        if args.checkpoint_dir:
+            print("note: checkpointing is per-member and not yet wired for "
+                  "--ensemble; ignoring --checkpoint-dir")
         result = train_ensemble(
             dataset,
             model_config,
@@ -115,9 +143,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         model = result.model
+    elif args.guard:
+        from repro.resilience import GuardedTrainer
+
+        guarded = GuardedTrainer(
+            Trainer(model_config, loss_config, training_config, seed=args.seed),
+            checkpoint_dir=args.checkpoint_dir,
+            keep_checkpoints=args.keep_checkpoints,
+        )
+        model, _, history = guarded.fit(dataset, resume=args.resume)
+        for event in history.events:
+            print(f"guard intervention: {event}")
     else:
-        model, _ = train_lightlt(
-            dataset, model_config, loss_config, training_config, seed=args.seed
+        trainer = Trainer(model_config, loss_config, training_config, seed=args.seed)
+        model, _, _ = trainer.fit(
+            dataset,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            keep_checkpoints=args.keep_checkpoints,
         )
 
     report = analyze(model, dataset)

@@ -6,11 +6,21 @@ cosine annealing for the image profiles, linear-with-warmup for text, as in
 §V-A4. :func:`evaluate_map` implements the retrieval evaluation protocol:
 index the database with the model's codes, rank it for each query with ADC
 lookups, and score MAP.
+
+The loop itself is factored into a :class:`TrainingSession` — the mutable
+state of one fit — so the fault-tolerant runtime can drive it epoch by
+epoch: ``run_epoch`` advances one epoch (skipping any step whose loss or
+gradient norm is non-finite), ``capture``/``restore`` round-trip the entire
+session through :mod:`repro.resilience.checkpoint` bit-exactly, and
+``Trainer.fit(checkpoint_dir=..., resume=True)`` continues an interrupted
+run from the newest valid checkpoint.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -20,11 +30,15 @@ from repro.core.warmstart import warm_start_codebooks
 from repro.data.datasets import RetrievalDataset
 from repro.data.loader import DataLoader
 from repro.data.longtail import class_counts
-from repro.nn import AdamW, ConstantLR, CosineAnnealingLR, LinearWarmupLR, Tensor
+from repro.nn import AdamW, ConstantLR, CosineAnnealingLR, LinearWarmupLR, Module, Tensor
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.errors import IncompatibleStateError
 from repro.retrieval.metrics import mean_average_precision
 from repro.rng import make_rng, spawn
 
 SCHEDULES = ("cosine", "linear_warmup", "constant")
+
+SESSION_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -53,9 +67,15 @@ class TrainingConfig:
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch mean loss terms recorded during a fit."""
+    """Per-epoch mean loss terms recorded during a fit.
+
+    ``events`` records runtime interventions — guard rollbacks, learning
+    rate backoffs, skipped steps — so a training run's failure/recovery
+    story is inspectable after the fact and survives checkpointing.
+    """
 
     epochs: list[dict[str, float]] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
 
     def last(self) -> dict[str, float]:
         if not self.epochs:
@@ -66,19 +86,251 @@ class TrainingHistory:
         return [epoch[key] for epoch in self.epochs if key in epoch]
 
 
+@dataclass
+class TrainerHooks:
+    """Optional instrumentation points in the epoch loop.
+
+    ``transform_loss(epoch, step, value)`` may replace the scalar loss seen
+    by the non-finite guard — the fault-injection harness uses it to poison
+    chosen steps. ``after_epoch(epoch, session)`` runs after an epoch's
+    checkpoint is written; raising from it simulates a crash between
+    epochs.
+    """
+
+    transform_loss: Callable[[int, int, float], float] | None = None
+    after_epoch: Callable[[int, "TrainingSession"], None] | None = None
+
+
+@dataclass
+class EpochReport:
+    """What :meth:`TrainingSession.run_epoch` observed in one epoch."""
+
+    terms: dict[str, float]
+    skipped_steps: int
+    grad_norm_max: float
+
+    @property
+    def healthy(self) -> bool:
+        """True when every step updated and every recorded term is finite."""
+        return self.skipped_steps == 0 and all(
+            math.isfinite(v) for v in self.terms.values()
+        )
+
+
 def clip_gradients(params, max_norm: float) -> float:
-    """Scale gradients so their global ℓ2 norm is at most ``max_norm``."""
+    """Scale gradients so their global ℓ2 norm is at most ``max_norm``.
+
+    A non-finite global norm (a NaN or Inf anywhere in the gradients) would
+    propagate a NaN scale into *every* gradient; instead the step is zeroed
+    — all gradients set to 0 so a subsequent optimiser step is harmless —
+    and the non-finite norm is returned so the caller can surface the event.
+    """
     total_sq = 0.0
     for param in params:
         if param.grad is not None:
             total_sq += float((param.grad**2).sum())
     norm = float(np.sqrt(total_sq))
+    if not math.isfinite(norm):
+        for param in params:
+            if param.grad is not None:
+                param.grad[...] = 0.0
+        return norm
     if norm > max_norm > 0:
         scale = max_norm / norm
         for param in params:
             if param.grad is not None:
                 param.grad *= scale
     return norm
+
+
+def _module_rng_states(module: Module) -> dict[str, dict]:
+    """Snapshot every forward-time generator in a module tree (dropout).
+
+    Keyed by traversal position, which is deterministic for a fixed
+    architecture — sufficient for restoring into an identically-built model.
+    """
+    states = {}
+    for i, sub in enumerate(module.modules()):
+        rng = getattr(sub, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            states[str(i)] = rng.bit_generator.state
+    return states
+
+
+def _restore_module_rng_states(module: Module, states: dict[str, dict]) -> None:
+    own = {}
+    for i, sub in enumerate(module.modules()):
+        rng = getattr(sub, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            own[str(i)] = rng
+    if set(own) != set(states):
+        raise IncompatibleStateError(
+            f"module RNG layout mismatch: checkpoint has generators at "
+            f"{sorted(states)}, model has them at {sorted(own)}"
+        )
+    for key, rng in own.items():
+        rng.bit_generator.state = states[key]
+
+
+class TrainingSession:
+    """The complete mutable state of one training run.
+
+    Everything that changes during ``fit`` lives here — model, criterion,
+    optimiser moments, scheduler position, data-loader and dropout RNGs,
+    and the recorded history — so a session can be advanced one epoch at a
+    time, serialised after any epoch, and reconstructed bit-exactly.
+    """
+
+    def __init__(
+        self,
+        trainer: "Trainer",
+        model: LightLT,
+        criterion: LightLTCriterion,
+        optimizer: AdamW,
+        scheduler,
+        loader: DataLoader,
+        flat_params: list,
+        num_epochs: int,
+    ):
+        self.trainer = trainer
+        self.model = model
+        self.criterion = criterion
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.loader = loader
+        self.flat_params = flat_params
+        self.num_epochs = num_epochs
+        self.history = TrainingHistory()
+
+    @property
+    def epochs_completed(self) -> int:
+        return len(self.history.epochs)
+
+    @property
+    def finished(self) -> bool:
+        return self.epochs_completed >= self.num_epochs
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def run_epoch(self, hooks: TrainerHooks | None = None) -> EpochReport:
+        """Advance one epoch; returns what happened.
+
+        Each step's loss is checked *before* backprop: a non-finite loss
+        (or a non-finite gradient norm caught by :func:`clip_gradients`)
+        skips the parameter update for that batch instead of poisoning the
+        weights. The scheduler still advances on skipped steps so the LR
+        trajectory stays deterministic. Skipped steps are excluded from the
+        epoch's recorded means and counted in the report.
+        """
+        config = self.trainer.training_config
+        epoch = self.epochs_completed
+        epoch_terms: dict[str, list[float]] = {}
+        skipped = 0
+        grad_norm_max = 0.0
+        for step, (features, labels) in enumerate(self.loader):
+            self.optimizer.zero_grad()
+            output = self.model(Tensor(features))
+            breakdown = self.criterion(
+                output.logits, output.quantized, labels, embedding=output.embedding
+            )
+            total_value = float(breakdown.total.data)
+            if hooks is not None and hooks.transform_loss is not None:
+                total_value = float(hooks.transform_loss(epoch, step, total_value))
+            step_ok = math.isfinite(total_value)
+            if step_ok:
+                breakdown.total.backward()
+                if config.max_grad_norm is not None:
+                    norm = clip_gradients(self.flat_params, config.max_grad_norm)
+                    if math.isfinite(norm):
+                        grad_norm_max = max(grad_norm_max, norm)
+                    else:
+                        step_ok = False  # clip_gradients zeroed the gradients
+            if step_ok:
+                self.optimizer.step()
+            else:
+                skipped += 1
+                self.optimizer.zero_grad()
+            self.scheduler.step()
+            if step_ok:
+                for key, value in breakdown.to_floats().items():
+                    epoch_terms.setdefault(key, []).append(value)
+        if epoch_terms:
+            terms = {key: float(np.mean(values)) for key, values in epoch_terms.items()}
+        else:
+            terms = {"total": float("nan")}  # every step was skipped
+        self.history.epochs.append(terms)
+        return EpochReport(
+            terms=terms, skipped_steps=skipped, grad_norm_max=grad_norm_max
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def capture(self) -> dict:
+        """Serialise the session into a checkpointable state tree."""
+        return {
+            "format": SESSION_FORMAT_VERSION,
+            "epoch": self.epochs_completed,
+            "seed": self.trainer.seed,
+            "num_epochs": self.num_epochs,
+            "model": self.model.state_dict(),
+            "criterion": self.criterion.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "rng": {
+                "loader": self.loader.rng_state(),
+                "model": _module_rng_states(self.model),
+                "criterion": _module_rng_states(self.criterion),
+            },
+            "history": {
+                "epochs": [dict(e) for e in self.history.epochs],
+                "events": [dict(e) for e in self.history.events],
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a state tree produced by :meth:`capture`.
+
+        Raises :class:`IncompatibleStateError` when the checkpoint belongs
+        to a differently-configured run (other seed, horizon, architecture,
+        or parameter shapes) — resuming across such a change could not be
+        bit-exact, so it is refused loudly.
+        """
+        try:
+            fmt = int(state.get("format", SESSION_FORMAT_VERSION))
+            if fmt != SESSION_FORMAT_VERSION:
+                raise IncompatibleStateError(
+                    f"unsupported session format {fmt} "
+                    f"(expected {SESSION_FORMAT_VERSION})"
+                )
+            if int(state["seed"]) != self.trainer.seed:
+                raise IncompatibleStateError(
+                    f"checkpoint was written by a run with seed "
+                    f"{int(state['seed'])}, this run uses seed "
+                    f"{self.trainer.seed}; resuming would not be reproducible"
+                )
+            if int(state["num_epochs"]) != self.num_epochs:
+                raise IncompatibleStateError(
+                    f"checkpoint expects a {int(state['num_epochs'])}-epoch "
+                    f"run, this run has {self.num_epochs} epochs"
+                )
+            self.model.load_state_dict(state["model"])
+            self.criterion.load_state_dict(state["criterion"])
+            self.optimizer.load_state_dict(state["optimizer"])
+            self.scheduler.load_state_dict(state["scheduler"])
+            self.loader.set_rng_state(state["rng"]["loader"])
+            _restore_module_rng_states(self.model, state["rng"]["model"])
+            _restore_module_rng_states(self.criterion, state["rng"]["criterion"])
+            history = state["history"]
+            self.history.epochs = [dict(e) for e in history["epochs"]]
+            self.history.events = [dict(e) for e in history["events"]]
+        except IncompatibleStateError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IncompatibleStateError(
+                f"checkpoint does not fit this training session: {exc}"
+            ) from exc
 
 
 class Trainer:
@@ -110,7 +362,7 @@ class Trainer:
         )
         return model, criterion
 
-    def fit(
+    def start_session(
         self,
         dataset: RetrievalDataset,
         model: LightLT | None = None,
@@ -118,14 +370,12 @@ class Trainer:
         trainable_params: list | None = None,
         epochs: int | None = None,
         run_warm_start: bool | None = None,
-    ) -> tuple[LightLT, LightLTCriterion, TrainingHistory]:
-        """Run the optimisation loop; returns (model, criterion, history).
+    ) -> TrainingSession:
+        """Build model/criterion/optimiser/loader and return a fresh session.
 
-        ``trainable_params`` restricts optimisation to a parameter subset —
-        the hook the ensemble fine-tuning step uses to update only the DSQ
-        module (§III-E). ``run_warm_start`` forces or suppresses the
-        codebook/prototype warm start; by default it runs only for
-        freshly-built models.
+        This is ``fit`` minus the epoch loop: the fault-tolerant runtime
+        (checkpoint resume, guarded training) drives the returned session
+        itself.
         """
         config = self.training_config
         built_here = model is None or criterion is None
@@ -165,28 +415,69 @@ class Trainer:
         )
         total_steps = max(len(loader) * num_epochs, 1)
         scheduler = self._make_scheduler(optimizer, total_steps)
+        return TrainingSession(
+            trainer=self,
+            model=model,
+            criterion=criterion,
+            optimizer=optimizer,
+            scheduler=scheduler,
+            loader=loader,
+            flat_params=flat_params,
+            num_epochs=num_epochs,
+        )
 
-        history = TrainingHistory()
-        for _ in range(num_epochs):
-            epoch_terms: dict[str, list[float]] = {}
-            for features, labels in loader:
-                optimizer.zero_grad()
-                output = model(Tensor(features))
-                breakdown = criterion(
-                    output.logits, output.quantized, labels, embedding=output.embedding
-                )
-                breakdown.total.backward()
-                if config.max_grad_norm is not None:
-                    clip_gradients(flat_params, config.max_grad_norm)
-                optimizer.step()
-                scheduler.step()
-                for key, value in breakdown.to_floats().items():
-                    epoch_terms.setdefault(key, []).append(value)
-            history.epochs.append(
-                {key: float(np.mean(values)) for key, values in epoch_terms.items()}
-            )
-        model.eval()
-        return model, criterion, history
+    def fit(
+        self,
+        dataset: RetrievalDataset,
+        model: LightLT | None = None,
+        criterion: LightLTCriterion | None = None,
+        trainable_params: list | None = None,
+        epochs: int | None = None,
+        run_warm_start: bool | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        keep_checkpoints: int = 3,
+        hooks: TrainerHooks | None = None,
+    ) -> tuple[LightLT, LightLTCriterion, TrainingHistory]:
+        """Run the optimisation loop; returns (model, criterion, history).
+
+        ``trainable_params`` restricts optimisation to a parameter subset —
+        the hook the ensemble fine-tuning step uses to update only the DSQ
+        module (§III-E). ``run_warm_start`` forces or suppresses the
+        codebook/prototype warm start; by default it runs only for
+        freshly-built models.
+
+        With ``checkpoint_dir`` set, the full session state is written
+        atomically after every epoch (keeping the newest
+        ``keep_checkpoints`` files); ``resume=True`` then continues an
+        interrupted run bit-exactly from the newest valid checkpoint,
+        falling back past corrupt ones.
+        """
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        session = self.start_session(
+            dataset,
+            model=model,
+            criterion=criterion,
+            trainable_params=trainable_params,
+            epochs=epochs,
+            run_warm_start=run_warm_start,
+        )
+        manager = None
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+            if resume:
+                state = manager.load_latest_valid()
+                if state is not None:
+                    session.restore(state)
+        while not session.finished:
+            session.run_epoch(hooks=hooks)
+            if manager is not None:
+                manager.save(session.capture())
+            if hooks is not None and hooks.after_epoch is not None:
+                hooks.after_epoch(session.epochs_completed - 1, session)
+        session.model.eval()
+        return session.model, session.criterion, session.history
 
     def _make_scheduler(self, optimizer: AdamW, total_steps: int):
         config = self.training_config
@@ -240,6 +531,8 @@ def train_lightlt(
     loss_config: LossConfig = LossConfig(),
     training_config: TrainingConfig = TrainingConfig(),
     seed: int = 0,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> tuple[LightLT, TrainingHistory]:
     """Convenience one-call training entry point used by examples/benches."""
     if model_config is None:
@@ -247,5 +540,7 @@ def train_lightlt(
             input_dim=dataset.dim, num_classes=dataset.num_classes
         )
     trainer = Trainer(model_config, loss_config, training_config, seed=seed)
-    model, _, history = trainer.fit(dataset)
+    model, _, history = trainer.fit(
+        dataset, checkpoint_dir=checkpoint_dir, resume=resume
+    )
     return model, history

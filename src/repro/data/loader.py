@@ -36,6 +36,19 @@ class DataLoader:
         self.drop_last = drop_last
         self._rng = make_rng(rng)
 
+    def rng_state(self) -> dict:
+        """Snapshot of the shuffle generator, for checkpoint/resume.
+
+        The generator advances once per epoch, so restoring this state into
+        a fresh loader makes epoch ``k+1`` shuffle identically to an
+        uninterrupted run.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
     def __len__(self) -> int:
         """Number of batches per epoch."""
         full, partial = divmod(len(self.split), self.batch_size)

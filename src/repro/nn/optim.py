@@ -48,6 +48,41 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable optimisation state (not configuration), as copies.
+
+        Subclasses extend this with their per-parameter buffers; together
+        with the parameters themselves this is everything needed to resume
+        an interrupted run bit-exactly.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    def _load_buffers(
+        self, stored: list[np.ndarray], own: list[np.ndarray], name: str
+    ) -> list[np.ndarray]:
+        if len(stored) != len(own):
+            raise ValueError(
+                f"optimizer state mismatch: {len(stored)} stored {name} buffers "
+                f"for {len(own)} parameters"
+            )
+        restored = []
+        for i, (new, current) in enumerate(zip(stored, own)):
+            new = np.asarray(new, dtype=np.float64)
+            if new.shape != current.shape:
+                raise ValueError(
+                    f"optimizer {name}[{i}] shape mismatch: "
+                    f"stored {new.shape}, expected {current.shape}"
+                )
+            restored.append(new.copy())
+        return restored
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -76,6 +111,15 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * scale * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._load_buffers(state["velocity"], self._velocity, "velocity")
 
 
 class Adam(Optimizer):
@@ -116,6 +160,19 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * scale * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._m = self._load_buffers(state["m"], self._m, "m")
+        self._v = self._load_buffers(state["v"], self._v, "v")
 
 
 class AdamW(Adam):

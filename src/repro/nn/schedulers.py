@@ -33,6 +33,32 @@ class LRScheduler:
         self.optimizer.lr = new_lr
         return new_lr
 
+    def state_dict(self) -> dict:
+        """Mutable schedule position, sufficient to resume mid-run.
+
+        ``base_lr`` is included (not just the step counter) because the
+        training guard lowers it when backing off after a loss spike, and
+        that adjustment must survive a checkpoint/restore cycle.
+        """
+        return {
+            "current_step": self.current_step,
+            "base_lr": self.base_lr,
+            "total_steps": self.total_steps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if int(state["total_steps"]) != self.total_steps:
+            raise ValueError(
+                f"scheduler horizon mismatch: checkpoint has "
+                f"{int(state['total_steps'])} total steps, this run has "
+                f"{self.total_steps}"
+            )
+        self.current_step = int(state["current_step"])
+        self.base_lr = float(state["base_lr"])
+        if self.current_step > 0:
+            self.optimizer.lr = self.base_lr * self.multiplier(self.current_step)
+
 
 class ConstantLR(LRScheduler):
     """No-op schedule; keeps the base learning rate."""

@@ -3,29 +3,70 @@
 Used by the examples to persist trained LightLT models and by the ensemble
 workflow to shuttle member weights around without keeping all member graphs
 alive simultaneously.
+
+Archives are written through :mod:`repro.resilience.artifacts`: atomically
+(temp file + fsync + rename) and with an embedded per-array SHA-256
+manifest, so a truncated or bit-rotted file raises
+:class:`~repro.resilience.errors.CorruptArtifactError` at load time instead
+of yielding garbage weights. Loads additionally validate the archive
+against the *target* module — missing keys, unexpected keys, and shape
+mismatches raise :class:`~repro.resilience.errors.IncompatibleStateError`
+before any parameter is touched, so a failed load never leaves the module
+partially overwritten.
 """
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro.nn.module import Module
+from repro.resilience.artifacts import read_archive, write_archive
+from repro.resilience.errors import IncompatibleStateError
+
+MODULE_STATE_KIND = "module-state"
 
 
 def save_state(module: Module, path: str) -> None:
-    """Write ``module.state_dict()`` to ``path`` as a compressed archive."""
+    """Write ``module.state_dict()`` to ``path`` as a durable archive."""
     state = module.state_dict()
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    write_archive(
+        path,
+        state,
+        kind=MODULE_STATE_KIND,
+        meta={"num_parameters": len(state)},
+    )
+
+
+def validate_state(module: Module, state: dict[str, np.ndarray], source: str) -> None:
+    """Check that ``state`` fits ``module`` exactly; raise a typed error if not."""
+    own = {name: param.data.shape for name, param in module.named_parameters()}
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing or unexpected:
+        raise IncompatibleStateError(
+            f"{source} does not match the target module: "
+            f"missing keys {missing}, unexpected keys {unexpected}"
+        )
+    mismatched = [
+        f"{name}: archive has {np.asarray(state[name]).shape}, module expects {shape}"
+        for name, shape in own.items()
+        if np.asarray(state[name]).shape != shape
+    ]
+    if mismatched:
+        raise IncompatibleStateError(
+            f"{source} has shape mismatches: " + "; ".join(mismatched)
+        )
 
 
 def load_state(module: Module, path: str) -> None:
-    """Load an archive produced by :func:`save_state` into ``module``."""
-    if not os.path.exists(path):
-        raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
+    """Load an archive produced by :func:`save_state` into ``module``.
+
+    Verifies archive integrity (checksums, manifest) and compatibility with
+    ``module`` (key set, shapes) up front; the module is only modified once
+    every check has passed. Legacy archives written by earlier versions
+    (bare ``np.savez_compressed``) remain loadable, minus the checksum
+    verification.
+    """
+    state, _, _ = read_archive(path, kind=MODULE_STATE_KIND)
+    validate_state(module, state, source=f"archive {path!r}")
     module.load_state_dict(state)

@@ -1,0 +1,59 @@
+"""``repro.resilience`` — the fault-tolerant training & serving runtime.
+
+Durable, checksum-verified artifacts (:mod:`~repro.resilience.artifacts`),
+rotating crash-safe checkpoints (:mod:`~repro.resilience.checkpoint`),
+divergence guards with rollback + LR backoff
+(:mod:`~repro.resilience.guards`), typed failure modes
+(:mod:`~repro.resilience.errors`), and a deterministic fault-injection
+harness (:mod:`~repro.resilience.faults`) used by the test suite to prove
+recovery end-to-end.
+"""
+
+from repro.resilience.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    read_archive,
+    write_archive,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_KIND,
+    CheckpointManager,
+    flatten_state,
+    unflatten_state,
+)
+from repro.resilience.errors import (
+    CorruptArtifactError,
+    IncompatibleStateError,
+    ResilienceError,
+    TrainingDivergedError,
+)
+from repro.resilience.faults import (
+    AlwaysNaNLoss,
+    NaNLossInjector,
+    SimulatedCrash,
+    crash_after_epoch,
+    flip_bytes,
+    truncate_file,
+)
+from repro.resilience.guards import GuardedTrainer, GuardPolicy
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "AlwaysNaNLoss",
+    "CHECKPOINT_KIND",
+    "CheckpointManager",
+    "CorruptArtifactError",
+    "GuardPolicy",
+    "GuardedTrainer",
+    "IncompatibleStateError",
+    "NaNLossInjector",
+    "ResilienceError",
+    "SimulatedCrash",
+    "TrainingDivergedError",
+    "crash_after_epoch",
+    "flatten_state",
+    "flip_bytes",
+    "read_archive",
+    "truncate_file",
+    "unflatten_state",
+    "write_archive",
+]

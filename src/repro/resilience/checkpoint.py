@@ -1,0 +1,166 @@
+"""Epoch checkpoints: rotation, atomic persistence, and corrupt-file fallback.
+
+A checkpoint is the complete mutable state of a training session — model and
+criterion parameters, optimizer moments, scheduler position, data-loader and
+dropout RNG states, and the recorded history — captured after an epoch so an
+interrupted run resumes *bit-exactly* where it stopped. The state travels as
+a nested dict whose leaves are either ``np.ndarray`` (stored as archive
+members) or JSON-able scalars/containers (stored in the archive's meta
+document); :func:`flatten_state`/:func:`unflatten_state` convert between the
+two representations generically.
+
+:class:`CheckpointManager` owns a directory of ``checkpoint-epochNNNNN.npz``
+files, keeps the newest ``keep`` of them, and — because archives are
+integrity-checked on load — recovers from a corrupt newest checkpoint by
+falling back to the next older valid one.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import numpy as np
+
+from repro.resilience.artifacts import read_archive, write_archive
+from repro.resilience.errors import CorruptArtifactError, IncompatibleStateError
+
+CHECKPOINT_KIND = "training-checkpoint"
+
+_ARRAY_PLACEHOLDER = "__array__"
+_FILENAME = "checkpoint-epoch{epoch:05d}.npz"
+_FILENAME_RE = re.compile(r"^checkpoint-epoch(\d{5})\.npz$")
+
+
+def flatten_state(state: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """Split a nested state tree into (arrays, JSON-able skeleton).
+
+    Array leaves are replaced in the skeleton by ``{"__array__": key}``
+    placeholders pointing into the flat array dict; everything else must be
+    JSON-serialisable and stays in the skeleton verbatim.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def walk(node: object, path: str) -> object:
+        if isinstance(node, np.ndarray):
+            arrays[path] = node
+            return {_ARRAY_PLACEHOLDER: path}
+        if isinstance(node, dict):
+            return {key: walk(value, f"{path}/{key}") for key, value in node.items()}
+        if isinstance(node, (list, tuple)):
+            return [walk(item, f"{path}/{i}") for i, item in enumerate(node)]
+        if isinstance(node, (np.integer, np.floating)):
+            return node.item()
+        return node
+
+    skeleton = walk(state, "state")
+    return arrays, skeleton
+
+
+def unflatten_state(arrays: dict[str, np.ndarray], skeleton: dict) -> dict:
+    """Inverse of :func:`flatten_state`."""
+
+    def walk(node: object) -> object:
+        if isinstance(node, dict):
+            if set(node) == {_ARRAY_PLACEHOLDER}:
+                key = node[_ARRAY_PLACEHOLDER]
+                if key not in arrays:
+                    raise CorruptArtifactError(
+                        f"checkpoint references missing array {key!r}"
+                    )
+                return arrays[key]
+            return {key: walk(value) for key, value in node.items()}
+        if isinstance(node, list):
+            return [walk(item) for item in node]
+        return node
+
+    return walk(skeleton)
+
+
+class CheckpointManager:
+    """Saves, rotates, and restores training checkpoints in one directory.
+
+    ``keep`` bounds disk use: after each save, only the newest ``keep``
+    checkpoints survive. Loading scans newest-to-oldest and transparently
+    skips corrupt files (recording them in :attr:`skipped`), so a crash
+    mid-``fsync`` or a damaged disk block costs at most one epoch of work.
+    """
+
+    def __init__(self, directory: str, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = directory
+        self.keep = keep
+        self.skipped: list[tuple[str, str]] = []  # (path, reason) of corrupt files
+        os.makedirs(directory, exist_ok=True)
+        self._sweep_stale_temps()
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, epoch: int) -> str:
+        return os.path.join(self.directory, _FILENAME.format(epoch=epoch))
+
+    def list_checkpoints(self) -> list[tuple[int, str]]:
+        """All on-disk checkpoints as ``(epoch, path)``, oldest first."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = _FILENAME_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(self, state: dict) -> str:
+        """Persist ``state`` (must contain an integer ``"epoch"``); prune old files."""
+        epoch = int(state["epoch"])
+        arrays, skeleton = flatten_state(state)
+        path = self.checkpoint_path(epoch)
+        write_archive(path, arrays, kind=CHECKPOINT_KIND, meta=skeleton)
+        self._prune()
+        return path
+
+    def load(self, path: str) -> dict:
+        """Load one checkpoint file, verifying integrity."""
+        arrays, skeleton, manifest = read_archive(path, kind=CHECKPOINT_KIND)
+        if manifest is None or skeleton is None:
+            raise CorruptArtifactError(
+                f"{path!r} is not a structured checkpoint archive"
+            )
+        return unflatten_state(arrays, skeleton)
+
+    def load_latest_valid(self) -> dict | None:
+        """Newest checkpoint that passes verification, or None if there is none.
+
+        Corrupt checkpoints encountered on the way are remembered in
+        :attr:`skipped`; an :class:`IncompatibleStateError` is *not* skipped
+        — older checkpoints would be equally incompatible and silently
+        resuming from the distant past would be worse than failing.
+        """
+        for epoch, path in reversed(self.list_checkpoints()):
+            try:
+                return self.load(path)
+            except CorruptArtifactError as exc:
+                self.skipped.append((path, str(exc)))
+            except IncompatibleStateError:
+                raise
+        return None
+
+    def _prune(self) -> None:
+        checkpoints = self.list_checkpoints()
+        for _, path in checkpoints[: max(len(checkpoints) - self.keep, 0)]:
+            os.unlink(path)
+        self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> None:
+        # A crash mid-write leaves an orphaned temp file next to the real
+        # checkpoints; no write of ours is in flight when this runs (manager
+        # construction or just after a completed save), so any temp is stale.
+        for name in os.listdir(self.directory):
+            if ".npz.tmp-" in name and _FILENAME_RE.match(name.split(".npz.tmp-")[0] + ".npz"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:  # pragma: no cover - racing deletion is fine
+                    pass

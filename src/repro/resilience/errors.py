@@ -1,0 +1,48 @@
+"""Typed failure modes of the fault-tolerant runtime.
+
+Every durable artifact (model state, quantized index, training checkpoint)
+can fail in exactly two interesting ways: the bytes on disk are damaged, or
+the bytes are intact but describe something other than what the caller is
+trying to load. The two exception types below keep those cases distinct so
+recovery code can fall back past corruption while refusing to paper over a
+genuine incompatibility. Both subclass :class:`ValueError` so pre-existing
+callers that caught ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Common base for all fault-tolerance errors."""
+
+
+class CorruptArtifactError(ResilienceError, ValueError):
+    """An on-disk artifact is unreadable or fails integrity verification.
+
+    Raised for truncated archives, zip/zlib-level damage, checksum
+    mismatches, and archives whose contents disagree with their embedded
+    manifest. Safe to handle by falling back to an older artifact.
+    """
+
+
+class IncompatibleStateError(ResilienceError, ValueError):
+    """An artifact is intact but does not match what the caller expects.
+
+    Raised for unknown format versions, wrong artifact kinds (e.g. loading
+    an index archive as a model checkpoint), missing/unexpected parameter
+    keys, and shape or configuration mismatches. Falling back to an older
+    artifact will not help; the caller's expectation is wrong.
+    """
+
+
+class TrainingDivergedError(ResilienceError, RuntimeError):
+    """Training kept diverging after the guard exhausted its retries.
+
+    Carries the intervention log so the failure report shows exactly which
+    epochs spiked, what was rolled back, and which learning rates were
+    attempted before giving up.
+    """
+
+    def __init__(self, message: str, interventions: list[dict] | None = None):
+        super().__init__(message)
+        self.interventions = list(interventions or [])

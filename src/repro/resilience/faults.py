@@ -1,0 +1,117 @@
+"""Deterministic fault injection for testing the fault-tolerant runtime.
+
+Three failure families, each seeded/explicit so tests are reproducible:
+
+- **Loss faults** — :class:`NaNLossInjector` poisons the training loss at
+  chosen ``(epoch, step)`` coordinates via the trainer's ``transform_loss``
+  hook, simulating the divergence spikes long-tail class weighting invites.
+- **Process faults** — :func:`crash_after_epoch` raises
+  :class:`SimulatedCrash` from the ``after_epoch`` hook, modelling a
+  mid-run kill between checkpoint writes.
+- **Storage faults** — :func:`truncate_file` and :func:`flip_bytes` damage
+  saved archives the way real disks do (partial write, silent bit rot).
+
+Nothing here is imported by production code paths; the trainer only sees
+ordinary hook callables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.rng import make_rng
+
+
+class SimulatedCrash(RuntimeError):
+    """Stand-in for an abrupt process kill during training."""
+
+
+class NaNLossInjector:
+    """Callable ``transform_loss`` hook that poisons chosen training steps.
+
+    ``at`` lists ``(epoch, step)`` coordinates (both zero-based; ``step`` is
+    the batch index within the epoch). With ``once=True`` (the default)
+    each coordinate fires a single time, so a guarded trainer that rolls
+    back and retries the epoch sees a clean second attempt — mimicking a
+    transient spike rather than a persistent data problem.
+    """
+
+    def __init__(self, at: list[tuple[int, int]] | set[tuple[int, int]], once: bool = True):
+        try:
+            self.at = {(int(e), int(s)) for e, s in at}
+        except TypeError:
+            raise TypeError(
+                "at must be a collection of (epoch, step) pairs, e.g. "
+                f"at=[(1, 3)]; got {at!r}"
+            ) from None
+        self.once = once
+        self.fired: list[tuple[int, int]] = []
+
+    def __call__(self, epoch: int, step: int, value: float) -> float:
+        key = (epoch, step)
+        if key in self.at and not (self.once and key in self.fired):
+            self.fired.append(key)
+            return float("nan")
+        return value
+
+
+class AlwaysNaNLoss:
+    """Hook that poisons *every* step of the given epochs — a persistent
+    divergence no amount of retrying fixes, for exercising the guard's
+    bounded-retry failure path."""
+
+    def __init__(self, epochs: set[int] | list[int]):
+        self.epochs = {int(e) for e in epochs}
+
+    def __call__(self, epoch: int, step: int, value: float) -> float:
+        return float("nan") if epoch in self.epochs else value
+
+
+def crash_after_epoch(epoch: int):
+    """``after_epoch`` hook raising :class:`SimulatedCrash` once ``epoch`` ends.
+
+    The hook runs *after* the epoch's checkpoint is written, so it models
+    the common case: the process dies between one durable checkpoint and
+    the next epoch's work.
+    """
+
+    def hook(completed_epoch: int, session) -> None:
+        if completed_epoch == epoch:
+            raise SimulatedCrash(f"simulated crash after epoch {epoch}")
+
+    return hook
+
+
+def truncate_file(path: str, fraction: float = 0.5) -> None:
+    """Chop a file to ``fraction`` of its size — a partial/interrupted write."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must lie in [0, 1)")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(int(size * fraction))
+
+
+def flip_bytes(path: str, count: int = 1, seed: int = 0) -> list[int]:
+    """XOR ``count`` seeded-random bytes of a file with 0xFF — silent bit rot.
+
+    Offsets avoid the first 16 bytes so the zip signature survives and the
+    damage lands in content rather than being trivially detectable; returns
+    the flipped offsets for test assertions.
+    """
+    size = os.path.getsize(path)
+    if size <= 16:
+        raise ValueError(f"{path!r} is too small to corrupt meaningfully")
+    rng = make_rng(seed)
+    # Unique offsets: flipping the same byte twice would undo the damage.
+    offsets = sorted(
+        int(o) + 16 for o in rng.choice(size - 16, size=min(count, size - 16), replace=False)
+    )
+    with open(path, "r+b") as handle:
+        for offset in offsets:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+    return offsets

@@ -1,0 +1,156 @@
+"""Guarded training: detect divergence, roll back, back off, retry.
+
+Long-tail training is unusually spike-prone — the class-weighted losses of
+§III-D multiply gradients on rare classes by large factors, so one unlucky
+batch can blow the loss to NaN/Inf. :class:`GuardedTrainer` wraps a
+:class:`~repro.core.trainer.Trainer` with a checkpoint-backed recovery
+policy:
+
+1. every epoch ends with an atomic checkpoint (plus one *initial*
+   checkpoint before epoch 0, so even a first-epoch divergence has a
+   rollback target);
+2. an epoch that skipped steps (non-finite loss or gradient norm), recorded
+   a non-finite mean, or exceeded the configured gradient-norm ceiling is
+   rolled back to the last valid checkpoint and retried with the base
+   learning rate multiplied by ``lr_backoff``;
+3. retries are bounded; exhausting them raises
+   :class:`TrainingDivergedError` carrying the full intervention log.
+
+Every rollback is appended to ``history.events`` so the recovery story is
+visible in the returned :class:`TrainingHistory` and survives checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.errors import TrainingDivergedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.trainer import EpochReport, TrainerHooks, Trainer
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """When to intervene and how hard to back off.
+
+    ``max_retries`` bounds attempts *per epoch*; the counter resets on any
+    successful epoch. ``lr_backoff`` multiplies the scheduler's base LR on
+    each rollback (cumulatively across consecutive failures).
+    ``grad_norm_limit`` optionally treats a finite-but-huge clipped
+    gradient norm as divergence too.
+    """
+
+    max_retries: int = 2
+    lr_backoff: float = 0.5
+    grad_norm_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError("lr_backoff must lie in (0, 1)")
+
+
+class GuardedTrainer:
+    """A :class:`Trainer` front-end that survives loss spikes and crashes."""
+
+    def __init__(
+        self,
+        trainer: "Trainer",
+        checkpoint_dir: str,
+        policy: GuardPolicy = GuardPolicy(),
+        keep_checkpoints: int = 3,
+    ):
+        self.trainer = trainer
+        self.checkpoint_dir = checkpoint_dir
+        self.policy = policy
+        self.keep_checkpoints = keep_checkpoints
+
+    def fit(
+        self,
+        dataset,
+        resume: bool = False,
+        hooks: "TrainerHooks | None" = None,
+        **session_kwargs,
+    ):
+        """Guarded version of ``Trainer.fit``; same return triple.
+
+        ``session_kwargs`` pass through to ``Trainer.start_session``
+        (``model=``, ``epochs=``, ``trainable_params=``, ...).
+        """
+        session = self.trainer.start_session(dataset, **session_kwargs)
+        manager = CheckpointManager(self.checkpoint_dir, keep=self.keep_checkpoints)
+        restored = manager.load_latest_valid() if resume else None
+        if restored is not None:
+            session.restore(restored)
+        else:
+            # Epoch-0 baseline: the rollback target for a first-epoch spike.
+            manager.save(session.capture())
+        retries = 0
+        while not session.finished:
+            failing_epoch = session.epochs_completed
+            report = session.run_epoch(hooks=hooks)
+            reason = self._diagnose(report)
+            if reason is not None:
+                if retries >= self.policy.max_retries:
+                    raise TrainingDivergedError(
+                        f"epoch {failing_epoch} still diverging ({reason}) after "
+                        f"{retries} rollback(s); last base LR "
+                        f"{session.scheduler.base_lr:.3g}. Interventions: "
+                        f"{session.history.events}",
+                        interventions=session.history.events,
+                    )
+                retries += 1
+                state = manager.load_latest_valid()
+                if state is None:
+                    raise TrainingDivergedError(
+                        f"epoch {failing_epoch} diverged ({reason}) and no valid "
+                        "checkpoint remains to roll back to",
+                        interventions=session.history.events,
+                    )
+                # Restore resets history to the checkpointed prefix; keep the
+                # interventions recorded since then (events only ever append,
+                # so the checkpoint's list is a prefix of the current one).
+                prior_events = list(session.history.events)
+                session.restore(state)
+                if len(prior_events) > len(session.history.events):
+                    session.history.events.extend(
+                        prior_events[len(session.history.events):]
+                    )
+                # The restore reset base_lr to the checkpointed value, so
+                # consecutive retries of the same epoch compound the backoff.
+                session.scheduler.base_lr *= self.policy.lr_backoff**retries
+                session.history.events.append(
+                    {
+                        "type": "rollback",
+                        "epoch": failing_epoch,
+                        "retry": retries,
+                        "reason": reason,
+                        "skipped_steps": report.skipped_steps,
+                        "base_lr": session.scheduler.base_lr,
+                    }
+                )
+                continue
+            retries = 0
+            manager.save(session.capture())
+            if hooks is not None and hooks.after_epoch is not None:
+                hooks.after_epoch(session.epochs_completed - 1, session)
+        session.model.eval()
+        return session.model, session.criterion, session.history
+
+    def _diagnose(self, report: "EpochReport") -> str | None:
+        """A human-readable divergence reason, or None for a healthy epoch."""
+        if report.skipped_steps > 0:
+            return f"{report.skipped_steps} step(s) skipped on non-finite loss/grad"
+        if any(not math.isfinite(v) for v in report.terms.values()):
+            return "non-finite epoch loss"
+        limit = self.policy.grad_norm_limit
+        if limit is not None and report.grad_norm_max > limit:
+            return (
+                f"gradient norm {report.grad_norm_max:.3g} exceeded limit {limit:.3g}"
+            )
+        return None

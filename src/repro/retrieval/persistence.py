@@ -4,6 +4,16 @@ A deployed LightLT system stores exactly what §IV budgets for: the
 codebooks, the per-item codeword ids, the per-item norms, and (optionally)
 labels. This module round-trips a :class:`QuantizedIndex` through a single
 ``.npz`` archive so indexes can be built offline and served elsewhere.
+
+Serving correctness depends on these archives being trustworthy, so writes
+go through :mod:`repro.resilience.artifacts` (atomic rename, embedded
+SHA-256 manifest) and loads validate everything a served index relies on:
+archive integrity, format version, and mutual shape/dtype consistency of
+``codes``/``codebooks``/``db_sq_norms``/``labels``. A damaged archive
+raises :class:`~repro.resilience.errors.CorruptArtifactError`; an archive
+from an unknown format raises
+:class:`~repro.resilience.errors.IncompatibleStateError` — never a
+garbage index.
 """
 
 from __future__ import annotations
@@ -12,19 +22,21 @@ import os
 
 import numpy as np
 
+from repro.resilience.artifacts import read_archive, write_archive
+from repro.resilience.errors import CorruptArtifactError, IncompatibleStateError
 from repro.retrieval.index import QuantizedIndex
 
 _FORMAT_VERSION = 1
 
+INDEX_KIND = "quantized-index"
+
 
 def save_index(index: QuantizedIndex, path: str) -> None:
-    """Write an index to ``path`` as a compressed ``.npz`` archive.
+    """Write an index to ``path`` as a durable compressed ``.npz`` archive.
 
     Codes are stored in the smallest unsigned integer dtype that fits the
     codebook size, mirroring the ``M·log2(K)/8`` bytes-per-item budget.
     """
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
     if index.num_codewords <= 256:
         code_dtype = np.uint8
     elif index.num_codewords <= 65536:
@@ -39,26 +51,80 @@ def save_index(index: QuantizedIndex, path: str) -> None:
     }
     if index.labels is not None:
         payload["labels"] = index.labels
-    np.savez_compressed(path, **payload)
+    write_archive(
+        path,
+        payload,
+        kind=INDEX_KIND,
+        meta={
+            "num_items": len(index),
+            "num_codebooks": index.num_codebooks,
+            "num_codewords": index.num_codewords,
+            "dim": index.dim,
+        },
+    )
+
+
+def _validate_index_arrays(path: str, arrays: dict[str, np.ndarray]) -> None:
+    """Reject archives whose members cannot form a consistent index."""
+    required = ("version", "codebooks", "codes", "db_sq_norms")
+    missing = [key for key in required if key not in arrays]
+    if missing:
+        raise CorruptArtifactError(
+            f"index archive {path!r} is missing required arrays: {missing}"
+        )
+    version = int(np.asarray(arrays["version"]).reshape(-1)[0])
+    if version != _FORMAT_VERSION:
+        raise IncompatibleStateError(
+            f"unsupported index format version {version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    codebooks = arrays["codebooks"]
+    codes = arrays["codes"]
+    norms = arrays["db_sq_norms"]
+    if codebooks.ndim != 3:
+        raise CorruptArtifactError(
+            f"index archive {path!r}: codebooks must be (M, K, d), "
+            f"got shape {codebooks.shape}"
+        )
+    m, k, _ = codebooks.shape
+    if codes.ndim != 2 or codes.shape[1] != m:
+        raise CorruptArtifactError(
+            f"index archive {path!r}: codes shape {codes.shape} disagrees with "
+            f"{m} codebooks (expected (n, {m}))"
+        )
+    if not np.issubdtype(codes.dtype, np.integer):
+        raise CorruptArtifactError(
+            f"index archive {path!r}: codes must be integer, got {codes.dtype}"
+        )
+    if codes.size and (codes.min() < 0 or codes.max() >= k):
+        raise CorruptArtifactError(
+            f"index archive {path!r}: codes reference codewords outside "
+            f"[0, {k}) — archive and codebooks disagree"
+        )
+    if norms.ndim != 1 or len(norms) != len(codes):
+        raise CorruptArtifactError(
+            f"index archive {path!r}: db_sq_norms shape {norms.shape} disagrees "
+            f"with {len(codes)} coded items"
+        )
+    if "labels" in arrays and len(arrays["labels"]) != len(codes):
+        raise CorruptArtifactError(
+            f"index archive {path!r}: {len(arrays['labels'])} labels for "
+            f"{len(codes)} coded items"
+        )
 
 
 def load_index(path: str) -> QuantizedIndex:
-    """Load an archive produced by :func:`save_index`."""
+    """Load and validate an archive produced by :func:`save_index`."""
     if not os.path.exists(path):
         raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        version = int(archive["version"][0])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index format version {version} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        return QuantizedIndex(
-            codebooks=archive["codebooks"].astype(np.float64),
-            codes=archive["codes"].astype(np.int64),
-            db_sq_norms=archive["db_sq_norms"].astype(np.float64),
-            labels=archive["labels"] if "labels" in archive.files else None,
-        )
+    arrays, _, _ = read_archive(path, kind=INDEX_KIND)
+    _validate_index_arrays(path, arrays)
+    return QuantizedIndex(
+        codebooks=arrays["codebooks"].astype(np.float64),
+        codes=arrays["codes"].astype(np.int64),
+        db_sq_norms=arrays["db_sq_norms"].astype(np.float64),
+        labels=arrays["labels"] if "labels" in arrays else None,
+    )
 
 
 def index_file_size(path: str) -> int:

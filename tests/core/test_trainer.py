@@ -160,3 +160,16 @@ class TestClipGradients:
     def test_ignores_missing_gradients(self):
         p = Parameter(np.zeros(4))
         assert clip_gradients([p], max_norm=1.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_norm_zeroes_gradients(self, bad):
+        # A NaN/Inf norm must not scale every gradient to NaN — the step is
+        # zeroed and the non-finite norm surfaced to the caller instead.
+        poisoned = Parameter(np.zeros(4))
+        poisoned.grad = np.array([1.0, bad, 2.0, 3.0])
+        healthy = Parameter(np.zeros(3))
+        healthy.grad = np.full(3, 5.0)
+        norm = clip_gradients([poisoned, healthy], max_norm=1.0)
+        assert not np.isfinite(norm)
+        assert np.array_equal(poisoned.grad, np.zeros(4))
+        assert np.array_equal(healthy.grad, np.zeros(3))

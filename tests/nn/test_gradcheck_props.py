@@ -6,9 +6,11 @@ autograd substrate computes exact gradients for whatever expression the
 models build.
 """
 
+import math
+
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.nn import Tensor, l2_normalize, log_softmax, softmax
@@ -61,6 +63,13 @@ def test_random_compositions_match_numerical_gradient(x, op_names, reduction_nam
         for op in ops:
             t = op(t)
         return reduction(t)
+
+    # Central differences lose ~|f|·eps_mach/eps absolute accuracy, so huge
+    # outputs (e.g. scale→square→exp reaching e^64) are ill-conditioned by
+    # construction, not evidence of a wrong gradient — restrict the property
+    # to the regime where finite differences are trustworthy.
+    value = float(fn(Tensor(x)).data)
+    assume(math.isfinite(value) and abs(value) < 1e5)
 
     ok, err = check_gradient(fn, x, eps=1e-6, atol=2e-4, rtol=1e-3)
     assert ok, (op_names, reduction_name, err)

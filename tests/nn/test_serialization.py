@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.nn import MLP, Tensor, load_state, save_state
+from repro.resilience.errors import CorruptArtifactError, IncompatibleStateError
+from repro.resilience.faults import flip_bytes, truncate_file
 
 
 def test_save_load_roundtrip(tmp_path):
@@ -29,3 +31,58 @@ def test_save_creates_directories(tmp_path):
     nested = str(tmp_path / "a" / "b" / "model.npz")
     save_state(model, nested)
     load_state(model, nested)
+
+
+class TestLoadValidation:
+    """Archives that do not fit the target module are refused up front."""
+
+    def test_wrong_architecture_missing_and_unexpected_keys(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_state(MLP([4, 6, 2], np.random.default_rng(0)), path)
+        other = MLP([4, 2], np.random.default_rng(1))  # fewer layers
+        with pytest.raises(IncompatibleStateError, match="missing keys|unexpected keys"):
+            load_state(other, path)
+
+    def test_shape_mismatch_is_descriptive(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_state(MLP([4, 6, 2], np.random.default_rng(0)), path)
+        other = MLP([4, 8, 2], np.random.default_rng(1))  # same keys, other widths
+        with pytest.raises(IncompatibleStateError, match="shape"):
+            load_state(other, path)
+
+    def test_failed_load_leaves_module_untouched(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_state(MLP([4, 6, 2], np.random.default_rng(0)), path)
+        target = MLP([4, 8, 2], np.random.default_rng(1))
+        before = target.state_dict()
+        with pytest.raises(IncompatibleStateError):
+            load_state(target, path)
+        after = target.state_dict()
+        assert all(np.array_equal(before[key], after[key]) for key in before)
+
+    def test_legacy_archive_still_loads(self, tmp_path):
+        # Archives written by the pre-manifest format (bare savez) load fine.
+        source = MLP([3, 5, 2], np.random.default_rng(0))
+        path = str(tmp_path / "legacy.npz")
+        np.savez_compressed(path, **source.state_dict())
+        target = MLP([3, 5, 2], np.random.default_rng(1))
+        load_state(target, path)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3)))
+        source.eval(), target.eval()
+        assert np.allclose(source(x).data, target(x).data)
+
+
+class TestCorruptionDetection:
+    def test_truncated_archive(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_state(MLP([6, 8, 4], np.random.default_rng(0)), path)
+        truncate_file(path, fraction=0.5)
+        with pytest.raises(CorruptArtifactError):
+            load_state(MLP([6, 8, 4], np.random.default_rng(1)), path)
+
+    def test_bit_flipped_archive(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_state(MLP([6, 8, 4], np.random.default_rng(0)), path)
+        flip_bytes(path, count=4, seed=0)
+        with pytest.raises(CorruptArtifactError):
+            load_state(MLP([6, 8, 4], np.random.default_rng(1)), path)

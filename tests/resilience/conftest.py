@@ -1,0 +1,33 @@
+"""Shared helpers for the resilience suite: a tiny, fast training setup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.losses import LossConfig
+from repro.core.model import LightLTConfig
+from repro.core.trainer import Trainer, TrainingConfig
+
+from tests.conftest import build_tiny_dataset
+
+
+def tiny_trainer(dataset, seed: int = 0, epochs: int = 4, **config_overrides) -> Trainer:
+    """A trainer small enough that a 4-epoch fit takes well under a second."""
+    model_config = LightLTConfig(
+        input_dim=dataset.dim,
+        num_classes=dataset.num_classes,
+        embed_dim=dataset.dim,
+        hidden_dims=(16,),
+        num_codebooks=3,
+        num_codewords=8,
+    )
+    training_config = TrainingConfig(
+        epochs=epochs, batch_size=32, learning_rate=2e-3, **config_overrides
+    )
+    return Trainer(model_config, LossConfig(), training_config, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def resilience_dataset():
+    """Module-scoped so the synthetic dataset is built once per file."""
+    return build_tiny_dataset()

@@ -1,0 +1,98 @@
+"""Tests for durable archives: atomicity, checksums, and typed failures."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    MANIFEST_KEY,
+    read_archive,
+    write_archive,
+)
+from repro.resilience.errors import CorruptArtifactError, IncompatibleStateError
+from repro.resilience.faults import flip_bytes, truncate_file
+
+
+def sample_arrays(seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "weights": rng.normal(size=(8, 4)),
+        "codes": rng.integers(0, 255, size=(20, 3)).astype(np.uint8),
+    }
+
+
+class TestRoundTrip:
+    def test_arrays_and_meta_survive(self, tmp_path):
+        path = str(tmp_path / "artifact.npz")
+        arrays = sample_arrays()
+        write_archive(path, arrays, kind="test-kind", meta={"note": "hello", "n": 3})
+        loaded, meta, manifest = read_archive(path, kind="test-kind")
+        assert set(loaded) == set(arrays)
+        for key in arrays:
+            assert np.array_equal(loaded[key], arrays[key])
+            assert loaded[key].dtype == arrays[key].dtype
+        assert meta == {"note": "hello", "n": 3}
+        assert manifest["kind"] == "test-kind"
+        assert manifest["format_version"] == ARTIFACT_FORMAT_VERSION
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        path = str(tmp_path / "artifact.npz")
+        write_archive(path, sample_arrays(), kind="test-kind")
+        write_archive(path, sample_arrays(1), kind="test-kind")  # overwrite in place
+        assert sorted(os.listdir(tmp_path)) == ["artifact.npz"]
+
+    def test_reserved_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            write_archive(
+                str(tmp_path / "a.npz"), {MANIFEST_KEY: np.zeros(1)}, kind="test-kind"
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_archive(str(tmp_path / "absent.npz"))
+
+
+class TestCorruptionDetection:
+    def test_truncation_raises_corrupt(self, tmp_path):
+        path = str(tmp_path / "artifact.npz")
+        write_archive(path, sample_arrays(), kind="test-kind")
+        truncate_file(path, fraction=0.5)
+        with pytest.raises(CorruptArtifactError):
+            read_archive(path, kind="test-kind")
+
+    def test_bit_flip_raises_corrupt(self, tmp_path):
+        path = str(tmp_path / "artifact.npz")
+        write_archive(path, sample_arrays(), kind="test-kind")
+        flip_bytes(path, count=4, seed=0)
+        with pytest.raises(CorruptArtifactError):
+            read_archive(path, kind="test-kind")
+
+    def test_array_swapped_after_write_fails_checksum(self, tmp_path):
+        # Re-pack the archive with one member altered but structurally valid:
+        # only the embedded checksum can catch this.
+        path = str(tmp_path / "artifact.npz")
+        write_archive(path, sample_arrays(), kind="test-kind")
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["weights"] = payload["weights"] + 1e-9
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            read_archive(path, kind="test-kind")
+
+
+class TestCompatibility:
+    def test_wrong_kind(self, tmp_path):
+        path = str(tmp_path / "artifact.npz")
+        write_archive(path, sample_arrays(), kind="model")
+        with pytest.raises(IncompatibleStateError, match="kind"):
+            read_archive(path, kind="index")
+
+    def test_legacy_archive_loads_without_manifest(self, tmp_path):
+        path = str(tmp_path / "legacy.npz")
+        arrays = sample_arrays()
+        np.savez_compressed(path, **arrays)
+        loaded, meta, manifest = read_archive(path, kind="anything")
+        assert manifest is None and meta is None
+        assert np.array_equal(loaded["weights"], arrays["weights"])

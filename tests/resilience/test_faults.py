@@ -1,0 +1,105 @@
+"""Tests for the fault-injection harness itself: determinism and targeting."""
+
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    AlwaysNaNLoss,
+    NaNLossInjector,
+    SimulatedCrash,
+    crash_after_epoch,
+    flip_bytes,
+    truncate_file,
+)
+
+
+class TestNaNLossInjector:
+    def test_fires_only_at_coordinates(self):
+        injector = NaNLossInjector(at=[(1, 2)])
+        assert injector(0, 0, 1.0) == 1.0
+        assert injector(1, 1, 1.0) == 1.0
+        import math
+
+        assert math.isnan(injector(1, 2, 1.0))
+
+    def test_once_semantics(self):
+        injector = NaNLossInjector(at=[(0, 0)], once=True)
+        import math
+
+        assert math.isnan(injector(0, 0, 1.0))
+        assert injector(0, 0, 1.0) == 1.0  # retry of the epoch sees a clean step
+        assert injector.fired == [(0, 0)]
+
+    def test_repeating_injection(self):
+        injector = NaNLossInjector(at=[(0, 0)], once=False)
+        import math
+
+        assert math.isnan(injector(0, 0, 1.0))
+        assert math.isnan(injector(0, 0, 1.0))
+
+    def test_bare_pair_gets_a_helpful_error(self):
+        # at=(1, 3) instead of at=[(1, 3)] is an easy slip; the error
+        # should show the expected shape, not an unpacking TypeError.
+        with pytest.raises(TypeError, match=r"\(epoch, step\) pairs"):
+            NaNLossInjector(at=(1, 3))
+
+    def test_always_nan_targets_epochs(self):
+        import math
+
+        hook = AlwaysNaNLoss(epochs=[2])
+        assert hook(1, 5, 0.3) == 0.3
+        assert math.isnan(hook(2, 0, 0.3))
+
+
+class TestCrashHook:
+    def test_raises_only_on_target_epoch(self):
+        hook = crash_after_epoch(2)
+        hook(0, None)
+        hook(1, None)
+        with pytest.raises(SimulatedCrash):
+            hook(2, None)
+
+
+class TestStorageFaults:
+    def test_truncate(self, tmp_path):
+        path = str(tmp_path / "blob")
+        with open(path, "wb") as handle:
+            handle.write(bytes(100))
+        truncate_file(path, fraction=0.25)
+        assert os.path.getsize(path) == 25
+
+    def test_truncate_fraction_bounds(self, tmp_path):
+        path = str(tmp_path / "blob")
+        with open(path, "wb") as handle:
+            handle.write(bytes(10))
+        with pytest.raises(ValueError):
+            truncate_file(path, fraction=1.0)
+
+    def test_flip_bytes_is_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        for path in (a, b):
+            with open(path, "wb") as handle:
+                handle.write(bytes(range(256)))
+        assert flip_bytes(a, count=3, seed=42) == flip_bytes(b, count=3, seed=42)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_flip_bytes_changes_content(self, tmp_path):
+        path = str(tmp_path / "blob")
+        original = bytes(range(256))
+        with open(path, "wb") as handle:
+            handle.write(original)
+        offsets = flip_bytes(path, count=2, seed=0)
+        with open(path, "rb") as handle:
+            mutated = handle.read()
+        assert mutated != original
+        for offset in offsets:
+            assert mutated[offset] == original[offset] ^ 0xFF
+
+    def test_flip_bytes_rejects_tiny_files(self, tmp_path):
+        path = str(tmp_path / "tiny")
+        with open(path, "wb") as handle:
+            handle.write(bytes(8))
+        with pytest.raises(ValueError):
+            flip_bytes(path)

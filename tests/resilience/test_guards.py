@@ -1,0 +1,108 @@
+"""Tests for guarded training: NaN detection, rollback, backoff, failure."""
+
+import math
+
+import pytest
+
+from repro.core.trainer import TrainerHooks
+from repro.resilience.errors import TrainingDivergedError
+from repro.resilience.faults import AlwaysNaNLoss, NaNLossInjector
+from repro.resilience.guards import GuardedTrainer, GuardPolicy
+
+from tests.resilience.conftest import tiny_trainer
+
+
+def guarded(dataset, tmp_path, policy=GuardPolicy(), epochs: int = 3) -> GuardedTrainer:
+    return GuardedTrainer(
+        tiny_trainer(dataset, epochs=epochs),
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        policy=policy,
+    )
+
+
+class TestPolicyValidation:
+    def test_backoff_bounds(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(lr_backoff=1.5)
+
+    def test_negative_retries(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(max_retries=-1)
+
+
+class TestRecovery:
+    def test_injected_nan_triggers_rollback_and_completes(
+        self, resilience_dataset, tmp_path
+    ):
+        injector = NaNLossInjector(at=[(1, 0)])
+        model, _, history = guarded(resilience_dataset, tmp_path).fit(
+            resilience_dataset, hooks=TrainerHooks(transform_loss=injector)
+        )
+        assert injector.fired == [(1, 0)]
+        # Training completed over the full horizon with finite losses...
+        assert len(history.epochs) == 3
+        assert all(math.isfinite(epoch["total"]) for epoch in history.epochs)
+        # ...and the intervention is on the record.
+        assert len(history.events) == 1
+        event = history.events[0]
+        assert event["type"] == "rollback"
+        assert event["epoch"] == 1
+        assert event["skipped_steps"] == 1
+        assert "non-finite" in event["reason"]
+
+    def test_backoff_lowers_base_lr(self, resilience_dataset, tmp_path):
+        policy = GuardPolicy(lr_backoff=0.5)
+        trainer = tiny_trainer(resilience_dataset, epochs=3)
+        base_lr = trainer.training_config.learning_rate
+        guard = GuardedTrainer(trainer, checkpoint_dir=str(tmp_path / "ckpt"), policy=policy)
+        _, _, history = guard.fit(
+            resilience_dataset,
+            hooks=TrainerHooks(transform_loss=NaNLossInjector(at=[(0, 0)])),
+        )
+        assert history.events[0]["base_lr"] == pytest.approx(base_lr * 0.5)
+
+    def test_first_epoch_spike_rolls_back_to_initial_state(
+        self, resilience_dataset, tmp_path
+    ):
+        # The epoch-0 baseline checkpoint makes even a first-epoch
+        # divergence recoverable.
+        _, _, history = guarded(resilience_dataset, tmp_path).fit(
+            resilience_dataset,
+            hooks=TrainerHooks(transform_loss=NaNLossInjector(at=[(0, 1)])),
+        )
+        assert len(history.epochs) == 3
+        assert history.events[0]["epoch"] == 0
+
+    def test_guarded_run_without_faults_matches_plain_fit(
+        self, resilience_dataset, tmp_path
+    ):
+        import numpy as np
+
+        model_ref, _, history_ref = tiny_trainer(resilience_dataset, epochs=3).fit(
+            resilience_dataset
+        )
+        model_guard, _, history_guard = guarded(resilience_dataset, tmp_path).fit(
+            resilience_dataset
+        )
+        ref, got = model_ref.state_dict(), model_guard.state_dict()
+        assert all(np.array_equal(ref[key], got[key]) for key in ref)
+        assert history_ref.epochs == history_guard.epochs
+
+
+class TestBoundedRetries:
+    def test_persistent_divergence_raises_with_report(
+        self, resilience_dataset, tmp_path
+    ):
+        policy = GuardPolicy(max_retries=2, lr_backoff=0.5)
+        with pytest.raises(TrainingDivergedError) as excinfo:
+            guarded(resilience_dataset, tmp_path, policy=policy).fit(
+                resilience_dataset,
+                hooks=TrainerHooks(transform_loss=AlwaysNaNLoss(epochs=[1])),
+            )
+        # Both rollbacks are reported, with the LR halved each time.
+        interventions = excinfo.value.interventions
+        assert [event["retry"] for event in interventions] == [1, 2]
+        assert interventions[1]["base_lr"] == pytest.approx(
+            interventions[0]["base_lr"] * 0.5
+        )
+        assert "diverging" in str(excinfo.value)

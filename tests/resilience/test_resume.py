@@ -1,0 +1,150 @@
+"""End-to-end crash-safe resume: interrupted runs match uninterrupted ones."""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainerHooks
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.errors import IncompatibleStateError
+from repro.resilience.faults import SimulatedCrash, crash_after_epoch, flip_bytes
+
+from tests.resilience.conftest import tiny_trainer
+
+
+def states_equal(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[key], b[key]) for key in a)
+
+
+def crash_and_resume(dataset, checkpoint_dir: str, crash_epoch: int, epochs: int = 4):
+    """Train to a simulated crash after ``crash_epoch``, then resume."""
+    with pytest.raises(SimulatedCrash):
+        tiny_trainer(dataset, epochs=epochs).fit(
+            dataset,
+            checkpoint_dir=checkpoint_dir,
+            hooks=TrainerHooks(after_epoch=crash_after_epoch(crash_epoch)),
+        )
+    return tiny_trainer(dataset, epochs=epochs).fit(
+        dataset, checkpoint_dir=checkpoint_dir, resume=True
+    )
+
+
+class TestKillAndResume:
+    def test_bit_exact_weights_and_history(self, resilience_dataset, tmp_path):
+        model_ref, criterion_ref, history_ref = tiny_trainer(resilience_dataset).fit(
+            resilience_dataset
+        )
+        model_res, criterion_res, history_res = crash_and_resume(
+            resilience_dataset, str(tmp_path / "ckpt"), crash_epoch=1
+        )
+        assert states_equal(model_ref.state_dict(), model_res.state_dict())
+        assert states_equal(criterion_ref.state_dict(), criterion_res.state_dict())
+        assert history_ref.epochs == history_res.epochs
+        assert history_ref.events == history_res.events == []
+
+    def test_crash_on_last_epoch_resumes_to_noop(self, resilience_dataset, tmp_path):
+        model_ref, _, history_ref = tiny_trainer(resilience_dataset).fit(resilience_dataset)
+        model_res, _, history_res = crash_and_resume(
+            resilience_dataset, str(tmp_path / "ckpt"), crash_epoch=3
+        )
+        assert states_equal(model_ref.state_dict(), model_res.state_dict())
+        assert history_ref.epochs == history_res.epochs
+
+    def test_dropout_runs_resume_bit_exactly(self, resilience_dataset, tmp_path):
+        # Dropout adds forward-time randomness; its generator state must be
+        # checkpointed for the resumed run to match.
+        from repro.core.losses import LossConfig
+        from repro.core.model import LightLTConfig
+        from repro.core.trainer import Trainer, TrainingConfig
+
+        def make():
+            config = LightLTConfig(
+                input_dim=resilience_dataset.dim,
+                num_classes=resilience_dataset.num_classes,
+                embed_dim=resilience_dataset.dim,
+                hidden_dims=(16,),
+                num_codebooks=3,
+                num_codewords=8,
+                dropout=0.2,
+            )
+            return Trainer(
+                config,
+                LossConfig(),
+                TrainingConfig(epochs=4, batch_size=32, learning_rate=2e-3),
+                seed=0,
+            )
+
+        model_ref, _, history_ref = make().fit(resilience_dataset)
+        checkpoint_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            make().fit(
+                resilience_dataset,
+                checkpoint_dir=checkpoint_dir,
+                hooks=TrainerHooks(after_epoch=crash_after_epoch(1)),
+            )
+        model_res, _, history_res = make().fit(
+            resilience_dataset, checkpoint_dir=checkpoint_dir, resume=True
+        )
+        assert states_equal(model_ref.state_dict(), model_res.state_dict())
+        assert history_ref.epochs == history_res.epochs
+
+    def test_resume_past_corrupt_newest_checkpoint(self, resilience_dataset, tmp_path):
+        # Damage the epoch-2 checkpoint; resume must fall back to epoch 1,
+        # retrain epochs 2-4, and still match the uninterrupted run.
+        model_ref, _, history_ref = tiny_trainer(resilience_dataset).fit(resilience_dataset)
+        checkpoint_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            tiny_trainer(resilience_dataset).fit(
+                resilience_dataset,
+                checkpoint_dir=checkpoint_dir,
+                hooks=TrainerHooks(after_epoch=crash_after_epoch(1)),
+            )
+        manager = CheckpointManager(checkpoint_dir)
+        newest_epoch, newest_path = manager.list_checkpoints()[-1]
+        assert newest_epoch == 2
+        flip_bytes(newest_path, count=4, seed=1)
+        model_res, _, history_res = tiny_trainer(resilience_dataset).fit(
+            resilience_dataset, checkpoint_dir=checkpoint_dir, resume=True
+        )
+        assert states_equal(model_ref.state_dict(), model_res.state_dict())
+        assert history_ref.epochs == history_res.epochs
+
+    def test_resume_without_checkpoints_trains_from_scratch(
+        self, resilience_dataset, tmp_path
+    ):
+        model_ref, _, _ = tiny_trainer(resilience_dataset).fit(resilience_dataset)
+        model_res, _, _ = tiny_trainer(resilience_dataset).fit(
+            resilience_dataset, checkpoint_dir=str(tmp_path / "empty"), resume=True
+        )
+        assert states_equal(model_ref.state_dict(), model_res.state_dict())
+
+    def test_resume_requires_checkpoint_dir(self, resilience_dataset):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            tiny_trainer(resilience_dataset).fit(resilience_dataset, resume=True)
+
+
+class TestIncompatibleResume:
+    def test_different_seed_is_refused(self, resilience_dataset, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            tiny_trainer(resilience_dataset, seed=0).fit(
+                resilience_dataset,
+                checkpoint_dir=checkpoint_dir,
+                hooks=TrainerHooks(after_epoch=crash_after_epoch(1)),
+            )
+        with pytest.raises(IncompatibleStateError, match="seed"):
+            tiny_trainer(resilience_dataset, seed=1).fit(
+                resilience_dataset, checkpoint_dir=checkpoint_dir, resume=True
+            )
+
+    def test_different_horizon_is_refused(self, resilience_dataset, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            tiny_trainer(resilience_dataset, epochs=4).fit(
+                resilience_dataset,
+                checkpoint_dir=checkpoint_dir,
+                hooks=TrainerHooks(after_epoch=crash_after_epoch(1)),
+            )
+        with pytest.raises(IncompatibleStateError):
+            tiny_trainer(resilience_dataset, epochs=6).fit(
+                resilience_dataset, checkpoint_dir=checkpoint_dir, resume=True
+            )

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Run the per-phase benchmark harness and write ``BENCH_results.json``.
+
+Thin launcher around :mod:`repro.obs.bench` so the harness works from a
+checkout without installing the package::
+
+    python benchmarks/run_bench.py --profile cifar100-lt --quick
+    python benchmarks/run_bench.py                     # all four profiles
+    python benchmarks/run_bench.py --compare old.json new.json
+
+See ``docs/benchmarks.md`` for the result schema and how to compare runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

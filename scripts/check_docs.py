@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Docs lint: keep ``docs/metrics.md`` and the metric catalogue in sync.
+
+Checks, in both directions:
+
+1. every metric name in the catalogue table of ``docs/metrics.md``
+   (first column, backticked) exists in ``repro.obs.names.SPECS``;
+2. every spec in the catalogue is documented in that table;
+3. the documented kind matches the spec's kind.
+
+Run from the repository root::
+
+    python scripts/check_docs.py
+
+Exit code 0 on success; 1 with a per-problem report otherwise. Wired into
+the test suite via ``tests/obs/test_scripts.py`` so drift fails CI.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs import names  # noqa: E402
+
+METRICS_DOC = os.path.join(_ROOT, "docs", "metrics.md")
+# A catalogue table row: | `metric.name` | kind | ...
+_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_.<>]*)`\s*\|\s*([a-z]+)\s*\|")
+
+
+def documented_metrics(path: str) -> dict[str, str]:
+    """``{metric name: documented kind}`` from the catalogue table."""
+    rows: dict[str, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            match = _ROW.match(line.strip())
+            if match and "." in match.group(1):
+                rows[match.group(1)] = match.group(2)
+    return rows
+
+
+def check(path: str = METRICS_DOC) -> list[str]:
+    """Return a list of problems (empty means the docs are in sync)."""
+    problems = []
+    if not os.path.exists(path):
+        return [f"{path} does not exist"]
+    documented = documented_metrics(path)
+    if not documented:
+        return [f"{path}: found no catalogue table rows to check"]
+    specs_by_name = {spec.name: spec for spec in names.SPECS}
+    for name, kind in documented.items():
+        spec = specs_by_name.get(name)
+        if spec is None:
+            if names.is_known_metric(name):
+                continue  # a family member used as an example; fine
+            problems.append(
+                f"docs/metrics.md documents {name!r}, which is not in "
+                "repro.obs.names.SPECS"
+            )
+        elif spec.kind != kind:
+            problems.append(
+                f"docs/metrics.md says {name!r} is a {kind}, the catalogue "
+                f"says {spec.kind}"
+            )
+    for spec in names.SPECS:
+        if spec.name not in documented:
+            problems.append(
+                f"catalogue metric {spec.name!r} is missing from "
+                "docs/metrics.md"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"docs/metrics.md is in sync with the catalogue "
+          f"({len(names.SPECS)} specs checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI smoke test for the benchmark harness.
+
+Runs the harness end to end on the ``tiny`` micro-profile (seconds, not
+minutes), then validates the written ``BENCH_results.json`` against the
+stable schema documented in ``docs/benchmarks.md``: per-phase wall times
+present and positive, query-latency percentiles present and ordered.
+
+Run from the repository root::
+
+    python scripts/smoke_bench.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    load_results,
+    main as bench_main,
+)
+
+PHASES = ("train_step", "encode", "index_build", "query")
+
+
+def validate(results: dict) -> None:
+    assert results["schema_version"] == BENCH_SCHEMA_VERSION
+    assert results["profiles"], "no profiles in results"
+    for profile, entry in results["profiles"].items():
+        phases = entry["phases"]
+        for phase in PHASES:
+            wall = phases[phase]["wall_time_s"]
+            assert wall > 0, f"{profile}/{phase}: non-positive wall time {wall}"
+        latency = phases["query"]["single"]["latency_s"]
+        for key in ("count", "mean", "p50", "p95", "p99"):
+            assert key in latency, f"{profile}: query latency missing {key!r}"
+        assert latency["p50"] <= latency["p95"] <= latency["p99"], (
+            f"{profile}: latency percentiles out of order: {latency}"
+        )
+        steps = phases["train_step"]
+        assert steps["steps"] > 0 and steps["steps_per_s"] > 0
+
+
+def main() -> int:
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "BENCH_results.json")
+        code = bench_main(["--profile", "tiny", "--quick", "--out", out])
+        assert code == 0, f"bench_main exited {code}"
+        validate(load_results(out))
+    elapsed = time.perf_counter() - start
+    print(f"smoke bench OK in {elapsed:.2f}s")
+    if elapsed > 5.0:
+        print(f"WARNING: smoke bench took {elapsed:.2f}s (budget 5s)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

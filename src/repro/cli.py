@@ -6,9 +6,14 @@ Commands:
 - ``dataset-stats`` — print Table I rows for one or all datasets.
 - ``train`` — train LightLT on a named dataset and report MAP plus the
   head/tail and codebook-health diagnostics; optionally save the quantized
-  index to disk.
+  index to disk. ``--metrics-out`` / ``--trace`` enable the observability
+  layer and export its metric snapshot / span trace as JSONL.
 - ``experiment`` — run one of the paper's table/figure experiments and
   print the rendered artifact.
+- ``bench`` — the per-phase benchmark harness (:mod:`repro.obs.bench`);
+  writes ``BENCH_results.json``.
+
+The consolidated flag reference lives in README.md ("CLI reference").
 """
 
 from __future__ import annotations
@@ -75,12 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="guarded training: roll back + LR backoff on NaN/Inf loss "
         "(requires --checkpoint-dir)",
     )
+    train.add_argument(
+        "--metrics-out",
+        default=None,
+        help="enable observability and write the metric snapshot here (JSONL)",
+    )
+    train.add_argument(
+        "--trace",
+        default=None,
+        help="enable observability and write the span trace here (JSONL)",
+    )
 
     experiment = commands.add_parser("experiment", help="reproduce a table/figure")
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument(
         "--full", action="store_true", help="full training budget (slower)"
+    )
+
+    commands.add_parser(
+        "bench",
+        help="per-phase benchmark harness; writes BENCH_results.json "
+        "(see `python -m repro bench --help`)",
+        add_help=False,
     )
     return parser
 
@@ -126,6 +148,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if (args.resume or args.guard) and not args.checkpoint_dir:
         print("error: --resume and --guard require --checkpoint-dir", file=sys.stderr)
         return 2
+    obs_handle = None
+    if args.metrics_out or args.trace:
+        from repro import obs
+
+        obs_handle = obs.enable_observability()
     dataset = load_dataset(args.dataset, args.imbalance_factor, seed=args.seed)
     model_config = default_model_config(dataset)
     loss_config = default_loss_config(dataset)
@@ -172,6 +199,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
         save_index(index, args.save_index)
         print(f"index saved to {args.save_index}")
+    if obs_handle is not None:
+        from repro import obs
+
+        run_info = {"command": "train", "dataset": args.dataset, "seed": args.seed}
+        if args.metrics_out:
+            obs.export_metrics(obs_handle.registry, args.metrics_out, run=run_info)
+            print(f"metrics written to {args.metrics_out}")
+        if args.trace:
+            obs.export_spans(obs_handle.tracer, args.trace, run=run_info)
+            print(f"trace written to {args.trace}")
+        obs.disable_observability()
     return 0
 
 
@@ -210,6 +248,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The harness owns its flag set; hand the rest of the line over so
+        # `repro bench --profile ... --quick` matches benchmarks/run_bench.py.
+        from repro.obs.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list-datasets":
         return _cmd_list_datasets()

@@ -14,11 +14,20 @@ gradient norm is non-finite), ``capture``/``restore`` round-trip the entire
 session through :mod:`repro.resilience.checkpoint` bit-exactly, and
 ``Trainer.fit(checkpoint_dir=..., resume=True)`` continues an interrupted
 run from the newest valid checkpoint.
+
+The loop is instrumented through :mod:`repro.obs` (off by default): with
+observability enabled, every epoch runs inside a ``train.epoch`` span and
+emits per-step wall time, total loss, and pre-clip gradient norm
+histograms, per-epoch loss-component gauges, and attempted/skipped step
+counters — see ``docs/metrics.md`` for the catalogue. Disabled, the only
+cost is one flag check per step; the recorded :class:`TrainingHistory` is
+identical either way.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,6 +40,8 @@ from repro.data.datasets import RetrievalDataset
 from repro.data.loader import DataLoader
 from repro.data.longtail import class_counts
 from repro.nn import AdamW, ConstantLR, CosineAnnealingLR, LinearWarmupLR, Module, Tensor
+from repro.obs import get_obs
+from repro.obs import names as metric_names
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.errors import IncompatibleStateError
 from repro.retrieval.metrics import mean_average_precision
@@ -228,38 +239,67 @@ class TrainingSession:
         epoch_terms: dict[str, list[float]] = {}
         skipped = 0
         grad_norm_max = 0.0
-        for step, (features, labels) in enumerate(self.loader):
-            self.optimizer.zero_grad()
-            output = self.model(Tensor(features))
-            breakdown = self.criterion(
-                output.logits, output.quantized, labels, embedding=output.embedding
-            )
-            total_value = float(breakdown.total.data)
-            if hooks is not None and hooks.transform_loss is not None:
-                total_value = float(hooks.transform_loss(epoch, step, total_value))
-            step_ok = math.isfinite(total_value)
-            if step_ok:
-                breakdown.total.backward()
-                if config.max_grad_norm is not None:
-                    norm = clip_gradients(self.flat_params, config.max_grad_norm)
-                    if math.isfinite(norm):
-                        grad_norm_max = max(grad_norm_max, norm)
-                    else:
-                        step_ok = False  # clip_gradients zeroed the gradients
-            if step_ok:
-                self.optimizer.step()
-            else:
-                skipped += 1
+        obs = get_obs()
+        epoch_start = time.perf_counter() if obs.enabled else 0.0
+        with obs.span("train.epoch", epoch=epoch):
+            for step, (features, labels) in enumerate(self.loader):
+                step_start = time.perf_counter() if obs.enabled else 0.0
                 self.optimizer.zero_grad()
-            self.scheduler.step()
-            if step_ok:
-                for key, value in breakdown.to_floats().items():
-                    epoch_terms.setdefault(key, []).append(value)
+                output = self.model(Tensor(features))
+                breakdown = self.criterion(
+                    output.logits, output.quantized, labels, embedding=output.embedding
+                )
+                total_value = float(breakdown.total.data)
+                if hooks is not None and hooks.transform_loss is not None:
+                    total_value = float(hooks.transform_loss(epoch, step, total_value))
+                step_ok = math.isfinite(total_value)
+                norm = math.nan
+                if step_ok:
+                    breakdown.total.backward()
+                    if config.max_grad_norm is not None:
+                        norm = clip_gradients(self.flat_params, config.max_grad_norm)
+                        if math.isfinite(norm):
+                            grad_norm_max = max(grad_norm_max, norm)
+                        else:
+                            step_ok = False  # clip_gradients zeroed the gradients
+                if step_ok:
+                    self.optimizer.step()
+                else:
+                    skipped += 1
+                    self.optimizer.zero_grad()
+                self.scheduler.step()
+                if step_ok:
+                    for key, value in breakdown.to_floats().items():
+                        epoch_terms.setdefault(key, []).append(value)
+                if obs.enabled:
+                    registry = obs.registry
+                    registry.histogram(metric_names.TRAIN_STEP_TIME).observe(
+                        time.perf_counter() - step_start
+                    )
+                    registry.counter(metric_names.TRAIN_STEPS_TOTAL).inc()
+                    if not step_ok:
+                        registry.counter(metric_names.TRAIN_STEPS_SKIPPED).inc()
+                    if math.isfinite(total_value):
+                        registry.histogram(metric_names.TRAIN_STEP_LOSS).observe(
+                            total_value
+                        )
+                    if math.isfinite(norm):
+                        registry.histogram(metric_names.TRAIN_STEP_GRAD_NORM).observe(
+                            norm
+                        )
         if epoch_terms:
             terms = {key: float(np.mean(values)) for key, values in epoch_terms.items()}
         else:
             terms = {"total": float("nan")}  # every step was skipped
         self.history.epochs.append(terms)
+        if obs.enabled:
+            obs.registry.histogram(metric_names.TRAIN_EPOCH_TIME).observe(
+                time.perf_counter() - epoch_start
+            )
+            for key, value in terms.items():
+                obs.registry.gauge(
+                    metric_names.TRAIN_EPOCH_LOSS_PREFIX + key
+                ).set(value)
         return EpochReport(
             terms=terms, skipped_steps=skipped, grad_norm_max=grad_norm_max
         )

@@ -1,12 +1,21 @@
-"""Mini-batch iteration over feature/label splits."""
+"""Mini-batch iteration over feature/label splits.
+
+With observability enabled (:mod:`repro.obs`), :class:`DataLoader` times
+every batch materialisation (``data.batch.fetch_time_s``) — the stall the
+training loop experiences waiting for data — and counts batches yielded,
+so loader overhead is separable from compute in a trace.
+"""
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 import numpy as np
 
 from repro.data.datasets import Split
+from repro.obs import get_obs
+from repro.obs import names as metric_names
 from repro.rng import make_rng
 
 
@@ -63,9 +72,18 @@ class DataLoader:
         stop = len(indices)
         if self.drop_last:
             stop = (stop // self.batch_size) * self.batch_size
+        obs = get_obs()
         for start in range(0, stop, self.batch_size):
+            fetch_start = time.perf_counter() if obs.enabled else 0.0
             batch = indices[start : start + self.batch_size]
-            yield self.split.features[batch], self.split.labels[batch]
+            features = self.split.features[batch]
+            labels = self.split.labels[batch]
+            if obs.enabled:
+                obs.registry.histogram(metric_names.DATA_BATCH_FETCH_TIME).observe(
+                    time.perf_counter() - fetch_start
+                )
+                obs.registry.counter(metric_names.DATA_BATCHES_TOTAL).inc()
+            yield features, labels
 
 
 class BalancedDataLoader(DataLoader):

@@ -1,0 +1,141 @@
+"""``repro.obs`` — the observability layer: metrics, tracing, exporters.
+
+Everything the system knows about where time and memory go flows through
+here: a process-local :class:`~repro.obs.metrics.MetricsRegistry`
+(counters, gauges, streaming p50/p95/p99 histograms), nested
+:meth:`~repro.obs.tracing.Tracer.span` tracing on monotonic clocks, and
+JSONL exporters (:mod:`repro.obs.export`) so runs leave machine-readable
+event streams. The metric catalogue lives in :mod:`repro.obs.names`; the
+benchmark harness built on top of it in :mod:`repro.obs.bench`.
+
+Observability is **off by default and near-zero-cost when off**: the
+process-local context handed out by :func:`get_obs` starts disabled, its
+registry and tracer are no-op singletons, and every instrumented hot path
+guards its measurement with one ``obs.enabled`` attribute check. Turning
+it on is one call::
+
+    from repro import obs
+
+    handle = obs.enable_observability()
+    ...  # train, index, search — hot paths now record
+    handle.registry.snapshot()            # in-process inspection
+    obs.export_metrics(handle.registry, "metrics.jsonl")
+    obs.disable_observability()
+
+or scoped, which is what tests and the CLI use::
+
+    with obs.observed() as handle:
+        trainer.fit(dataset)
+    print(handle.registry.histogram(obs.names.TRAIN_STEP_TIME).p95)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import names
+from repro.obs.export import (
+    EXPORT_SCHEMA_VERSION,
+    export_metrics,
+    export_spans,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NullTracer, Span, Tracer, timed
+
+
+class Observability:
+    """One process-local observability context: registry + tracer + switch.
+
+    Instrumented code asks :func:`get_obs` for the current context once
+    per operation, checks ``enabled``, and only then touches the clock or
+    the registry — so the disabled path costs a function call and an
+    attribute read.
+    """
+
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer, enabled: bool):
+        self.registry = registry
+        self.tracer = tracer
+        self.enabled = enabled
+
+    def span(self, name: str, **attrs):
+        """A tracer span when enabled, a shared no-op scope otherwise."""
+        return self.tracer.span(name, **attrs)
+
+
+_DISABLED = Observability(NullRegistry(), NullTracer(), enabled=False)
+_current = _DISABLED
+
+
+def get_obs() -> Observability:
+    """The process-local observability context (disabled by default)."""
+    return _current
+
+
+def enable_observability(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Observability:
+    """Install (and return) a live observability context process-wide."""
+    global _current
+    _current = Observability(
+        registry if registry is not None else MetricsRegistry(),
+        tracer if tracer is not None else Tracer(),
+        enabled=True,
+    )
+    return _current
+
+
+def disable_observability() -> None:
+    """Restore the no-op default."""
+    global _current
+    _current = _DISABLED
+
+
+@contextmanager
+def observed(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Iterator[Observability]:
+    """Enable observability for a scope, restoring the prior context after."""
+    global _current
+    previous = _current
+    handle = enable_observability(registry=registry, tracer=tracer)
+    try:
+        yield handle
+    finally:
+        _current = previous
+
+
+__all__ = [
+    "Counter",
+    "EXPORT_SCHEMA_VERSION",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "disable_observability",
+    "enable_observability",
+    "export_metrics",
+    "export_spans",
+    "get_obs",
+    "names",
+    "observed",
+    "read_jsonl",
+    "timed",
+    "write_jsonl",
+]

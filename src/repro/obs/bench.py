@@ -1,0 +1,366 @@
+"""The benchmark harness: seeded per-phase timing with a stable schema.
+
+This is the baseline every performance PR is judged against. One run
+times four phases per dataset profile — **train-step** (optimisation
+steps through the real session loop), **encode** (DSQ encoding of the
+database), **index-build** (the full Fig. 3 indexing pipeline), and
+**query** (ADC search, measured both one-query-at-a-time for honest
+latency percentiles and as one batch for throughput) — and writes
+``BENCH_results.json`` in the versioned schema documented in
+``docs/benchmarks.md``.
+
+All numbers come from the observability layer itself: each profile runs
+under a fresh :func:`repro.obs.observed` context, phase wall times are
+read off tracer spans, and latency percentiles off the streaming
+histograms the instrumented hot paths feed. Entry points::
+
+    python benchmarks/run_bench.py --profile cifar100-lt --quick
+    python -m repro bench --profile cifar100-lt --quick
+    python benchmarks/run_bench.py --compare old.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.obs import names as metric_names
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_RESULTS_PATH = "BENCH_results.json"
+#: Dataset profiles a default (no ``--profile``) run covers.
+DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
+#: The synthetic micro-profile used by the CI smoke run.
+TINY_PROFILE = "tiny"
+
+_PHASES = ("train_step", "encode", "index_build", "query")
+
+
+def canonical_dataset(profile: str) -> str:
+    """Map a profile name (``cifar100-lt`` or ``cifar100``) to its dataset.
+
+    The ``-lt`` suffix is accepted everywhere the paper's long-tail corpora
+    are named; ``tiny`` is the harness's own micro-profile.
+    """
+    name = profile.strip().lower()
+    if name.endswith("-lt"):
+        name = name[: -len("-lt")]
+    if name == TINY_PROFILE:
+        return name
+    from repro.data.registry import PROFILES
+
+    if name not in PROFILES:
+        known = sorted(PROFILES) + [TINY_PROFILE]
+        raise ValueError(f"unknown profile {profile!r}; known: {known}")
+    return name
+
+
+def _load_profile_dataset(profile: str, seed: int):
+    dataset_name = canonical_dataset(profile)
+    if dataset_name == TINY_PROFILE:
+        return _build_tiny_dataset(seed)
+    from repro.data.registry import load_dataset
+
+    return load_dataset(dataset_name, imbalance_factor=50, scale="ci", seed=seed)
+
+
+def _build_tiny_dataset(seed: int):
+    """A six-class micro-corpus so the smoke benchmark finishes in seconds."""
+    from repro.data.datasets import RetrievalDataset, Split
+    from repro.data.longtail import labels_from_sizes, zipf_class_sizes
+    from repro.data.synthetic import make_feature_model
+
+    num_classes, dim = 6, 12
+    feature_model = make_feature_model(
+        num_classes, dim, separation=3.0, intra_sigma=0.6,
+        rng=np.random.default_rng(seed),
+    )
+    train_labels = labels_from_sizes(
+        zipf_class_sizes(num_classes, 40, 10.0), rng=seed + 1
+    )
+    query_labels = np.tile(np.arange(num_classes), 10)
+    db_labels = np.tile(np.arange(num_classes), 30)
+    return RetrievalDataset(
+        name="tiny",
+        num_classes=num_classes,
+        target_imbalance_factor=10.0,
+        train=Split(feature_model.sample(train_labels, seed + 2), train_labels),
+        query=Split(feature_model.sample(query_labels, seed + 3), query_labels),
+        database=Split(feature_model.sample(db_labels, seed + 4), db_labels),
+        metadata={"modality": "image"},
+    )
+
+
+def _span_duration(tracer: obs.Tracer, name: str) -> float:
+    for span in tracer.finished:
+        if span.name == name:
+            return span.duration_s
+    raise KeyError(f"no finished span named {name!r}")
+
+
+def _latency_summary(histogram: obs.Histogram) -> dict:
+    summary = histogram.summary()
+    summary.pop("kind", None)
+    return summary
+
+
+def bench_profile(profile: str, quick: bool = False, seed: int = 0) -> dict:
+    """Run all four phases for one profile; returns its result subtree."""
+    from repro.core.trainer import Trainer
+    from repro.experiments.config import (
+        default_loss_config,
+        default_model_config,
+        default_training_config,
+    )
+
+    dataset = _load_profile_dataset(profile, seed)
+    epochs = 1 if quick else 3
+    trainer = Trainer(
+        default_model_config(dataset),
+        default_loss_config(dataset),
+        default_training_config(dataset, fast=True),
+        seed=seed,
+    )
+    with obs.observed() as handle:
+        tracer = handle.tracer
+        with handle.span("bench.profile", profile=profile):
+            with handle.span("bench.setup"):
+                session = trainer.start_session(dataset, epochs=epochs)
+            with handle.span("bench.train_step"):
+                while not session.finished:
+                    session.run_epoch()
+            model = session.model
+            model.eval()
+            database = dataset.database.features
+            with handle.span("bench.encode"):
+                model.encode(database)
+            with handle.span("bench.index_build"):
+                index = model.build_index(database, labels=dataset.database.labels)
+            queries = model.embed(dataset.query.features)
+            n_single = min(100 if quick else len(queries), len(queries))
+            with handle.span("bench.query", single=n_single, batch=len(queries)):
+                # Served one at a time: each call's wall time is one query's
+                # true latency, so the histogram percentiles are exact.
+                with handle.span("bench.query.single"):
+                    for row in queries[:n_single]:
+                        index.search(row[None, :], k=10)
+                # Snapshot latency percentiles before the batch call below
+                # adds its (amortised, much lower) per-query observations.
+                single_latency = _latency_summary(
+                    handle.registry.histogram(metric_names.QUERY_LATENCY)
+                )
+                with handle.span("bench.query.batch"):
+                    index.search(queries, k=10)
+        registry = handle.registry
+
+        steps = registry.counter(metric_names.TRAIN_STEPS_TOTAL).value
+        train_wall = _span_duration(tracer, "bench.train_step")
+        encode_wall = _span_duration(tracer, "bench.encode")
+        build_wall = _span_duration(tracer, "bench.index_build")
+        single_wall = _span_duration(tracer, "bench.query.single")
+        batch_wall = _span_duration(tracer, "bench.query.batch")
+
+        return {
+            "profile": profile,
+            "dataset": {
+                "name": dataset.name,
+                "num_classes": dataset.num_classes,
+                "dim": dataset.dim,
+                "n_train": len(dataset.train),
+                "n_db": len(dataset.database),
+                "n_query": len(dataset.query),
+            },
+            "phases": {
+                "train_step": {
+                    "wall_time_s": train_wall,
+                    "epochs": epochs,
+                    "steps": int(steps),
+                    "steps_per_s": steps / train_wall if train_wall > 0 else None,
+                    "step_time_s": _latency_summary(
+                        registry.histogram(metric_names.TRAIN_STEP_TIME)
+                    ),
+                },
+                "encode": {
+                    "wall_time_s": encode_wall,
+                    "items": len(database),
+                    "items_per_s": (
+                        len(database) / encode_wall if encode_wall > 0 else None
+                    ),
+                },
+                "index_build": {
+                    "wall_time_s": build_wall,
+                    "items": len(database),
+                    "items_per_s": (
+                        len(database) / build_wall if build_wall > 0 else None
+                    ),
+                },
+                "query": {
+                    "wall_time_s": single_wall + batch_wall,
+                    "single": {
+                        "queries": n_single,
+                        "wall_time_s": single_wall,
+                        "latency_s": single_latency,
+                    },
+                    "batch": {
+                        "queries": len(queries),
+                        "wall_time_s": batch_wall,
+                        "qps": (
+                            len(queries) / batch_wall if batch_wall > 0 else None
+                        ),
+                    },
+                },
+            },
+            "metrics": registry.snapshot(),
+            "spans": tracer.records(),
+        }
+
+
+def run_bench(
+    profiles: list[str] | tuple[str, ...] = DEFAULT_PROFILES,
+    quick: bool = False,
+    seed: int = 0,
+) -> dict:
+    """Run the harness over ``profiles``; returns the full result tree."""
+    results = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "seed": seed,
+        "quick": quick,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "profiles": {},
+    }
+    for profile in profiles:
+        results["profiles"][profile] = bench_profile(profile, quick=quick, seed=seed)
+    return results
+
+
+def write_results(results: dict, path: str = DEFAULT_RESULTS_PATH) -> str:
+    """Write the result tree as pretty JSON; returns the absolute path."""
+    path = os.path.abspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_results(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        results = json.load(handle)
+    version = results.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema {version!r} "
+            f"(expected {BENCH_SCHEMA_VERSION})"
+        )
+    return results
+
+
+def format_summary(results: dict) -> str:
+    """A human-readable per-profile phase table."""
+    lines = [
+        f"bench seed={results['seed']} quick={results['quick']} "
+        f"(schema v{results['schema_version']})",
+        f"{'profile':<16} {'phase':<12} {'wall_s':>9} {'throughput':>18} "
+        f"{'p50':>9} {'p95':>9} {'p99':>9}",
+    ]
+    for profile, entry in results["profiles"].items():
+        phases = entry["phases"]
+        rows = [
+            ("train_step", phases["train_step"]["wall_time_s"],
+             phases["train_step"]["steps_per_s"], "steps/s",
+             phases["train_step"]["step_time_s"]),
+            ("encode", phases["encode"]["wall_time_s"],
+             phases["encode"]["items_per_s"], "items/s", None),
+            ("index_build", phases["index_build"]["wall_time_s"],
+             phases["index_build"]["items_per_s"], "items/s", None),
+            ("query", phases["query"]["wall_time_s"],
+             phases["query"]["batch"]["qps"], "qps",
+             phases["query"]["single"]["latency_s"]),
+        ]
+        for phase, wall, rate, unit, dist in rows:
+            rate_text = f"{rate:,.0f} {unit}" if rate else "-"
+            if dist and dist.get("count"):
+                p50, p95, p99 = (f"{dist[k]:.2e}" for k in ("p50", "p95", "p99"))
+            else:
+                p50 = p95 = p99 = "-"
+            lines.append(
+                f"{profile:<16} {phase:<12} {wall:>9.3f} {rate_text:>18} "
+                f"{p50:>9} {p95:>9} {p99:>9}"
+            )
+    return "\n".join(lines)
+
+
+def compare_results(old: dict, new: dict) -> str:
+    """Per-phase wall-time deltas between two runs (negative = faster)."""
+    lines = [f"{'profile':<16} {'phase':<12} {'old_s':>9} {'new_s':>9} {'delta':>8}"]
+    shared = [p for p in old["profiles"] if p in new["profiles"]]
+    if not shared:
+        return "no profiles in common between the two runs"
+    for profile in shared:
+        for phase in _PHASES:
+            old_wall = old["profiles"][profile]["phases"][phase]["wall_time_s"]
+            new_wall = new["profiles"][profile]["phases"][phase]["wall_time_s"]
+            delta = (new_wall - old_wall) / old_wall * 100 if old_wall else float("nan")
+            lines.append(
+                f"{profile:<16} {phase:<12} {old_wall:>9.3f} {new_wall:>9.3f} "
+                f"{delta:>+7.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="run_bench",
+        description="Time train-step/encode/index-build/query phases and "
+        "write BENCH_results.json",
+    )
+    parser.add_argument(
+        "--profile",
+        action="append",
+        default=None,
+        help="dataset profile (repeatable; accepts the -lt suffix; "
+        f"default: all of {', '.join(DEFAULT_PROFILES)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="1 training epoch, capped query loop"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default=DEFAULT_RESULTS_PATH,
+        help=f"result file (default: {DEFAULT_RESULTS_PATH})",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two existing result files instead of running",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point shared by ``benchmarks/run_bench.py`` and ``repro bench``."""
+    args = build_arg_parser().parse_args(argv)
+    if args.compare is not None:
+        print(compare_results(load_results(args.compare[0]),
+                              load_results(args.compare[1])))
+        return 0
+    profiles = args.profile if args.profile else list(DEFAULT_PROFILES)
+    for profile in profiles:
+        canonical_dataset(profile)  # fail fast on typos before any training
+    results = run_bench(profiles, quick=args.quick, seed=args.seed)
+    path = write_results(results, args.out)
+    print(format_summary(results))
+    print(f"[results written to {path}]")
+    return 0

@@ -1,0 +1,64 @@
+"""JSONL export/import for metrics snapshots and traces.
+
+One record per line, plain ``json`` module, UTF-8. Exports are
+self-describing: the first line is a header record carrying the schema
+version and whatever run metadata the caller attaches, so a file can be
+interpreted without its producing process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+EXPORT_SCHEMA_VERSION = 1
+
+
+def write_jsonl(path: str, records: Iterable[dict]) -> int:
+    """Write records one-per-line; returns how many were written."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Read a JSONL file back into a record list (blank lines skipped)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _header(stream: str, run: dict | None) -> dict:
+    record = {"schema_version": EXPORT_SCHEMA_VERSION, "stream": stream}
+    if run:
+        record["run"] = dict(run)
+    return record
+
+
+def export_metrics(registry: MetricsRegistry, path: str, run: dict | None = None) -> int:
+    """Write a registry snapshot as JSONL; returns records written."""
+    records = [_header("metrics", run)]
+    records.extend(registry.records())
+    return write_jsonl(path, records)
+
+
+def export_spans(tracer: Tracer, path: str, run: dict | None = None) -> int:
+    """Write a tracer's finished spans as JSONL; returns records written."""
+    header = _header("trace", run)
+    header["wall_epoch"] = tracer.wall_epoch
+    records = [header]
+    records.extend(tracer.records())
+    return write_jsonl(path, records)

@@ -1,0 +1,243 @@
+"""Process-local metrics: counters, gauges, and streaming histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Histograms are *streaming*: they never store raw samples, only sparse
+log-spaced bucket counts plus exact count/sum/min/max, so p50/p95/p99 come
+out of O(buckets) memory with a bounded relative error (the bucket growth
+factor, 4% by default) regardless of how many values were observed.
+
+:class:`NullRegistry` is the no-op twin handed out when observability is
+disabled — every instrument it returns swallows writes — so instrumented
+code pays one attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+    def summary(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways; remembers only the latest set."""
+
+    __slots__ = ("value", "updates")
+
+    def __init__(self) -> None:
+        self.value = math.nan
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def summary(self) -> dict:
+        return {"kind": "gauge", "value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """Streaming distribution sketch over positive-ish floats.
+
+    Values are assigned to geometric buckets ``[min_value·g^i,
+    min_value·g^(i+1))``; a quantile is answered with the geometric
+    midpoint of the bucket holding its rank, clamped to the exact observed
+    ``[min, max]``. Values at or below ``min_value`` (including zeros and
+    negatives, which timings occasionally produce on coarse clocks) share
+    the underflow bucket — fine for the latencies/losses this tracks.
+    """
+
+    __slots__ = ("min_value", "_log_growth", "growth", "_buckets",
+                 "count", "total", "min", "max")
+
+    def __init__(self, min_value: float = 1e-9, growth: float = 1.04) -> None:
+        if not min_value > 0:
+            raise ValueError("min_value must be positive")
+        if not growth > 1.0:
+            raise ValueError("growth must exceed 1")
+        self.min_value = min_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return 1 + int(math.log(value / self.min_value) / self._log_growth)
+
+    def observe(self, value: float) -> None:
+        self.observe_many(value, 1)
+
+    def observe_many(self, value: float, times: int) -> None:
+        """Record ``times`` identical observations in O(1)."""
+        if times <= 0:
+            return
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + times
+        self.count += times
+        self.total += value * times
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``0 <= q <= 100``)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must lie in [0, 100]")
+        if self.count == 0:
+            return math.nan
+        rank = q / 100.0 * (self.count - 1)
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen > rank:
+                if index == 0:
+                    estimate = self.min_value
+                else:
+                    lower = self.min_value * self.growth ** (index - 1)
+                    estimate = lower * math.sqrt(self.growth)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - rank always falls inside
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"kind": "histogram", "count": 0}
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Flat get-or-create namespace of instruments.
+
+    A name is permanently bound to the kind it was first requested as;
+    re-requesting it as a different kind raises, which catches typo'd
+    instrumentation at the call site instead of corrupting exports.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._metrics.get(name)
+        if instrument is None:
+            instrument = cls()
+            self._metrics[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"requested as {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: summary}`` for every instrument, sorted by name."""
+        return {name: self._metrics[name].summary() for name in self.names()}
+
+    def records(self) -> Iterator[dict]:
+        """One export record per instrument (for JSONL)."""
+        for name, summary in self.snapshot().items():
+            yield {"metric": name, **summary}
+
+
+class _NullInstrument:
+    """Accepts every write, remembers nothing.
+
+    Quacks like all three instrument kinds so disabled call sites never
+    branch on type.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, times: int) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"kind": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out shared no-op instruments."""
+
+    def _get(self, name: str, cls):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict[str, dict]:
+        return {}

@@ -1,0 +1,223 @@
+"""The metric catalogue: every metric the system emits, by constant name.
+
+Instrumented code never passes string literals to the registry — it uses
+the constants below, and ``docs/metrics.md`` documents exactly this list
+(``scripts/check_docs.py`` enforces the correspondence in both
+directions). A few metrics are *families*: their documented name ends in
+``.<term>`` and concrete emissions substitute a runtime key (e.g. the
+per-loss-term means ``train.epoch.loss.total``, ``train.epoch.loss.ce``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One entry of the metric catalogue.
+
+    ``name`` ending in ``.<term>`` marks a *family*: emitted names share
+    the prefix before ``<term>`` and append a runtime-determined key.
+    """
+
+    name: str
+    kind: str
+    unit: str
+    emitted_by: str
+    description: str
+
+    @property
+    def is_family(self) -> bool:
+        return self.name.endswith(".<term>")
+
+    @property
+    def prefix(self) -> str:
+        """For a family spec, the fixed prefix concrete names start with."""
+        return self.name[: -len("<term>")]
+
+
+# --- training (repro.core.trainer, repro.resilience.guards) -----------------
+TRAIN_EPOCH_TIME = "train.epoch.time_s"
+TRAIN_EPOCH_LOSS_FAMILY = "train.epoch.loss.<term>"
+TRAIN_EPOCH_LOSS_PREFIX = "train.epoch.loss."
+TRAIN_STEP_TIME = "train.step.time_s"
+TRAIN_STEP_LOSS = "train.step.loss"
+TRAIN_STEP_GRAD_NORM = "train.step.grad_norm"
+TRAIN_STEPS_TOTAL = "train.steps.total"
+TRAIN_STEPS_SKIPPED = "train.steps.skipped"
+TRAIN_GUARD_ROLLBACKS = "train.guard.rollbacks"
+
+# --- data loading (repro.data.loader) ---------------------------------------
+DATA_BATCH_FETCH_TIME = "data.batch.fetch_time_s"
+DATA_BATCHES_TOTAL = "data.batches.total"
+
+# --- retrieval (repro.retrieval.adc / .search / .index) ---------------------
+ADC_LUT_BUILD_TIME = "adc.lut.build_time_s"
+ADC_SCAN_TIME = "adc.scan.time_s"
+ADC_SCAN_CODES_PER_S = "adc.scan.codes_per_s"
+INDEX_ENCODE_TIME = "index.encode.time_s"
+INDEX_BUILD_TIME = "index.build.time_s"
+QUERY_LATENCY = "query.latency_s"
+QUERY_BATCHES_TOTAL = "query.batches.total"
+QUERY_ITEMS_TOTAL = "query.items.total"
+SEARCH_EXHAUSTIVE_TIME = "search.exhaustive.time_s"
+
+SPECS: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        TRAIN_EPOCH_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Wall time of one full training epoch.",
+    ),
+    MetricSpec(
+        TRAIN_EPOCH_LOSS_FAMILY,
+        GAUGE,
+        "loss",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Mean of one loss component over the epoch's non-skipped steps; "
+        "one gauge per component recorded in the training history "
+        "(e.g. train.epoch.loss.total).",
+    ),
+    MetricSpec(
+        TRAIN_STEP_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Wall time of one optimisation step (forward, backward, clip, "
+        "update).",
+    ),
+    MetricSpec(
+        TRAIN_STEP_LOSS,
+        HISTOGRAM,
+        "loss",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Total combined loss per step (finite values only).",
+    ),
+    MetricSpec(
+        TRAIN_STEP_GRAD_NORM,
+        HISTOGRAM,
+        "l2-norm",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Global gradient norm per step, before clipping is applied.",
+    ),
+    MetricSpec(
+        TRAIN_STEPS_TOTAL,
+        COUNTER,
+        "steps",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Optimisation steps attempted.",
+    ),
+    MetricSpec(
+        TRAIN_STEPS_SKIPPED,
+        COUNTER,
+        "steps",
+        "repro.core.trainer.TrainingSession.run_epoch",
+        "Steps skipped on a non-finite loss or gradient norm.",
+    ),
+    MetricSpec(
+        TRAIN_GUARD_ROLLBACKS,
+        COUNTER,
+        "events",
+        "repro.resilience.guards.GuardedTrainer.fit",
+        "Guard interventions: epoch rollbacks with LR backoff.",
+    ),
+    MetricSpec(
+        DATA_BATCH_FETCH_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.data.loader.DataLoader.__iter__",
+        "Time to materialise one mini-batch (index + copy) — the loader "
+        "stall seen by the training loop.",
+    ),
+    MetricSpec(
+        DATA_BATCHES_TOTAL,
+        COUNTER,
+        "batches",
+        "repro.data.loader.DataLoader.__iter__",
+        "Mini-batches yielded.",
+    ),
+    MetricSpec(
+        ADC_LUT_BUILD_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.adc.adc_distances",
+        "Time to build the per-query M x K inner-product lookup tables.",
+    ),
+    MetricSpec(
+        ADC_SCAN_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.adc.adc_distances",
+        "Time to score every database item against the lookup tables.",
+    ),
+    MetricSpec(
+        ADC_SCAN_CODES_PER_S,
+        HISTOGRAM,
+        "codes/second",
+        "repro.retrieval.adc.adc_distances",
+        "Scan throughput: table lookups performed per second "
+        "(n_queries x n_db x M / scan time).",
+    ),
+    MetricSpec(
+        INDEX_ENCODE_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.index.QuantizedIndex.build",
+        "Time to encode database items into codeword ids.",
+    ),
+    MetricSpec(
+        INDEX_BUILD_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.index.QuantizedIndex.build",
+        "Total index construction time (encode + reconstruction norms).",
+    ),
+    MetricSpec(
+        QUERY_LATENCY,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.index.QuantizedIndex.search",
+        "Per-query latency of ADC search (batch wall time spread over the "
+        "batch's queries; single-query calls give exact per-query "
+        "latency).",
+    ),
+    MetricSpec(
+        QUERY_BATCHES_TOTAL,
+        COUNTER,
+        "batches",
+        "repro.retrieval.index.QuantizedIndex.search",
+        "Search calls served.",
+    ),
+    MetricSpec(
+        QUERY_ITEMS_TOTAL,
+        COUNTER,
+        "queries",
+        "repro.retrieval.index.QuantizedIndex.search",
+        "Individual queries served across all search calls.",
+    ),
+    MetricSpec(
+        SEARCH_EXHAUSTIVE_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.search.exhaustive_search",
+        "Wall time of one exhaustive (uncompressed) search call — the "
+        "reference point ADC speedups are measured against.",
+    ),
+)
+
+METRIC_NAMES = frozenset(spec.name for spec in SPECS)
+FAMILY_PREFIXES = tuple(spec.prefix for spec in SPECS if spec.is_family)
+
+
+def is_known_metric(name: str) -> bool:
+    """True when ``name`` is catalogued, exactly or via a family prefix."""
+    if name in METRIC_NAMES:
+        return True
+    return any(name.startswith(prefix) and len(name) > len(prefix)
+               for prefix in FAMILY_PREFIXES)

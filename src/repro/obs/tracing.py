@@ -1,0 +1,139 @@
+"""Nested-scope tracing on monotonic clocks.
+
+``Tracer.span("name")`` is a context manager; spans nest, every finished
+span records its depth, parent, and duration from ``time.perf_counter()``
+(monotonic — wall-clock adjustments can never produce negative
+durations), and the whole trace exports as a flat record list ordered by
+completion time. :func:`timed` is the histogram-flavoured sibling: a
+context manager that observes its elapsed seconds into any object with an
+``observe`` method.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) traced scope."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_s: float  # seconds since the tracer's epoch (monotonic)
+    end_s: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise RuntimeError(f"span {self.name!r} has not finished")
+        return self.end_s - self.start_s
+
+    def record(self) -> dict:
+        return {
+            "span": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            **({"attrs": self.attrs} if self.attrs else {}),
+        }
+
+
+class Tracer:
+    """Collects spans for one process-local trace.
+
+    All timestamps are offsets from the tracer's construction instant on
+    the ``perf_counter`` clock; ``wall_epoch`` anchors that instant in
+    wall-clock time for cross-run correlation.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+        self._stack: list[Span] = []
+        self.finished: list[Span] = []
+        self._next_id = 0
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested scope; the span is finalised on exit, even on error."""
+        parent = self._stack[-1] if self._stack else None
+        entry = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            depth=len(self._stack),
+            start_s=self._now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(entry)
+        try:
+            yield entry
+        finally:
+            self._stack.pop()
+            entry.end_s = self._now()
+            self.finished.append(entry)
+
+    def records(self) -> list[dict]:
+        """Finished spans as export records, in completion order."""
+        return [span.record() for span in self.finished]
+
+    def clear(self) -> None:
+        self.finished.clear()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: spans cost one shared no-op context manager."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def records(self) -> list[dict]:
+        return []
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+@contextmanager
+def timed(sink) -> Iterator[None]:
+    """Observe the elapsed seconds of the ``with`` body into ``sink``.
+
+    ``sink`` is anything with ``observe(seconds)`` — typically a
+    :class:`~repro.obs.metrics.Histogram`.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink.observe(time.perf_counter() - start)

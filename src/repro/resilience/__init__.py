@@ -7,6 +7,11 @@ divergence guards with rollback + LR backoff
 (:mod:`~repro.resilience.errors`), and a deterministic fault-injection
 harness (:mod:`~repro.resilience.faults`) used by the test suite to prove
 recovery end-to-end.
+
+Guard interventions are observable: with :mod:`repro.obs` enabled, every
+rollback increments ``train.guard.rollbacks`` in addition to the
+``history.events`` log (see ``docs/metrics.md``); ``docs/architecture.md``
+places this layer in the system diagram.
 """
 
 from repro.resilience.artifacts import (

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs import get_obs
+from repro.obs import names as metric_names
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.errors import TrainingDivergedError
 
@@ -124,6 +126,9 @@ class GuardedTrainer:
                 # The restore reset base_lr to the checkpointed value, so
                 # consecutive retries of the same epoch compound the backoff.
                 session.scheduler.base_lr *= self.policy.lr_backoff**retries
+                obs = get_obs()
+                if obs.enabled:
+                    obs.registry.counter(metric_names.TRAIN_GUARD_ROLLBACKS).inc()
                 session.history.events.append(
                     {
                         "type": "rollback",

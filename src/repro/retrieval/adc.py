@@ -9,11 +9,23 @@ so per query we precompute one ``M × K`` inner-product lookup table against
 the codebooks (``O(d·M·K)`` work) and then score each database item with
 ``M`` table lookups — never touching the original ``d``-dimensional
 vectors.
+
+The two stages are observable separately (:mod:`repro.obs`): with
+observability enabled, :func:`adc_distances` emits the lookup-table build
+time (``adc.lut.build_time_s``), the table-scan time (``adc.scan.time_s``),
+and the realised scan throughput in code lookups per second
+(``adc.scan.codes_per_s``) — the quantities §IV's cost model predicts and
+the benchmark harness (``repro bench``) reports.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+
+from repro.obs import get_obs
+from repro.obs import names as metric_names
 
 
 def validate_codes(codes: np.ndarray, num_codebooks: int, num_codewords: int) -> np.ndarray:
@@ -74,7 +86,10 @@ def adc_distances(
     if db_sq_norms is None:
         db_sq_norms = (reconstruct(codes, codebooks) ** 2).sum(axis=1)
     queries = np.asarray(queries, dtype=np.float64)
+    obs = get_obs()
+    lut_start = time.perf_counter() if obs.enabled else 0.0
     tables = build_lookup_tables(queries, codebooks)  # (n_q, M, K)
+    scan_start = time.perf_counter() if obs.enabled else 0.0
     # Σ_j ⟨q, C_j[b_j]⟩ through fancy indexing: tables[:, j, codes[:, j]].
     cross = np.zeros((len(queries), len(codes)))
     for j in range(m):
@@ -82,6 +97,17 @@ def adc_distances(
     q_sq = (queries**2).sum(axis=1, keepdims=True)
     distances = q_sq + db_sq_norms[None, :] - 2.0 * cross
     np.maximum(distances, 0.0, out=distances)
+    if obs.enabled:
+        scan_elapsed = time.perf_counter() - scan_start
+        registry = obs.registry
+        registry.histogram(metric_names.ADC_LUT_BUILD_TIME).observe(
+            scan_start - lut_start
+        )
+        registry.histogram(metric_names.ADC_SCAN_TIME).observe(scan_elapsed)
+        if scan_elapsed > 0:
+            registry.histogram(metric_names.ADC_SCAN_CODES_PER_S).observe(
+                len(queries) * len(codes) * m / scan_elapsed
+            )
     return distances
 
 

@@ -3,14 +3,23 @@
 Wraps the storage layout of §IV (codebooks + per-item codeword ids + one
 stored norm per item) behind a search API, so examples and benchmarks can
 index a database once and serve ranked retrieval with ADC lookups.
+
+Both halves of the serving story are observable (:mod:`repro.obs`):
+:meth:`QuantizedIndex.build` emits encode and total build times inside an
+``index.build`` span, and :meth:`QuantizedIndex.search` emits a per-query
+latency histogram (``query.latency_s``) plus served-query counters — the
+numbers ``repro bench`` reports and ``docs/metrics.md`` catalogues.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import get_obs
+from repro.obs import names as metric_names
 from repro.retrieval.adc import adc_distances, encode_nearest, reconstruct, validate_codes
 from repro.retrieval.search import rank_by_distance
 
@@ -67,16 +76,29 @@ class QuantizedIndex:
         encoder), items are encoded greedily with residual nearest-codeword
         selection — the indexing workflow of Fig. 3.
         """
-        codebooks = np.asarray(codebooks, dtype=np.float64)
-        if codes is None:
-            codes = encode_nearest(database, codebooks, residual=True)
-        reconstructions = reconstruct(codes, codebooks)
-        return cls(
-            codebooks=codebooks,
-            codes=codes,
-            db_sq_norms=(reconstructions**2).sum(axis=1),
-            labels=labels,
-        )
+        obs = get_obs()
+        build_start = time.perf_counter() if obs.enabled else 0.0
+        with obs.span("index.build", items=len(database)):
+            codebooks = np.asarray(codebooks, dtype=np.float64)
+            encode_start = time.perf_counter() if obs.enabled else 0.0
+            if codes is None:
+                codes = encode_nearest(database, codebooks, residual=True)
+            encode_elapsed = time.perf_counter() - encode_start
+            reconstructions = reconstruct(codes, codebooks)
+            index = cls(
+                codebooks=codebooks,
+                codes=codes,
+                db_sq_norms=(reconstructions**2).sum(axis=1),
+                labels=labels,
+            )
+        if obs.enabled:
+            obs.registry.histogram(metric_names.INDEX_ENCODE_TIME).observe(
+                encode_elapsed
+            )
+            obs.registry.histogram(metric_names.INDEX_BUILD_TIME).observe(
+                time.perf_counter() - build_start
+            )
+        return index
 
     # ------------------------------------------------------------------
     # Introspection
@@ -104,11 +126,30 @@ class QuantizedIndex:
     # Search
     # ------------------------------------------------------------------
     def search(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
-        """Ranked database indices for each query via ADC lookups."""
+        """Ranked database indices for each query via ADC lookups.
+
+        With observability enabled the call records per-query latency into
+        ``query.latency_s`` — the batch's wall time spread evenly over its
+        queries, so single-query calls (the serving pattern the benchmark
+        harness times) yield exact per-query percentiles.
+        """
+        obs = get_obs()
+        start = time.perf_counter() if obs.enabled else 0.0
         distances = adc_distances(
             queries, self.codes, self.codebooks, db_sq_norms=self.db_sq_norms
         )
-        return rank_by_distance(distances, k=k)
+        ranked = rank_by_distance(distances, k=k)
+        if obs.enabled:
+            n_queries = len(np.asarray(queries))
+            elapsed = time.perf_counter() - start
+            registry = obs.registry
+            registry.counter(metric_names.QUERY_BATCHES_TOTAL).inc()
+            if n_queries:
+                registry.counter(metric_names.QUERY_ITEMS_TOTAL).inc(n_queries)
+                registry.histogram(metric_names.QUERY_LATENCY).observe_many(
+                    elapsed / n_queries, n_queries
+                )
+        return ranked
 
     def search_labels(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
         """Ranked database *labels*, ready for MAP evaluation."""

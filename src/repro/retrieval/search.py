@@ -2,12 +2,20 @@
 
 This is the uncompressed reference point every quantizer is compared
 against: it defines both the accuracy ceiling and the inference-cost
-baseline (``O(n_db · d)`` per query, §IV-B).
+baseline (``O(n_db · d)`` per query, §IV-B). With observability enabled
+(:mod:`repro.obs`), :func:`exhaustive_search` times each call
+(``search.exhaustive.time_s``) so ADC speedups can be read straight off a
+metrics export instead of re-deriving them.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+
+from repro.obs import get_obs
+from repro.obs import names as metric_names
 
 
 def squared_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
@@ -61,8 +69,14 @@ def exhaustive_search(
     ``batch_size × n_db`` floats.
     """
     queries = np.asarray(queries, dtype=np.float64)
+    obs = get_obs()
+    start_time = time.perf_counter() if obs.enabled else 0.0
     results = []
     for start in range(0, len(queries), batch_size):
         block = queries[start : start + batch_size]
         results.append(rank_by_distance(squared_distances(block, database), k=k))
+    if obs.enabled:
+        obs.registry.histogram(metric_names.SEARCH_EXHAUSTIVE_TIME).observe(
+            time.perf_counter() - start_time
+        )
     return np.concatenate(results, axis=0) if results else np.empty((0, 0), dtype=np.int64)

@@ -1,0 +1,14 @@
+"""Fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """No obs test may leak an enabled context into the rest of the suite."""
+    yield
+    obs.disable_observability()

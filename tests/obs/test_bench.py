@@ -1,0 +1,98 @@
+"""The benchmark harness: schema, determinism of shape, and comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+@pytest.fixture(scope="module")
+def results():
+    return bench.run_bench(profiles=[bench.TINY_PROFILE], quick=True, seed=3)
+
+
+class TestCanonicalDataset:
+    def test_strips_lt_suffix(self):
+        assert bench.canonical_dataset("cifar100-lt") == "cifar100"
+        assert bench.canonical_dataset("cifar100") == "cifar100"
+        assert bench.canonical_dataset("tiny") == "tiny"
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError):
+            bench.canonical_dataset("mnist-lt")
+
+
+class TestRunBench:
+    def test_top_level_schema(self, results):
+        assert results["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert results["quick"] is True
+        assert results["seed"] == 3
+        assert "env" in results
+        assert list(results["profiles"]) == [bench.TINY_PROFILE]
+
+    def test_phases_have_positive_wall_times(self, results):
+        phases = results["profiles"][bench.TINY_PROFILE]["phases"]
+        assert set(phases) == {"train_step", "encode", "index_build", "query"}
+        for name, phase in phases.items():
+            assert phase["wall_time_s"] > 0, name
+
+    def test_query_latency_percentiles_ordered(self, results):
+        latency = results["profiles"][bench.TINY_PROFILE]["phases"]["query"][
+            "single"
+        ]["latency_s"]
+        assert latency["count"] > 0
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_train_step_throughput(self, results):
+        train = results["profiles"][bench.TINY_PROFILE]["phases"]["train_step"]
+        assert train["steps"] > 0
+        assert train["steps_per_s"] > 0
+
+    def test_results_are_json_serialisable(self, results):
+        assert json.loads(json.dumps(results)) == results
+
+
+class TestPersistence:
+    def test_write_and_load_round_trip(self, results, tmp_path):
+        path = str(tmp_path / "BENCH_results.json")
+        bench.write_results(results, path)
+        assert bench.load_results(path) == results
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError):
+            bench.load_results(str(path))
+
+
+class TestReporting:
+    def test_format_summary_mentions_profile(self, results):
+        text = bench.format_summary(results)
+        assert bench.TINY_PROFILE in text
+        assert "train_step" in text
+
+    def test_compare_reports_deltas(self, results):
+        text = bench.compare_results(results, results)
+        assert bench.TINY_PROFILE in text
+        assert "+0.0%" in text or "0.0%" in text
+
+
+class TestCli:
+    def test_main_writes_results_file(self, tmp_path):
+        out = str(tmp_path / "out.json")
+        code = bench.main(
+            ["--profile", bench.TINY_PROFILE, "--quick", "--seed", "1", "--out", out]
+        )
+        assert code == 0
+        loaded = bench.load_results(out)
+        assert bench.TINY_PROFILE in loaded["profiles"]
+
+    def test_main_compare_mode(self, tmp_path):
+        out = str(tmp_path / "a.json")
+        bench.main(
+            ["--profile", bench.TINY_PROFILE, "--quick", "--seed", "1", "--out", out]
+        )
+        assert bench.main(["--compare", out, out]) == 0

@@ -1,0 +1,63 @@
+"""JSONL round-trips for metric snapshots and traces."""
+
+from __future__ import annotations
+
+from repro import obs
+
+
+class TestJsonlRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        records = [{"a": 1}, {"b": [1, 2, 3], "c": {"d": None}}]
+        assert obs.write_jsonl(path, records) == 2
+        assert obs.read_jsonl(path) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "gappy.jsonl")
+        path_obj = tmp_path / "gappy.jsonl"
+        path_obj.write_text('{"a": 1}\n\n{"b": 2}\n\n')
+        assert obs.read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+
+class TestMetricsExport:
+    def test_round_trip_preserves_summaries(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        registry.counter("hits").inc(7)
+        registry.gauge("level").set(0.5)
+        for value in (0.01, 0.02, 0.04):
+            registry.histogram("lat").observe(value)
+        path = str(tmp_path / "metrics.jsonl")
+        written = obs.export_metrics(registry, path, run={"seed": 3})
+        assert written == 1 + len(registry.snapshot())
+
+        header, *records = obs.read_jsonl(path)
+        assert header["stream"] == "metrics"
+        assert header["schema_version"] == obs.EXPORT_SCHEMA_VERSION
+        assert header["run"] == {"seed": 3}
+        by_name = {record.pop("metric"): record for record in records}
+        assert by_name == registry.snapshot()
+
+    def test_empty_registry_exports_header_only(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        assert obs.export_metrics(obs.MetricsRegistry(), path) == 1
+        (header,) = obs.read_jsonl(path)
+        assert header["stream"] == "metrics"
+
+
+class TestSpanExport:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        tracer = obs.Tracer()
+        with tracer.span("outer", size=2):
+            with tracer.span("inner"):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        obs.export_spans(tracer, path, run={"cmd": "test"})
+
+        header, *records = obs.read_jsonl(path)
+        assert header["stream"] == "trace"
+        assert header["wall_epoch"] == tracer.wall_epoch
+        assert [record["span"] for record in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner["parent"] == outer["id"]
+        assert inner["depth"] == 1
+        assert records == tracer.records()

@@ -1,0 +1,145 @@
+"""Counters, gauges, and the streaming histogram sketch."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_tracks_latest(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(-2.0)
+        assert gauge.value == -2.0
+        assert gauge.updates == 2
+
+
+class TestHistogramPercentiles:
+    """The sketch must agree with NumPy quantiles within its bucket error."""
+
+    @pytest.mark.parametrize("q", [50, 90, 95, 99])
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            lambda rng: rng.lognormal(mean=-5, sigma=1.2, size=5000),
+            lambda rng: rng.uniform(1e-4, 1e-1, size=5000),
+            lambda rng: rng.exponential(scale=0.01, size=5000),
+        ],
+        ids=["lognormal", "uniform", "exponential"],
+    )
+    def test_matches_numpy_quantile(self, q, sampler):
+        rng = np.random.default_rng(42)
+        values = sampler(rng)
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(float(value))
+        exact = float(np.quantile(values, q / 100))
+        approx = histogram.percentile(q)
+        # Error bound: one geometric bucket (growth 1.04) either way.
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_clamped_to_observed_range(self):
+        histogram = Histogram()
+        for value in (0.5, 0.5, 0.5):
+            histogram.observe(value)
+        assert histogram.percentile(0) >= histogram.min
+        assert histogram.percentile(100) <= histogram.max
+
+    def test_exact_aggregates(self):
+        histogram = Histogram()
+        values = [0.1, 0.2, 0.7]
+        for value in values:
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(sum(values))
+        assert histogram.mean == pytest.approx(np.mean(values))
+        assert histogram.min == 0.1
+        assert histogram.max == 0.7
+
+    def test_observe_many_equals_repeated_observe(self):
+        bulk, loop = Histogram(), Histogram()
+        bulk.observe_many(0.03, 500)
+        for _ in range(500):
+            loop.observe(0.03)
+        bulk_summary, loop_summary = bulk.summary(), loop.summary()
+        assert set(bulk_summary) == set(loop_summary)
+        for key, value in bulk_summary.items():
+            if isinstance(value, float):
+                # bulk total is value*count; the loop accumulates 500 adds
+                assert value == pytest.approx(loop_summary[key]), key
+            else:
+                assert value == loop_summary[key], key
+
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert math.isnan(histogram.percentile(50))
+        assert histogram.summary() == {"kind": "histogram", "count": 0}
+
+    def test_underflow_and_nan(self):
+        histogram = Histogram()
+        histogram.observe(0.0)  # below min_value: underflow bucket
+        histogram.observe(-1.0)
+        assert histogram.count == 2
+        with pytest.raises(ValueError):
+            histogram.observe(float("nan"))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.histogram("a")
+
+    def test_snapshot_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("m.time").observe(0.25)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.level", "m.time", "z.count"]
+        assert snapshot["z.count"] == {"kind": "counter", "value": 2.0}
+        assert snapshot["m.time"]["count"] == 1
+
+    def test_records_carry_metric_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        (record,) = list(registry.records())
+        assert record["metric"] == "hits"
+
+
+class TestNullRegistry:
+    def test_swallows_everything(self):
+        registry = NullRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        registry.histogram("c").observe(0.5)
+        registry.histogram("c").observe_many(0.5, 100)
+        assert registry.snapshot() == {}
+        assert len(registry) == 0

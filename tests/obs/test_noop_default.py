@@ -1,0 +1,112 @@
+"""The disabled default must be invisible to training and retrieval.
+
+These are the regression tests behind the "near-zero-cost no-op" claim:
+with observability off (the default), the instrumented hot paths must
+produce bit-identical histories, weights, and rankings — and must not
+grow the training history by any key. With it on, the catalogue metrics
+must actually appear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import names as metric_names
+from repro.core.model import LightLTConfig
+from repro.core.trainer import Trainer, TrainingConfig
+from tests.conftest import build_tiny_dataset
+
+
+def _tiny_trainer(dataset) -> Trainer:
+    return Trainer(
+        LightLTConfig(
+            input_dim=dataset.dim,
+            num_classes=dataset.num_classes,
+            embed_dim=dataset.dim,
+            hidden_dims=(16,),
+            num_codebooks=3,
+            num_codewords=8,
+        ),
+        training_config=TrainingConfig(epochs=2, batch_size=32, warm_start=False),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_tiny_dataset()
+
+
+class TestNoopDefault:
+    def test_default_context_is_disabled(self):
+        handle = obs.get_obs()
+        assert handle.enabled is False
+        assert isinstance(handle.registry, obs.NullRegistry)
+
+    def test_history_keys_unchanged_by_instrumentation(self, dataset):
+        """The no-op registry adds no keys to the trainer history."""
+        _, _, history = _tiny_trainer(dataset).fit(dataset)
+        for epoch in history.epochs:
+            assert set(epoch) <= {
+                "total",
+                "classification",
+                "center",
+                "ranking",
+                "reconstruction",
+            }
+            assert not any(key.startswith("train.") for key in epoch)
+        assert history.events == []
+
+    def test_enabled_run_is_bit_identical(self, dataset):
+        """Metrics collection must not perturb the computation itself."""
+        model_off, _, history_off = _tiny_trainer(dataset).fit(dataset)
+        with obs.observed():
+            model_on, _, history_on = _tiny_trainer(dataset).fit(dataset)
+        assert history_on.epochs == history_off.epochs
+        for p_on, p_off in zip(model_on.parameters(), model_off.parameters()):
+            np.testing.assert_array_equal(p_on.data, p_off.data)
+
+    def test_disabled_search_identical(self, dataset):
+        model, _, _ = _tiny_trainer(dataset).fit(dataset)
+        index = model.build_index(dataset.database.features)
+        ranked_off = index.search(model.embed(dataset.query.features), k=5)
+        with obs.observed():
+            ranked_on = index.search(model.embed(dataset.query.features), k=5)
+        np.testing.assert_array_equal(ranked_on, ranked_off)
+
+
+class TestEnabledInstrumentation:
+    def test_training_emits_catalogue_metrics(self, dataset):
+        with obs.observed() as handle:
+            _tiny_trainer(dataset).fit(dataset)
+        registry = handle.registry
+        steps = registry.counter(metric_names.TRAIN_STEPS_TOTAL).value
+        assert steps > 0
+        assert registry.histogram(metric_names.TRAIN_STEP_TIME).count == steps
+        assert registry.histogram(metric_names.TRAIN_EPOCH_TIME).count == 2
+        assert registry.counter(metric_names.DATA_BATCHES_TOTAL).value == steps
+        assert registry.gauge(
+            metric_names.TRAIN_EPOCH_LOSS_PREFIX + "total"
+        ).updates == 2
+        # every emitted name is in the catalogue
+        for name in registry.names():
+            assert metric_names.is_known_metric(name), name
+        # epochs were traced
+        epochs = [s for s in handle.tracer.finished if s.name == "train.epoch"]
+        assert [s.attrs["epoch"] for s in epochs] == [0, 1]
+
+    def test_search_emits_catalogue_metrics(self, dataset):
+        model, _, _ = _tiny_trainer(dataset).fit(dataset)
+        queries = model.embed(dataset.query.features)
+        with obs.observed() as handle:
+            index = model.build_index(dataset.database.features)
+            index.search(queries, k=5)
+        registry = handle.registry
+        assert registry.histogram(metric_names.INDEX_BUILD_TIME).count == 1
+        assert registry.histogram(metric_names.ADC_LUT_BUILD_TIME).count == 1
+        assert registry.histogram(metric_names.QUERY_LATENCY).count == len(queries)
+        assert registry.counter(metric_names.QUERY_ITEMS_TOTAL).value == len(queries)
+        for name in registry.names():
+            assert metric_names.is_known_metric(name), name

@@ -1,0 +1,100 @@
+"""Nested spans, monotonic timing, and the timed() helper."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import Histogram, NullTracer, Tracer, timed
+
+
+class TestSpans:
+    def test_single_span_duration_positive(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.002)
+        (span,) = tracer.finished
+        assert span.name == "work"
+        assert span.duration_s >= 0.002
+        assert span.depth == 0 and span.parent_id is None
+
+    def test_nesting_monotonicity(self):
+        """A child starts and ends inside its parent; clocks never go back."""
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.001)
+        inner, outer = tracer.finished  # completion order: inner first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert 0 <= inner.duration_s <= outer.duration_s
+
+    def test_siblings_do_not_overlap(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        first = next(s for s in tracer.finished if s.name == "first")
+        second = next(s for s in tracer.finished if s.name == "second")
+        assert first.end_s <= second.start_s
+
+    def test_span_finalised_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span.end_s is not None
+        assert tracer.depth == 0
+
+    def test_attrs_and_records(self):
+        tracer = Tracer()
+        with tracer.span("epoch", epoch=3):
+            pass
+        (record,) = tracer.records()
+        assert record["span"] == "epoch"
+        assert record["attrs"] == {"epoch": 3}
+        assert record["duration_s"] >= 0
+
+    def test_open_span_has_no_duration(self):
+        tracer = Tracer()
+        with tracer.span("open") as span:
+            with pytest.raises(RuntimeError):
+                _ = span.duration_s
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+
+class TestNullTracer:
+    def test_span_is_noop(self):
+        tracer = NullTracer()
+        with tracer.span("anything", k=1):
+            pass
+        assert tracer.records() == []
+
+
+class TestTimed:
+    def test_observes_elapsed_into_sink(self):
+        histogram = Histogram()
+        with timed(histogram):
+            time.sleep(0.002)
+        assert histogram.count == 1
+        assert histogram.max >= 0.002
+
+    def test_observes_even_on_exception(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            with timed(histogram):
+                raise ValueError
+        assert histogram.count == 1

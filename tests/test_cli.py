@@ -71,3 +71,58 @@ class TestExperimentCommand:
     def test_fig4(self, capsys):
         assert main(["experiment", "fig4"]) == 0
         assert "Fig. 4" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_train_with_metrics_and_trace(self, tmp_path, capsys):
+        metrics_path = str(tmp_path / "metrics.jsonl")
+        trace_path = str(tmp_path / "trace.jsonl")
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "nc",
+                "--fast",
+                "--metrics-out",
+                metrics_path,
+                "--trace",
+                trace_path,
+            ]
+        )
+        assert code == 0
+
+        from repro import obs
+        from repro.obs import names as metric_names
+
+        header, *records = obs.read_jsonl(metrics_path)
+        assert header["stream"] == "metrics"
+        assert header["run"]["dataset"] == "nc"
+        emitted = {record["metric"] for record in records}
+        assert metric_names.TRAIN_STEPS_TOTAL in emitted
+        assert metric_names.TRAIN_EPOCH_TIME in emitted
+
+        trace_header, *spans = obs.read_jsonl(trace_path)
+        assert trace_header["stream"] == "trace"
+        assert any(span["span"] == "train.epoch" for span in spans)
+
+        # the flag-enabled context must not outlive the command
+        assert obs.get_obs().enabled is False
+
+
+class TestBenchSubcommand:
+    def test_bench_delegates_to_harness(self, tmp_path):
+        out = str(tmp_path / "BENCH_results.json")
+        code = main(
+            ["bench", "--profile", "tiny", "--quick", "--seed", "2", "--out", out]
+        )
+        assert code == 0
+
+        from repro.obs import bench
+
+        results = bench.load_results(out)
+        assert "tiny" in results["profiles"]
+
+    def test_bench_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "bench" in capsys.readouterr().out

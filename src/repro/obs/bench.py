@@ -110,8 +110,74 @@ def _latency_summary(histogram: obs.Histogram) -> dict:
     return summary
 
 
-def bench_profile(profile: str, quick: bool = False, seed: int = 0) -> dict:
-    """Run all four phases for one profile; returns its result subtree."""
+def _hist_window(histogram: obs.Histogram) -> tuple[int, float]:
+    """Snapshot ``(count, total)`` so a later delta isolates one call."""
+    return histogram.count, histogram.total
+
+
+def _window_mean(histogram: obs.Histogram, window: tuple[int, float]) -> float | None:
+    """Mean of the observations made since ``window`` was snapshot."""
+    count = histogram.count - window[0]
+    if count <= 0:
+        return None
+    return (histogram.total - window[1]) / count
+
+
+#: Measured calls averaged per scan-throughput figure — single-shot scan
+#: timings at CI scale (~10 ms) swing tens of percent run to run.
+_ENGINE_REPEATS = 5
+
+
+def _bench_engine(index, queries, serial_topk, scan_hist, serial_scan_tput,
+                  handle, workers: int, shards: int | None) -> dict:
+    """Time the sharded engine on the batch query and compare to serial."""
+    import numpy as np
+
+    from repro.retrieval.engine import QueryEngine
+
+    with handle.span("bench.query.engine", workers=workers, shards=shards or 0):
+        with QueryEngine(index, workers=workers, num_shards=shards) as engine:
+            engine.search(queries[:1], k=10)  # warm the path (and any pool)
+            window = _hist_window(scan_hist)
+            start = time.perf_counter()
+            for _ in range(_ENGINE_REPEATS):
+                engine_topk = index.search(queries, k=10, engine=engine)
+            wall = (time.perf_counter() - start) / _ENGINE_REPEATS
+            engine_tput = _window_mean(scan_hist, window)
+            entry = {
+                "workers": workers,
+                "shards": engine.num_shards,
+                "dispatch": engine.last_dispatch,
+                "wall_time_s": wall,
+                "qps": len(queries) / wall if wall > 0 else None,
+                "scan_codes_per_s": engine_tput,
+                "serial_scan_codes_per_s": serial_scan_tput,
+                "scan_speedup": (
+                    engine_tput / serial_scan_tput
+                    if engine_tput and serial_scan_tput
+                    else None
+                ),
+                "topk_identical_serial": bool(
+                    np.array_equal(engine_topk, serial_topk)
+                ),
+            }
+    return entry
+
+
+def bench_profile(
+    profile: str,
+    quick: bool = False,
+    seed: int = 0,
+    workers: int | None = None,
+    shards: int | None = None,
+) -> dict:
+    """Run all four phases for one profile; returns its result subtree.
+
+    With ``workers`` (and optionally ``shards``) set, the query phase also
+    times the sharded :class:`repro.retrieval.engine.QueryEngine` on the
+    same batch and records its scan throughput, the serial scan throughput,
+    their ratio, and a top-k parity bit under ``phases.query.engine``.
+    """
     from repro.core.trainer import Trainer
     from repro.experiments.config import (
         default_loss_config,
@@ -155,8 +221,26 @@ def bench_profile(profile: str, quick: bool = False, seed: int = 0) -> dict:
                 single_latency = _latency_summary(
                     handle.registry.histogram(metric_names.QUERY_LATENCY)
                 )
+                scan_hist = handle.registry.histogram(
+                    metric_names.ADC_SCAN_CODES_PER_S
+                )
+                serial_window = _hist_window(scan_hist)
                 with handle.span("bench.query.batch"):
-                    index.search(queries, k=10)
+                    serial_topk = index.search(queries, k=10)
+                if workers is not None or shards is not None:
+                    # Extra serial reps (outside the batch span, inside the
+                    # scan window) so the engine comparison averages away
+                    # single-shot scan noise on both sides.
+                    for _ in range(_ENGINE_REPEATS - 1):
+                        index.search(queries, k=10)
+                serial_scan_tput = _window_mean(scan_hist, serial_window)
+                engine_entry = None
+                if workers is not None or shards is not None:
+                    engine_entry = _bench_engine(
+                        index, queries, serial_topk, scan_hist,
+                        serial_scan_tput, handle,
+                        workers=workers or 1, shards=shards,
+                    )
         registry = handle.registry
 
         steps = registry.counter(metric_names.TRAIN_STEPS_TOTAL).value
@@ -214,6 +298,7 @@ def bench_profile(profile: str, quick: bool = False, seed: int = 0) -> dict:
                             len(queries) / batch_wall if batch_wall > 0 else None
                         ),
                     },
+                    **({"engine": engine_entry} if engine_entry else {}),
                 },
             },
             "metrics": registry.snapshot(),
@@ -225,6 +310,8 @@ def run_bench(
     profiles: list[str] | tuple[str, ...] = DEFAULT_PROFILES,
     quick: bool = False,
     seed: int = 0,
+    workers: int | None = None,
+    shards: int | None = None,
 ) -> dict:
     """Run the harness over ``profiles``; returns the full result tree."""
     results = {
@@ -236,11 +323,14 @@ def run_bench(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
         },
         "profiles": {},
     }
     for profile in profiles:
-        results["profiles"][profile] = bench_profile(profile, quick=quick, seed=seed)
+        results["profiles"][profile] = bench_profile(
+            profile, quick=quick, seed=seed, workers=workers, shards=shards
+        )
     return results
 
 
@@ -300,15 +390,36 @@ def format_summary(results: dict) -> str:
                 f"{profile:<16} {phase:<12} {wall:>9.3f} {rate_text:>18} "
                 f"{p50:>9} {p95:>9} {p99:>9}"
             )
+        engine = phases["query"].get("engine")
+        if engine:
+            qps = engine.get("qps")
+            rate_text = f"{qps:,.0f} qps" if qps else "-"
+            speedup = engine.get("scan_speedup")
+            speedup_text = f"x{speedup:.2f}" if speedup else "-"
+            parity = "ok" if engine.get("topk_identical_serial") else "MISMATCH"
+            lines.append(
+                f"{profile:<16} {'query.engine':<12} "
+                f"{engine['wall_time_s']:>9.3f} {rate_text:>18} "
+                f"scan {speedup_text} ({engine['dispatch']}, "
+                f"{engine['workers']}w/{engine['shards']}s, top-k {parity})"
+            )
     return "\n".join(lines)
 
 
 def compare_results(old: dict, new: dict) -> str:
-    """Per-phase wall-time deltas between two runs (negative = faster)."""
+    """Per-phase wall-time deltas between two runs (negative = faster).
+
+    When either run carries a ``phases.query.engine`` entry, an extra
+    ``scan Mcodes/s`` row compares ADC scan throughput. A run without an
+    engine entry borrows the *other* run's measured serial baseline (the
+    engine entry records both sides in one process), so a plain run vs a
+    ``--workers`` run reads as a serial-vs-engine before/after.
+    """
     lines = [f"{'profile':<16} {'phase':<12} {'old_s':>9} {'new_s':>9} {'delta':>8}"]
     shared = [p for p in old["profiles"] if p in new["profiles"]]
     if not shared:
         return "no profiles in common between the two runs"
+
     for profile in shared:
         for phase in _PHASES:
             old_wall = old["profiles"][profile]["phases"][phase]["wall_time_s"]
@@ -317,6 +428,20 @@ def compare_results(old: dict, new: dict) -> str:
             lines.append(
                 f"{profile:<16} {phase:<12} {old_wall:>9.3f} {new_wall:>9.3f} "
                 f"{delta:>+7.1f}%"
+            )
+        old_engine = old["profiles"][profile]["phases"]["query"].get("engine")
+        new_engine = new["profiles"][profile]["phases"]["query"].get("engine")
+        old_scan = (old_engine or {}).get("scan_codes_per_s") or (
+            new_engine or {}
+        ).get("serial_scan_codes_per_s")
+        new_scan = (new_engine or {}).get("scan_codes_per_s") or (
+            old_engine or {}
+        ).get("serial_scan_codes_per_s")
+        if old_scan and new_scan:
+            ratio = new_scan / old_scan
+            lines.append(
+                f"{profile:<16} {'scan Mcodes/s':<12} {old_scan / 1e6:>9.0f} "
+                f"{new_scan / 1e6:>9.0f} {'x' + format(ratio, '.2f'):>8}"
             )
     return "\n".join(lines)
 
@@ -339,6 +464,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="also time the sharded query engine with this many workers "
+        "(recorded under phases.query.engine)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="engine shard count (default: 2 x workers; implies --workers 1 "
+        "when given alone)",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_RESULTS_PATH,
         help=f"result file (default: {DEFAULT_RESULTS_PATH})",
     )
@@ -359,7 +494,10 @@ def main(argv: list[str] | None = None) -> int:
     profiles = args.profile if args.profile else list(DEFAULT_PROFILES)
     for profile in profiles:
         canonical_dataset(profile)  # fail fast on typos before any training
-    results = run_bench(profiles, quick=args.quick, seed=args.seed)
+    results = run_bench(
+        profiles, quick=args.quick, seed=args.seed,
+        workers=args.workers, shards=args.shards,
+    )
     path = write_results(results, args.out)
     print(format_summary(results))
     print(f"[results written to {path}]")

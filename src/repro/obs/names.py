@@ -56,10 +56,15 @@ TRAIN_GUARD_ROLLBACKS = "train.guard.rollbacks"
 DATA_BATCH_FETCH_TIME = "data.batch.fetch_time_s"
 DATA_BATCHES_TOTAL = "data.batches.total"
 
-# --- retrieval (repro.retrieval.adc / .search / .index) ---------------------
+# --- retrieval (repro.retrieval.adc / .search / .index / .engine) -----------
 ADC_LUT_BUILD_TIME = "adc.lut.build_time_s"
 ADC_SCAN_TIME = "adc.scan.time_s"
 ADC_SCAN_CODES_PER_S = "adc.scan.codes_per_s"
+ENGINE_SHARD_SCAN_TIME = "engine.shard.scan.time_s"
+ENGINE_MERGE_TIME = "engine.merge.time_s"
+ENGINE_SHARDS_SCANNED = "engine.shards.scanned"
+ENGINE_BATCHES_TOTAL = "engine.batches.total"
+ENGINE_PARALLEL_BATCHES = "engine.batches.parallel"
 INDEX_ENCODE_TIME = "index.encode.time_s"
 INDEX_BUILD_TIME = "index.build.time_s"
 QUERY_LATENCY = "query.latency_s"
@@ -146,30 +151,76 @@ SPECS: tuple[MetricSpec, ...] = (
         ADC_LUT_BUILD_TIME,
         HISTOGRAM,
         "seconds",
-        "repro.retrieval.adc.adc_distances",
+        "repro.retrieval.adc.adc_distances, "
+        "repro.retrieval.engine.QueryEngine.search",
         "Time to build the per-query M x K inner-product lookup tables.",
     ),
     MetricSpec(
         ADC_SCAN_TIME,
         HISTOGRAM,
         "seconds",
-        "repro.retrieval.adc.adc_distances",
-        "Time to score every database item against the lookup tables.",
+        "repro.retrieval.adc.adc_distances, "
+        "repro.retrieval.engine.QueryEngine.search",
+        "Time to score every database item against the lookup tables "
+        "(excludes ranking; the engine counts gather + distance assembly, "
+        "summed over shards in-process, phase wall under the pool).",
     ),
     MetricSpec(
         ADC_SCAN_CODES_PER_S,
         HISTOGRAM,
         "codes/second",
-        "repro.retrieval.adc.adc_distances",
+        "repro.retrieval.adc.adc_distances, "
+        "repro.retrieval.engine.QueryEngine.search",
         "Scan throughput: table lookups performed per second "
-        "(n_queries x n_db x M / scan time).",
+        "(n_queries x n_db x M / scan time). Serial and engine scans feed "
+        "the same histogram, so speedups read straight off one metric.",
+    ),
+    MetricSpec(
+        ENGINE_SHARD_SCAN_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.engine.QueryEngine.search",
+        "In-kernel scan time of one shard (gather-accumulate, distance "
+        "assembly, and per-shard top-k), excluding pool dispatch.",
+    ),
+    MetricSpec(
+        ENGINE_MERGE_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.engine.QueryEngine.search",
+        "Time to merge per-shard candidates into the global tie-stable "
+        "top-k, including the exact float64 rerank when enabled.",
+    ),
+    MetricSpec(
+        ENGINE_SHARDS_SCANNED,
+        COUNTER,
+        "shards",
+        "repro.retrieval.engine.QueryEngine.search",
+        "Shard scans performed across all engine batches (in-process "
+        "dispatch coalesces the shards into one scan).",
+    ),
+    MetricSpec(
+        ENGINE_BATCHES_TOTAL,
+        COUNTER,
+        "batches",
+        "repro.retrieval.engine.QueryEngine.search",
+        "Query batches served by the sharded engine.",
+    ),
+    MetricSpec(
+        ENGINE_PARALLEL_BATCHES,
+        COUNTER,
+        "batches",
+        "repro.retrieval.engine.QueryEngine.search",
+        "Engine batches dispatched to the multiprocessing pool (the rest "
+        "ran in-process because parallelism could not pay).",
     ),
     MetricSpec(
         INDEX_ENCODE_TIME,
         HISTOGRAM,
         "seconds",
         "repro.retrieval.index.QuantizedIndex.build",
-        "Time to encode database items into codeword ids.",
+        "Time to encode database items into codeword ids (only observed "
+        "when ``build`` actually encodes; supplied codes skip it).",
     ),
     MetricSpec(
         INDEX_BUILD_TIME,

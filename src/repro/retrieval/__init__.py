@@ -16,6 +16,14 @@ from repro.retrieval.costs import (
     storage_cost,
     theoretical_speedup,
 )
+from repro.retrieval.engine import (
+    QueryEngine,
+    ShardedIndex,
+    compact_code_dtype,
+    merge_topk,
+    shard_bounds,
+    topk_tie_stable,
+)
 from repro.retrieval.index import QuantizedIndex
 from repro.retrieval.metrics import (
     average_precision,
@@ -34,7 +42,13 @@ from repro.retrieval.search import (
 __all__ = [
     "EfficiencyMeasurement",
     "QuantizedIndex",
+    "QueryEngine",
+    "ShardedIndex",
     "StorageCost",
+    "compact_code_dtype",
+    "merge_topk",
+    "shard_bounds",
+    "topk_tie_stable",
     "adc_distances",
     "asymptotic_compression_ratio",
     "average_precision",

@@ -29,12 +29,28 @@ from repro.obs import names as metric_names
 
 
 def validate_codes(codes: np.ndarray, num_codebooks: int, num_codewords: int) -> np.ndarray:
-    """Check code array shape/range and return it as int64."""
+    """Check code array shape/dtype/range and return it as int64.
+
+    Float arrays are accepted only when every value sits exactly on the
+    integer lattice (e.g. a float64 array of whole numbers out of a generic
+    pipeline); fractional or non-finite values would previously be floored
+    silently by the cast, corrupting the codes.
+    """
     codes = np.asarray(codes)
     if codes.ndim != 2 or codes.shape[1] != num_codebooks:
         raise ValueError(
             f"codes must be (n, {num_codebooks}), got shape {codes.shape}"
         )
+    if not (np.issubdtype(codes.dtype, np.integer) or codes.dtype == np.bool_):
+        if not np.issubdtype(codes.dtype, np.floating):
+            raise ValueError(
+                f"codes must be an integer array, got dtype {codes.dtype}"
+            )
+        if codes.size and not np.all(np.mod(codes, 1) == 0):
+            raise ValueError(
+                "float codes contain values off the integer lattice; "
+                "refusing to floor them into valid-looking codeword ids"
+            )
     if codes.size and (codes.min() < 0 or codes.max() >= num_codewords):
         raise ValueError("code ids out of codebook range")
     return codes.astype(np.int64)

@@ -1,0 +1,527 @@
+"""Sharded, multi-worker ADC query engine: the serving path of §IV at speed.
+
+:func:`repro.retrieval.adc.adc_distances` is the *reference* scan — float64,
+one process, and a full ``(n_q, n_db)`` temporary per codebook. This module
+is the deployable version of the same Eqn. 24 arithmetic:
+
+- :class:`ShardedIndex` re-lays a :class:`~repro.retrieval.index.QuantizedIndex`
+  for scanning: codes transposed to ``(M, n_db)`` and stored in the narrowest
+  unsigned dtype ``K`` permits (uint8 for K ≤ 256, uint16 for K ≤ 65 536),
+  norms kept in both the scan dtype and float64, and the rows split into
+  contiguous shards.
+- :class:`QueryEngine` builds one float32 lookup table per query batch, scans
+  each shard with a blocked gather-accumulate kernel, reduces every shard to
+  tie-stable top-k candidates, and merges candidates across shards with a
+  tie-stable reduction (distance first, global index second — exactly the
+  order a full stable argsort of the serial distance matrix produces).
+- Shards can be scanned by a ``multiprocessing`` pool whose workers attach to
+  shared-memory code/norm buffers, so the database is materialised once per
+  machine, not once per worker. The pool engages only when it can pay:
+  ``min(workers, cpu_count, num_shards) > 1`` and the batch clears
+  ``min_parallel_codes`` of scan work (``parallel="force"`` overrides, which
+  is what the smoke test uses; ``parallel="never"`` pins in-process).
+
+Exactness. With ``dtype=np.float64`` the kernel reproduces the reference
+scan's summation order, so distances and rankings are *identical* to the
+serial path. The default ``dtype=np.float32`` scans in float32 for
+throughput, then (``rerank=True``) re-scores the merged candidate pool —
+each shard contributes ``k + rerank_pad`` candidates — against the float64
+tables, which restores serial-exact rankings unless float32 error exceeds
+the true distance gap for ``rerank_pad`` items at once (never observed;
+property-tested across seeds). With ``rerank=False`` rankings follow raw
+float32 distances: within float32 tolerance of serial, top-k sets identical
+on the benchmark profiles.
+
+Observability: the engine feeds the same ``adc.lut.build_time_s`` /
+``adc.scan.time_s`` / ``adc.scan.codes_per_s`` instruments as the serial
+scan (so ``repro bench`` reads speedups off one metric), plus the
+``engine.*`` family catalogued in :mod:`repro.obs.names`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from multiprocessing import get_context
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs import get_obs
+from repro.obs import names as metric_names
+from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.search import topk_tie_stable
+
+__all__ = [
+    "QueryEngine",
+    "ShardedIndex",
+    "compact_code_dtype",
+    "merge_topk",
+    "shard_bounds",
+    "topk_tie_stable",
+]
+
+#: Default scan work (``n_q · n_db · M`` lookups) below which ``"auto"``
+#: dispatch keeps the batch in-process — pool IPC costs milliseconds, and a
+#: batch this small scans in less.
+MIN_PARALLEL_CODES = 2_000_000
+
+#: Extra per-shard candidates carried into the float64 rerank.
+RERANK_PAD = 8
+
+_BLOCK_ROWS = 8192
+
+
+def compact_code_dtype(num_codewords: int) -> np.dtype:
+    """Narrowest unsigned dtype that can hold codeword ids below ``K``."""
+    if num_codewords <= 0:
+        raise ValueError("num_codewords must be positive")
+    if num_codewords <= 2**8:
+        return np.dtype(np.uint8)
+    if num_codewords <= 2**16:
+        return np.dtype(np.uint16)
+    if num_codewords <= 2**32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+def shard_bounds(n_items: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` row ranges splitting ``n_items`` evenly.
+
+    Sizes differ by at most one row; empty shards are never produced (the
+    shard count is clamped to ``n_items`` when the database is smaller).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if n_items == 0:
+        return [(0, 0)]
+    num_shards = min(num_shards, n_items)
+    edges = np.linspace(0, n_items, num_shards + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(num_shards)]
+
+
+
+
+def merge_topk(
+    shard_distances: list[np.ndarray],
+    shard_indices: list[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce per-shard candidates to the global tie-stable top-k.
+
+    Shard results carry *global* row ids, so ties across shards resolve by
+    global index exactly as a stable sort of the unsharded distance matrix
+    would. Returns ``(indices, values)``.
+    """
+    dists = np.concatenate(shard_distances, axis=1)
+    idxs = np.concatenate(shard_indices, axis=1)
+    k = max(0, min(k, dists.shape[1]))
+    order = np.lexsort((idxs, dists), axis=-1)[:, :k]
+    rows = np.arange(dists.shape[0])[:, None]
+    return idxs[rows, order], dists[rows, order]
+
+
+def _scan_block(lut, codes_t, lo, hi, block_rows):
+    """``Σ_j lut[:, j, codes[j]]`` over rows ``[lo, hi)``, blocked.
+
+    ``lut`` is ``(n_q, M, K)``; the gather runs one codebook at a time on at
+    most ``block_rows`` columns so temporaries stay cache-sized. Summation
+    starts from the first gathered table (``0 + x == x`` in IEEE), matching
+    the reference scan's left-to-right accumulation bit for bit in float64.
+    """
+    n_q, m, _ = lut.shape
+    width = hi - lo
+    out = np.empty((n_q, width), dtype=lut.dtype)
+    for start in range(lo, hi, block_rows):
+        end = min(start + block_rows, hi)
+        block = out[:, start - lo : end - lo]
+        np.take(lut[:, 0, :], codes_t[0, start:end], axis=1, out=block)
+        for j in range(1, m):
+            block += lut[:, j, :].take(codes_t[j, start:end], axis=1)
+    return out
+
+
+def _scan_shard(lut, q_sq, codes_t, norms, lo, hi, k, block_rows):
+    """Distances + tie-stable top-k for one shard; returns global indices.
+
+    Timings come back split: ``scan_seconds`` covers the table gather and
+    distance assembly (the work serial ``adc.scan.time_s`` measures) and
+    ``shard_seconds`` adds the per-shard top-k selection on top.
+    """
+    start = time.perf_counter()
+    cross = _scan_block(lut, codes_t, lo, hi, block_rows)
+    d = q_sq[:, None] + norms[lo:hi][None, :] - 2.0 * cross
+    np.maximum(d, 0.0, out=d)
+    scan_seconds = time.perf_counter() - start
+    local, vals = topk_tie_stable(d, k)
+    return vals, local + lo, scan_seconds, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Worker-side state: arrays attached from shared memory once per worker.
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _attach(name, shape, dtype):
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def _init_worker(codes_name, codes_shape, codes_dtype, norms_name, norms_dtype):
+    codes_shm, codes_t = _attach(codes_name, codes_shape, codes_dtype)
+    norms_shm, norms = _attach(norms_name, (codes_shape[1],), norms_dtype)
+    _WORKER["codes_t"] = codes_t
+    _WORKER["norms"] = norms
+    _WORKER["shms"] = (codes_shm, norms_shm)  # keep buffers alive
+
+
+def _pool_scan_shard(args):
+    lut, q_sq, lo, hi, k, block_rows = args
+    return _scan_shard(
+        lut, q_sq, _WORKER["codes_t"], _WORKER["norms"], lo, hi, k, block_rows
+    )
+
+
+class ShardedIndex:
+    """A :class:`QuantizedIndex` re-laid for sharded scanning.
+
+    Codes are transposed to ``(M, n_db)`` (each codebook's column becomes a
+    contiguous row — the scan gathers one codebook at a time) and narrowed to
+    :func:`compact_code_dtype`; norms are kept in the scan dtype and, for
+    the exact rerank, float64. ``bounds`` are the contiguous row shards.
+    """
+
+    def __init__(
+        self,
+        index: QuantizedIndex,
+        num_shards: int,
+        scan_dtype: np.dtype = np.float32,
+    ) -> None:
+        scan_dtype = np.dtype(scan_dtype)
+        if scan_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("scan_dtype must be float32 or float64")
+        self.num_codebooks = index.num_codebooks
+        self.num_codewords = index.num_codewords
+        self.dim = index.dim
+        self.scan_dtype = scan_dtype
+        self.code_dtype = compact_code_dtype(index.num_codewords)
+        self.codes_t = np.ascontiguousarray(index.codes.T.astype(self.code_dtype))
+        self.norms64 = np.ascontiguousarray(index.db_sq_norms, dtype=np.float64)
+        self.norms = self.norms64.astype(scan_dtype)
+        self.codebooks64 = np.ascontiguousarray(index.codebooks, dtype=np.float64)
+        self.bounds = shard_bounds(self.codes_t.shape[1], num_shards)
+
+    def __len__(self) -> int:
+        return self.codes_t.shape[1]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def nbytes(self) -> int:
+        """Scan-side footprint: compact codes plus one norm per item."""
+        return self.codes_t.nbytes + self.norms.nbytes
+
+    def matches(self, index: QuantizedIndex) -> bool:
+        """Cheap identity check: same geometry as ``index``."""
+        return (
+            len(self) == len(index)
+            and self.num_codebooks == index.num_codebooks
+            and self.num_codewords == index.num_codewords
+            and self.dim == index.dim
+        )
+
+
+class QueryEngine:
+    """Serve ADC top-k queries over a sharded index, optionally in parallel.
+
+    Parameters
+    ----------
+    index:
+        The :class:`QuantizedIndex` to serve (or a prebuilt
+        :class:`ShardedIndex`).
+    workers:
+        Worker processes to scan shards with. The *effective* pool size is
+        ``min(workers, cpu_count, num_shards)``; 1 means in-process.
+    num_shards:
+        Row shards. Defaults to ``2 × max(workers, 1)`` so a pool always has
+        spare shards to balance with.
+    dtype:
+        Scan dtype. float64 reproduces the serial reference scan exactly;
+        float32 (default) is the fast path, made serial-exact by ``rerank``.
+    rerank:
+        After a float32 scan, re-score merged candidates against the float64
+        tables so returned rankings match the serial float64 path. Ignored
+        for float64 scans (already exact).
+    parallel:
+        ``"auto"`` (pool only when it can pay), ``"force"``, or ``"never"``.
+    min_parallel_codes:
+        ``"auto"`` work threshold, in table lookups per batch.
+
+    Use as a context manager, or call :meth:`close` — the pool and its
+    shared-memory buffers are released explicitly, not by the GC.
+    """
+
+    def __init__(
+        self,
+        index: QuantizedIndex | ShardedIndex,
+        *,
+        workers: int = 1,
+        num_shards: int | None = None,
+        dtype: np.dtype = np.float32,
+        rerank: bool = True,
+        rerank_pad: int = RERANK_PAD,
+        parallel: str = "auto",
+        min_parallel_codes: int = MIN_PARALLEL_CODES,
+        block_rows: int = _BLOCK_ROWS,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if parallel not in ("auto", "force", "never"):
+            raise ValueError("parallel must be 'auto', 'force', or 'never'")
+        if num_shards is None:
+            num_shards = 2 * max(workers, 1)
+        if isinstance(index, ShardedIndex):
+            self.sharded = index
+        else:
+            self.sharded = ShardedIndex(index, num_shards, scan_dtype=dtype)
+        self.workers = workers
+        self.rerank = bool(rerank) and self.sharded.scan_dtype == np.dtype(np.float32)
+        self.rerank_pad = int(rerank_pad)
+        self.parallel = parallel
+        self.min_parallel_codes = int(min_parallel_codes)
+        self.block_rows = int(block_rows)
+        self.last_dispatch: str | None = None  # "in-process" | "process-pool"
+        self._pool = None
+        self._shms: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Terminate the worker pool and free shared-memory buffers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._shms = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    def effective_workers(self) -> int:
+        """Pool size the dispatcher would use: capped by cores and shards."""
+        cores = os.cpu_count() or 1
+        return max(1, min(self.workers, cores, self.num_shards))
+
+    def matches(self, index: QuantizedIndex) -> bool:
+        return self.sharded.matches(index)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _use_pool(self, n_queries: int) -> bool:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self.parallel == "never" or self.num_shards < 2:
+            return False
+        if self.parallel == "force":
+            return self.workers > 1
+        if self.effective_workers() < 2:
+            return False
+        work = n_queries * len(self.sharded) * self.sharded.num_codebooks
+        return work >= self.min_parallel_codes
+
+    def _ensure_pool(self):
+        if self._pool is not None:
+            return self._pool
+        sharded = self.sharded
+        ctx = get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        codes_shm = shared_memory.SharedMemory(
+            create=True, size=sharded.codes_t.nbytes
+        )
+        norms_shm = shared_memory.SharedMemory(create=True, size=sharded.norms.nbytes)
+        self._shms = [codes_shm, norms_shm]
+        codes_view = np.ndarray(
+            sharded.codes_t.shape, sharded.codes_t.dtype, buffer=codes_shm.buf
+        )
+        norms_view = np.ndarray(
+            sharded.norms.shape, sharded.norms.dtype, buffer=norms_shm.buf
+        )
+        codes_view[:] = sharded.codes_t
+        norms_view[:] = sharded.norms
+        # Scan from the shared buffers in-parent too, so both paths read the
+        # same memory and the per-worker copies never exist.
+        sharded.codes_t = codes_view
+        sharded.norms = norms_view
+        self._pool = ctx.Pool(
+            min(self.workers, self.num_shards),
+            initializer=_init_worker,
+            initargs=(
+                codes_shm.name,
+                sharded.codes_t.shape,
+                sharded.codes_t.dtype,
+                norms_shm.name,
+                sharded.norms.dtype,
+            ),
+        )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Ranked database indices per query, shaped like the serial path.
+
+        ``k=None`` returns the full ranking; otherwise ``(n_q, min(k,
+        n_db))``. Rankings are tie-stable on (distance, index) — the order
+        the serial float64 scan's stable argsort produces.
+        """
+        indices, _ = self.search_with_distances(queries, k=k)
+        return indices
+
+    def search_with_distances(
+        self, queries: np.ndarray, k: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`search` but also returns the squared distances."""
+        sharded = self.sharded
+        n_db = len(sharded)
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or (queries.size and queries.shape[1] != sharded.dim):
+            raise ValueError(
+                f"queries must be (n, {sharded.dim}), got shape {queries.shape}"
+            )
+        n_q = len(queries)
+        if k is not None and k < 0:
+            raise ValueError("k must be non-negative")
+        k_eff = n_db if k is None else min(k, n_db)
+        if n_q == 0 or n_db == 0 or k_eff == 0:
+            return (np.empty((n_q, k_eff), dtype=np.int64),
+                    np.empty((n_q, k_eff), dtype=np.float64))
+
+        obs = get_obs()
+        lut_start = time.perf_counter() if obs.enabled else 0.0
+        lut64 = np.einsum("qd,mkd->qmk", queries, sharded.codebooks64)
+        q_sq64 = (queries**2).sum(axis=1)
+        if sharded.scan_dtype == np.dtype(np.float32):
+            lut = np.ascontiguousarray(lut64, dtype=np.float32)
+            q_sq = q_sq64.astype(np.float32)
+        else:
+            lut = np.ascontiguousarray(lut64)
+            q_sq = q_sq64
+        scan_start = time.perf_counter() if obs.enabled else 0.0
+
+        shard_k = min(k_eff + (self.rerank_pad if self.rerank else 0), n_db)
+        use_pool = self._use_pool(n_q)
+        self.last_dispatch = "process-pool" if use_pool else "in-process"
+        # Sharding exists to feed pool workers. When the batch stays
+        # in-process, splitting work one process will do serially only adds
+        # per-shard top-k and kernel-launch overhead, so the scan coalesces
+        # to a single full-range shard (the blocked kernel already bounds
+        # peak memory). Results are identical either way: row accumulation
+        # is independent of shard boundaries, and the merge is tie-stable.
+        bounds = sharded.bounds if use_pool else [(0, n_db)]
+        tasks = [
+            (lut, q_sq, lo, hi, min(shard_k, hi - lo), self.block_rows)
+            for lo, hi in bounds
+        ]
+        if use_pool:
+            pool = self._ensure_pool()
+            results = pool.map(_pool_scan_shard, tasks)
+        else:
+            results = [
+                _scan_shard(lut, q_sq, sharded.codes_t, sharded.norms, lo, hi,
+                            shard_k_i, self.block_rows)
+                for (lut, q_sq, lo, hi, shard_k_i, _) in tasks
+            ]
+        scan_elapsed = time.perf_counter() - scan_start if obs.enabled else 0.0
+
+        merge_start = time.perf_counter() if obs.enabled else 0.0
+        indices, values = merge_topk(
+            [r[0] for r in results], [r[1] for r in results], shard_k
+        )
+        if self.rerank:
+            indices, values = self._rerank_exact(
+                lut64, q_sq64, indices, k_eff
+            )
+        else:
+            indices, values = indices[:, :k_eff], values[:, :k_eff].astype(np.float64)
+        merge_elapsed = time.perf_counter() - merge_start if obs.enabled else 0.0
+
+        if obs.enabled:
+            registry = obs.registry
+            registry.histogram(metric_names.ADC_LUT_BUILD_TIME).observe(
+                scan_start - lut_start
+            )
+            # Like the serial path, adc.scan.* excludes ranking work: it
+            # counts gather + distance assembly only. In-process that is the
+            # summed per-shard scan time; under the pool per-shard clocks
+            # overlap, so the phase wall (including dispatch) is the honest
+            # figure.
+            adc_scan_seconds = (
+                scan_elapsed if use_pool else sum(r[2] for r in results)
+            )
+            registry.histogram(metric_names.ADC_SCAN_TIME).observe(
+                adc_scan_seconds
+            )
+            if adc_scan_seconds > 0:
+                registry.histogram(metric_names.ADC_SCAN_CODES_PER_S).observe(
+                    n_q * n_db * sharded.num_codebooks / adc_scan_seconds
+                )
+            shard_hist = registry.histogram(metric_names.ENGINE_SHARD_SCAN_TIME)
+            for result in results:
+                shard_hist.observe(result[3])
+            registry.histogram(metric_names.ENGINE_MERGE_TIME).observe(merge_elapsed)
+            registry.counter(metric_names.ENGINE_SHARDS_SCANNED).inc(len(results))
+            registry.counter(metric_names.ENGINE_BATCHES_TOTAL).inc()
+            if use_pool:
+                registry.counter(metric_names.ENGINE_PARALLEL_BATCHES).inc()
+        return indices, values
+
+    def _rerank_exact(self, lut64, q_sq64, candidates, k):
+        """Re-score candidate ids in float64 and take the tie-stable top-k.
+
+        Cost is ``O(n_q · |candidates| · M)`` — negligible next to the scan —
+        and restores the serial float64 ranking among the candidates.
+        """
+        sharded = self.sharded
+        rows = np.arange(len(candidates))[:, None]
+        cross = lut64[rows, 0, sharded.codes_t[0][candidates]]
+        for j in range(1, sharded.num_codebooks):
+            cross = cross + lut64[rows, j, sharded.codes_t[j][candidates]]
+        d = q_sq64[:, None] + sharded.norms64[candidates] - 2.0 * cross
+        np.maximum(d, 0.0, out=d)
+        # Tie-stable over *global* ids: order candidates by (distance, id).
+        order = np.lexsort((candidates, d), axis=-1)[:, :k]
+        return candidates[rows, order], d[rows, order]

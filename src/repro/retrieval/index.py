@@ -78,12 +78,14 @@ class QuantizedIndex:
         """
         obs = get_obs()
         build_start = time.perf_counter() if obs.enabled else 0.0
+        encode_elapsed = None
         with obs.span("index.build", items=len(database)):
             codebooks = np.asarray(codebooks, dtype=np.float64)
-            encode_start = time.perf_counter() if obs.enabled else 0.0
             if codes is None:
+                encode_start = time.perf_counter() if obs.enabled else 0.0
                 codes = encode_nearest(database, codebooks, residual=True)
-            encode_elapsed = time.perf_counter() - encode_start
+                if obs.enabled:
+                    encode_elapsed = time.perf_counter() - encode_start
             reconstructions = reconstruct(codes, codebooks)
             index = cls(
                 codebooks=codebooks,
@@ -92,9 +94,12 @@ class QuantizedIndex:
                 labels=labels,
             )
         if obs.enabled:
-            obs.registry.histogram(metric_names.INDEX_ENCODE_TIME).observe(
-                encode_elapsed
-            )
+            # Only the encode branch feeds the encode histogram: observing a
+            # zero for supplied codes would drag its percentiles down.
+            if encode_elapsed is not None:
+                obs.registry.histogram(metric_names.INDEX_ENCODE_TIME).observe(
+                    encode_elapsed
+                )
             obs.registry.histogram(metric_names.INDEX_BUILD_TIME).observe(
                 time.perf_counter() - build_start
             )
@@ -125,8 +130,19 @@ class QuantizedIndex:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        engine: "object | None" = None,
+    ) -> np.ndarray:
         """Ranked database indices for each query via ADC lookups.
+
+        ``engine`` delegates the scan to a
+        :class:`repro.retrieval.engine.QueryEngine` built over this index —
+        the sharded (optionally multi-worker) fast path — while keeping this
+        method's metrics contract. The engine must have been built from an
+        index with this one's geometry.
 
         With observability enabled the call records per-query latency into
         ``query.latency_s`` — the batch's wall time spread evenly over its
@@ -135,10 +151,18 @@ class QuantizedIndex:
         """
         obs = get_obs()
         start = time.perf_counter() if obs.enabled else 0.0
-        distances = adc_distances(
-            queries, self.codes, self.codebooks, db_sq_norms=self.db_sq_norms
-        )
-        ranked = rank_by_distance(distances, k=k)
+        if engine is not None:
+            if not engine.matches(self):
+                raise ValueError(
+                    "engine was built over an index with different geometry "
+                    "than this one"
+                )
+            ranked = engine.search(queries, k=k)
+        else:
+            distances = adc_distances(
+                queries, self.codes, self.codebooks, db_sq_norms=self.db_sq_norms
+            )
+            ranked = rank_by_distance(distances, k=k)
         if obs.enabled:
             n_queries = len(np.asarray(queries))
             elapsed = time.perf_counter() - start
@@ -151,8 +175,13 @@ class QuantizedIndex:
                 )
         return ranked
 
-    def search_labels(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
+    def search_labels(
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        engine: "object | None" = None,
+    ) -> np.ndarray:
         """Ranked database *labels*, ready for MAP evaluation."""
         if self.labels is None:
             raise RuntimeError("index was built without labels")
-        return self.labels[self.search(queries, k=k)]
+        return self.labels[self.search(queries, k=k, engine=engine)]

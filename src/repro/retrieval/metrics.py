@@ -61,12 +61,20 @@ def mean_average_precision(
 def precision_at_k(
     ranked_db_labels: np.ndarray, query_labels: np.ndarray, k: int
 ) -> float:
-    """Mean fraction of relevant items among each query's top-k results."""
+    """Mean fraction of relevant items among each query's top-k results.
+
+    Convention: the denominator is the *requested* ``k`` even when the
+    ranking holds fewer than ``k`` items — missing slots count as
+    irrelevant. (Truncating the denominator to the database size, as a
+    naive ``[:, :k].mean()`` does, silently inflates the score whenever
+    ``k > n_db``.)
+    """
     if k < 1:
         raise ValueError("k must be at least 1")
-    ranked_db_labels = np.asarray(ranked_db_labels)[:, :k]
-    relevance = ranked_db_labels == np.asarray(query_labels)[:, None]
-    return float(relevance.mean())
+    ranked_db_labels = np.asarray(ranked_db_labels)
+    k_eff = min(k, ranked_db_labels.shape[1])
+    relevance = ranked_db_labels[:, :k_eff] == np.asarray(query_labels)[:, None]
+    return float(relevance.sum(axis=1).mean() / k)
 
 
 def recall_at_k(
@@ -75,13 +83,20 @@ def recall_at_k(
     db_labels: np.ndarray,
     k: int,
 ) -> float:
-    """Mean fraction of each query's relevant items found in the top-k."""
+    """Mean fraction of each query's relevant items found in the top-k.
+
+    Convention: ``k`` is clamped to the ranking width — a cutoff past the
+    end of the database retrieves the whole ranking, and the denominator
+    stays the true relevant count, so ``k > n_db`` cannot inflate recall.
+    """
     if k < 1:
         raise ValueError("k must be at least 1")
     query_labels = np.asarray(query_labels)
     db_labels = np.asarray(db_labels)
+    ranked_db_labels = np.asarray(ranked_db_labels)
     totals = np.array([(db_labels == label).sum() for label in query_labels])
-    hits = (np.asarray(ranked_db_labels)[:, :k] == query_labels[:, None]).sum(axis=1)
+    k_eff = min(k, ranked_db_labels.shape[1])
+    hits = (ranked_db_labels[:, :k_eff] == query_labels[:, None]).sum(axis=1)
     valid = totals > 0
     if not valid.any():
         return 0.0

@@ -41,20 +41,55 @@ def hamming_distances(query_codes: np.ndarray, db_codes: np.ndarray) -> np.ndarr
     return (bits - query_codes @ db_codes.T) / 2.0
 
 
+def topk_tie_stable(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row indices and values of the ``k`` smallest entries, tie-stable.
+
+    Ordering is lexicographic on ``(distance, column index)`` — the order a
+    stable ascending argsort produces — so duplicated distances always
+    resolve to the lower index, independent of how the selection was
+    partitioned. Returns ``(indices, values)`` of shape ``(n, min(k, w))``.
+    """
+    distances = np.asarray(distances)
+    n, w = distances.shape
+    k = max(0, min(k, w))
+    rows = np.arange(n)[:, None]
+    if k == 0:
+        return (np.empty((n, 0), dtype=np.int64),
+                np.empty((n, 0), dtype=distances.dtype))
+    if k == w:
+        order = np.argsort(distances, axis=1, kind="stable")
+        return order, distances[rows, order]
+    part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    vals = distances[rows, part]
+    order = np.lexsort((part, vals), axis=-1)
+    part = part[rows, order]
+    vals = vals[rows, order]
+    # argpartition picks an *arbitrary* subset of entries tied with the k-th
+    # value; rows where that tie extends past the selection need the stable
+    # choice (lowest indices) restored.
+    boundary = vals[:, -1]
+    in_row = (distances == boundary[:, None]).sum(axis=1)
+    in_sel = (vals == boundary[:, None]).sum(axis=1)
+    for r in np.nonzero(in_row > in_sel)[0]:
+        full = np.argsort(distances[r], kind="stable")[:k]
+        part[r] = full
+        vals[r] = distances[r, full]
+    return part.astype(np.int64, copy=False), vals
+
+
 def rank_by_distance(distances: np.ndarray, k: int | None = None) -> np.ndarray:
     """Ranked database indices (ascending distance), optionally top-k.
 
     Uses ``argpartition`` for the top-k case so large databases don't pay a
-    full sort per query.
+    full sort per query, with tie-stable ordering — duplicated distances
+    resolve to the lower database index, matching the full stable argsort
+    and the sharded engine's merge order.
     """
     distances = np.asarray(distances)
     n_db = distances.shape[1]
     if k is None or k >= n_db:
         return np.argsort(distances, axis=1, kind="stable")
-    top = np.argpartition(distances, k, axis=1)[:, :k]
-    rows = np.arange(distances.shape[0])[:, None]
-    order = np.argsort(distances[rows, top], axis=1, kind="stable")
-    return top[rows, order]
+    return topk_tie_stable(distances, k)[0]
 
 
 def exhaustive_search(
@@ -69,6 +104,7 @@ def exhaustive_search(
     ``batch_size × n_db`` floats.
     """
     queries = np.asarray(queries, dtype=np.float64)
+    database = np.asarray(database, dtype=np.float64)
     obs = get_obs()
     start_time = time.perf_counter() if obs.enabled else 0.0
     results = []
@@ -79,4 +115,11 @@ def exhaustive_search(
         obs.registry.histogram(metric_names.SEARCH_EXHAUSTIVE_TIME).observe(
             time.perf_counter() - start_time
         )
-    return np.concatenate(results, axis=0) if results else np.empty((0, 0), dtype=np.int64)
+    if results:
+        return np.concatenate(results, axis=0)
+    # An empty query batch keeps the column convention of the non-empty
+    # case — (0, k) when k truncates, (0, n_db) otherwise — so callers can
+    # concatenate batches or gather labels without special-casing.
+    n_db = len(database)
+    width = n_db if k is None or k >= n_db else max(k, 0)
+    return np.empty((0, width), dtype=np.int64)

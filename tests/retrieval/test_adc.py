@@ -42,6 +42,18 @@ class TestReconstruct:
         codes = validate_codes(np.array([[0.0, 1.0]]), 2, 4)
         assert codes.dtype == np.int64
 
+    def test_validate_codes_rejects_fractional_floats(self):
+        # Regression: fractional codeword ids were silently floored, hiding
+        # caller bugs (e.g. passing distances instead of ids).
+        with pytest.raises(ValueError, match="integer lattice"):
+            validate_codes(np.array([[0.5, 1.0]]), 2, 4)
+        with pytest.raises(ValueError, match="integer lattice"):
+            validate_codes(np.array([[0.0, 1.999]]), 2, 4)
+
+    def test_validate_codes_rejects_non_numeric_dtypes(self):
+        with pytest.raises(ValueError, match="integer array"):
+            validate_codes(np.array([["0", "1"]]), 2, 4)
+
 
 class TestADCEquivalence:
     def test_adc_equals_exact_distance_to_reconstruction(self):

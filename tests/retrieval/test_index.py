@@ -77,3 +77,33 @@ class TestSearch:
         codes = encode_nearest(database, codebooks)
         built = QuantizedIndex.build(codebooks, database, codes=codes)
         assert np.array_equal(built.codes, codes)
+
+
+class TestBuildObservability:
+    def test_encode_time_observed_only_when_encoding(self):
+        # Regression: build() used to observe index.encode.time_s even when
+        # codes were supplied, polluting the histogram with near-zero
+        # samples that dragged its percentiles down.
+        from repro import obs
+        from repro.obs import names as metric_names
+
+        rng = np.random.default_rng(4)
+        codebooks = rng.normal(size=(2, 8, 4))
+        database = rng.normal(size=(10, 4))
+        codes = encode_nearest(database, codebooks)
+        try:
+            with obs.observed() as handle:
+                QuantizedIndex.build(codebooks, database, codes=codes)
+                encode_hist = handle.registry.histogram(
+                    metric_names.INDEX_ENCODE_TIME
+                )
+                build_hist = handle.registry.histogram(
+                    metric_names.INDEX_BUILD_TIME
+                )
+                assert encode_hist.count == 0
+                assert build_hist.count == 1
+                QuantizedIndex.build(codebooks, database)
+                assert encode_hist.count == 1
+                assert build_hist.count == 2
+        finally:
+            obs.disable_observability()

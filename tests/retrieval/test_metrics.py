@@ -96,6 +96,19 @@ class TestPrecisionRecall:
         with pytest.raises(ValueError):
             recall_at_k(np.zeros((1, 3)), np.zeros(1), np.zeros(3), k=0)
 
+    def test_k_beyond_ranking_width(self):
+        # Regression: k > n_db used to fancy-index past the end, silently
+        # truncating to the ranking width and inflating precision. The
+        # denominator stays the requested k (missing slots are irrelevant);
+        # recall clamps to the full ranking and cannot exceed 1.
+        ranked = np.array([[1, 1, 0]])
+        labels = np.array([1])
+        db_labels = np.array([1, 1, 0])
+        assert precision_at_k(ranked, labels, k=3) == pytest.approx(2 / 3)
+        assert precision_at_k(ranked, labels, k=6) == pytest.approx(2 / 6)
+        assert recall_at_k(ranked, labels, db_labels, k=6) == 1.0
+        assert recall_at_k(ranked, labels, db_labels, k=3) == 1.0
+
 
 class TestPerClass:
     def test_breakdown_keys_and_range(self):

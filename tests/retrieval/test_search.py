@@ -64,3 +64,25 @@ class TestRanking:
         assert np.array_equal(
             exhaustive_search(q, db, batch_size=3), exhaustive_search(q, db)
         )
+
+    def test_topk_tie_stable_on_duplicate_distances(self):
+        # Regression: the argpartition fast path used to order boundary ties
+        # arbitrarily; ties must resolve to the lower database index, like
+        # the full stable argsort.
+        distances = np.array([[2.0, 1.0, 1.0, 1.0, 0.5]])
+        assert rank_by_distance(distances, k=3).tolist() == [[4, 1, 2]]
+        rng = np.random.default_rng(4)
+        quantized = rng.integers(0, 3, size=(12, 40)).astype(np.float64)
+        full = rank_by_distance(quantized)
+        for k in (1, 7, 39):
+            assert np.array_equal(rank_by_distance(quantized, k=k), full[:, :k])
+
+    def test_empty_query_batch_keeps_column_convention(self):
+        # Regression: an empty batch used to come back as shape (0, 0)
+        # regardless of k, breaking concatenation with non-empty batches.
+        db = np.zeros((30, 4))
+        no_queries = np.empty((0, 4))
+        assert exhaustive_search(no_queries, db, k=7).shape == (0, 7)
+        assert exhaustive_search(no_queries, db).shape == (0, 30)
+        assert exhaustive_search(no_queries, db, k=99).shape == (0, 30)
+        assert exhaustive_search(no_queries, db, k=7).dtype == np.int64

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.nn import FeedForward, Module, Parameter, Tensor, no_grad
 from repro.nn import init as nn_init
+from repro.nn.autograd import accumulate_grad
 from repro.rng import make_rng, spawn
 
 
@@ -90,6 +91,9 @@ class CodebookChain(Module):
         else:
             self.ffns = []
             self.gates = []
+        # Persistent scratch for the fused path (dict-wrapped so Module's
+        # attribute scan ignores it); allocated lazily on first use.
+        self._scratch: dict[str, object] = {}
 
     def materialize(self) -> list[Tensor]:
         """Effective codebooks ``[C_1, ..., C_M]`` as autograd tensors.
@@ -106,6 +110,94 @@ class CodebookChain(Module):
                 codebook = self.main_codebooks[k]
             codebooks.append(codebook)
         return codebooks
+
+    def materialize_stacked(self) -> tuple[np.ndarray, list[tuple[np.ndarray, ...]]]:
+        """Chain forward in plain NumPy: ``(M, K, d)`` stack plus a cache.
+
+        Computes the same values as :meth:`materialize` bit for bit (the op
+        order mirrors the tape: ``x @ W1 + b1``, ``pre * (pre > 0)``,
+        ``h @ W2 + b2``, ``transformed * g + P``) but builds no graph nodes.
+        The fused DSQ kernel pairs it with :meth:`accumulate_stacked_grad`
+        inside its single backward closure, so the whole chain costs zero
+        tape traffic per step.
+
+        The returned stack and cache are views into scratch buffers reused
+        by the *next* call: run the matching backward before materializing
+        again, which the forward→backward→step training loop guarantees
+        (diagnostic paths like :meth:`materialize_arrays` go through the
+        tape and never touch these buffers).
+        """
+        sc = self._scratch
+        if not sc:
+            num_books, num_words, dim = self.num_codebooks, self.num_codewords, self.dim
+            sc["stacked"] = np.empty((num_books, num_words, dim))
+            hidden_dim = self.ffns[0].fc1.out_features if self.ffns else 0
+            sc["pre"] = [np.empty((num_words, hidden_dim)) for _ in self.ffns]
+            sc["mask"] = [np.empty((num_words, hidden_dim), dtype=bool) for _ in self.ffns]
+            sc["hidden"] = [np.empty((num_words, hidden_dim)) for _ in self.ffns]
+            sc["trans"] = [np.empty((num_words, dim)) for _ in self.ffns]
+            sc["g_trans"] = np.empty((num_words, dim))
+            sc["g_pre"] = np.empty((num_words, hidden_dim))
+            sc["g_w1"] = np.empty((dim, hidden_dim))
+            sc["g_w2"] = np.empty((hidden_dim, dim))
+        stacked = sc["stacked"]
+        stacked[0] = self.main_codebooks[0].data
+        cache: list[tuple[np.ndarray, ...]] = []
+        for k in range(1, self.num_codebooks):
+            if self.use_skip:
+                t = k - 1
+                ffn = self.ffns[t]
+                prev = stacked[k - 1]
+                pre = np.matmul(prev, ffn.fc1.weight.data, out=sc["pre"][t])
+                pre += ffn.fc1.bias.data
+                mask = np.greater(pre, 0, out=sc["mask"][t])
+                hidden = np.multiply(pre, mask, out=sc["hidden"][t])
+                transformed = np.matmul(hidden, ffn.fc2.weight.data, out=sc["trans"][t])
+                transformed += ffn.fc2.bias.data
+                np.multiply(transformed, self.gates[t].data, out=stacked[k])
+                stacked[k] += self.main_codebooks[k].data
+                cache.append((prev, mask, hidden, transformed))
+            else:
+                stacked[k] = self.main_codebooks[k].data
+        return stacked, cache
+
+    def accumulate_stacked_grad(
+        self, grad_books: np.ndarray, cache: list[tuple[np.ndarray, ...]]
+    ) -> None:
+        """Route per-level gradients on the *effective* codebooks into params.
+
+        ``grad_books`` holds ``dL/dC_k`` for every level as produced against
+        :meth:`materialize_stacked`'s output. The reverse walk adds the
+        Eqn. (11) chain contribution ``dC_k/dC_{k-1}`` level by level,
+        accumulating into ``P_k``, the FFN weights, and the gates exactly as
+        the tape's backward would (up to summation-order rounding in the
+        scalar gate reduction).
+        """
+
+        def push(param: Parameter, grad: np.ndarray) -> None:
+            if param.requires_grad:
+                accumulate_grad(param, grad)
+
+        sc = self._scratch
+        carried = grad_books[-1]
+        for k in range(self.num_codebooks - 1, 0, -1):
+            push(self.main_codebooks[k], carried)
+            if self.use_skip:
+                t = k - 1
+                ffn = self.ffns[t]
+                prev, mask, hidden, transformed = cache[t]
+                push(self.gates[t], np.array([(carried * transformed).sum()]))
+                g_trans = np.multiply(carried, self.gates[t].data, out=sc["g_trans"])
+                push(ffn.fc2.weight, np.matmul(hidden.T, g_trans, out=sc["g_w2"]))
+                push(ffn.fc2.bias, g_trans.sum(axis=0))
+                g_pre = np.matmul(g_trans, ffn.fc2.weight.data.T, out=sc["g_pre"])
+                g_pre *= mask
+                push(ffn.fc1.weight, np.matmul(prev.T, g_pre, out=sc["g_w1"]))
+                push(ffn.fc1.bias, g_pre.sum(axis=0))
+                carried = grad_books[k - 1] + g_pre @ ffn.fc1.weight.data.T
+            else:
+                carried = grad_books[k - 1]
+        push(self.main_codebooks[0], carried)
 
     def materialize_arrays(self) -> np.ndarray:
         """Effective codebooks as a plain ``(M, K, d)`` array (inference)."""

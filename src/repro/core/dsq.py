@@ -25,9 +25,14 @@ import numpy as np
 
 from repro.core.codebook import CodebookChain
 from repro.core.quantize import quantize_step
-from repro.nn import Module, Tensor, no_grad
+from repro.nn import Module, Tensor, no_grad, stable_softmax_array
+from repro.nn.autograd import accumulate_grad
 
 TOPOLOGIES = ("residual", "independent")
+
+# Similarities the fused kernel implements; ``cosine`` falls back to the
+# per-codebook reference loop (it is not used by any training profile).
+FUSED_SIMILARITIES = ("neg_l2", "dot")
 
 
 @dataclass
@@ -50,6 +55,9 @@ class DSQOutput:
     reconstruction: Tensor
     level_outputs: list[Tensor]
     soft_assignments: list[Tensor]
+    # Note: with the fused kernel, ``level_outputs`` and ``soft_assignments``
+    # are detached diagnostic tensors — only ``reconstruction`` carries
+    # gradients (as one node covering all M levels).
 
 
 class DSQ(Module):
@@ -68,6 +76,14 @@ class DSQ(Module):
     topology:
         ``"residual"`` applies the first skip (Eqn. 2); ``"independent"``
         feeds the raw input to every encoder.
+    fused:
+        When ``True``, :meth:`forward` runs the batched single-node kernel
+        (all ``M`` levels stacked into ``(M, B, ·)`` arrays with one fused
+        tempered-softmax + straight-through backward) instead of the
+        per-codebook tensor-op loop. Values agree with the reference path
+        up to the ~1e-16 residue the tape's quasi-one-hot assignment
+        carries into its decode matmul; ``cosine`` similarity always uses
+        the reference loop.
     """
 
     def __init__(
@@ -82,6 +98,7 @@ class DSQ(Module):
         topology: str = "residual",
         ffn_hidden: int | None = None,
         init_std: float = 0.1,
+        fused: bool = False,
     ):
         super().__init__()
         if topology not in TOPOLOGIES:
@@ -89,6 +106,10 @@ class DSQ(Module):
         self.temperature = temperature
         self.similarity = similarity
         self.topology = topology
+        self.fused = bool(fused)
+        # Dict-wrapped so Module's attribute scan does not re-register the
+        # chain's parameters under this module a second time.
+        self._fused_cache: dict[str, tuple] = {}
         self.codebooks = CodebookChain(
             num_codebooks,
             num_codewords,
@@ -113,6 +134,8 @@ class DSQ(Module):
 
     def forward(self, embeddings: Tensor) -> DSQOutput:
         """Quantize a batch of continuous embeddings (Eqns. 2-7)."""
+        if self.fused and self.similarity in FUSED_SIMILARITIES:
+            return self._forward_fused(embeddings)
         materialized = self.codebooks.materialize()
         level_outputs: list[Tensor] = []
         soft_assignments: list[Tensor] = []
@@ -143,6 +166,151 @@ class DSQ(Module):
             reconstruction=reconstruction,
             level_outputs=level_outputs,
             soft_assignments=soft_assignments,
+        )
+
+    def _forward_fused(self, embeddings: Tensor) -> DSQOutput:
+        """All ``M`` encoder-decoder passes as one autograd node.
+
+        The forward runs in plain NumPy over the stacked ``(M, K, d)``
+        codebook array — fully batched ``(M, B, K)`` einsums for the
+        ``independent`` topology, a thin per-level loop over batched
+        kernels for ``residual`` (whose inputs are sequentially dependent
+        through Eqn. 2). The codebook chain itself is folded into the same
+        node: :meth:`CodebookChain.materialize_stacked` runs Eqn. (10)
+        without tape nodes and the backward closure routes the per-level
+        codebook gradients straight into ``P_k`` / FFN / gate parameters
+        via :meth:`CodebookChain.accumulate_stacked_grad`. The closure
+        replays the straight-through convention level by level: the decode
+        gradient scatters into the argmax rows of each codebook (as a
+        one-hot matmul — faster than ``np.add.at``), while the encoder
+        gradient flows through the tempered-softmax Jacobian exactly as the
+        reference tape's ``soft + Sg(hard - soft)`` construction does.
+        """
+        chain = self.codebooks
+        emb = embeddings.data
+        n = len(emb)
+        num_books, num_words = self.num_codebooks, self.num_codewords
+        stacked, chain_cache = chain.materialize_stacked()  # (M, K, d)
+        temperature = self.temperature
+        inv_t = 1.0 / temperature
+        use_dot = self.similarity == "dot"
+        if not use_dot:
+            # (C*C).sum, not einsum: mirrors the reference's pairwise
+            # summation so scores (and argmax tie-breaks) match bit for bit.
+            code_sq = (stacked * stacked).sum(axis=2)
+
+        if self.topology == "residual":
+            codes = np.empty((n, num_books), dtype=np.int64)
+            inputs = np.empty((num_books, n, self.dim))
+            soft = np.empty((num_books, n, num_words))
+            levels = np.empty((num_books, n, self.dim))
+            recon = np.zeros((n, self.dim))
+            scores = np.empty((n, num_words))
+            for k in range(num_books):
+                # In-place score assembly keeps the reference op order per
+                # element (cross·2 − ‖x‖² − ‖c‖²) while reusing one buffer.
+                if k:
+                    x = np.subtract(emb, recon, out=inputs[k])
+                else:
+                    x = inputs[0]
+                    x[...] = emb
+                np.matmul(x, stacked[k].T, out=scores)
+                if not use_dot:
+                    scores *= 2.0
+                    scores -= (x * x).sum(axis=1, keepdims=True)
+                    scores -= code_sq[k]
+                stable_softmax_array(scores, temperature=temperature, out=soft[k])
+                codes[:, k] = scores.argmax(axis=1)
+                np.take(stacked[k], codes[:, k], axis=0, out=levels[k])
+                recon += levels[k]
+        else:  # independent: every level sees the raw input — batched arrays
+            # Per-level GEMMs into one (M, B, K) buffer: same BLAS calls as
+            # the reference loop, so scores stay bit-identical (einsum's
+            # contraction order would drift by an ulp).
+            scores = np.empty((num_books, n, num_words))
+            for k in range(num_books):
+                np.matmul(emb, stacked[k].T, out=scores[k])
+            if not use_dot:
+                scores *= 2.0
+                scores -= (emb * emb).sum(axis=1)[None, :, None]
+                scores -= code_sq[:, None, :]
+            soft = stable_softmax_array(scores, temperature=temperature)
+            codes_mb = scores.argmax(axis=-1)  # (M, B)
+            codes = np.ascontiguousarray(codes_mb.T)
+            inputs = None
+            levels = stacked[np.arange(num_books)[:, None], codes_mb]  # (M, B, d)
+            recon = levels.sum(axis=0)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_books = np.zeros_like(stacked)
+            rows = np.arange(n)
+            if self.topology == "residual":
+                # Walk levels in reverse, carrying the gradient that later
+                # levels' residual inputs (x_j = e - Σ_{m<j} o_m) push back
+                # onto earlier decodes. Scratch buffers are reused across
+                # levels; gradients are tolerance-checked against the tape,
+                # so reductions here are free to use einsum.
+                grad_embedding = np.zeros_like(emb)
+                onehot = np.empty((n, num_words))
+                g_level = np.empty_like(emb)
+                g_scores = np.empty((n, num_words))
+                g_x = np.empty_like(emb)
+                book_scratch = np.empty((num_words, self.dim))
+                for k in range(num_books - 1, -1, -1):
+                    np.subtract(grad, grad_embedding, out=g_level)
+                    onehot[:] = 0.0
+                    onehot[rows, codes[:, k]] = 1.0
+                    np.matmul(onehot.T, g_level, out=book_scratch)
+                    grad_books[k] += book_scratch
+                    np.matmul(g_level, stacked[k].T, out=g_scores)
+                    soft_k = soft[k]
+                    inner = np.einsum("bk,bk->b", g_scores, soft_k)
+                    g_scores -= inner[:, None]
+                    g_scores *= soft_k
+                    g_scores *= inv_t
+                    if use_dot:
+                        np.matmul(g_scores, stacked[k], out=g_x)
+                        np.matmul(g_scores.T, inputs[k], out=book_scratch)
+                        grad_books[k] += book_scratch
+                    else:
+                        np.matmul(g_scores, stacked[k], out=g_x)
+                        g_x *= 2.0
+                        g_x -= (2.0 * g_scores.sum(axis=1, keepdims=True)) * inputs[k]
+                        np.matmul(g_scores.T, inputs[k], out=book_scratch)
+                        book_scratch *= 2.0
+                        book_scratch -= (2.0 * g_scores.sum(axis=0)[:, None]) * stacked[k]
+                        grad_books[k] += book_scratch
+                    grad_embedding += g_x
+            else:
+                onehot = np.zeros((num_books, n, num_words))
+                onehot[np.arange(num_books)[:, None], rows[None, :], codes_mb] = 1.0
+                grad_books += np.einsum("mbk,bd->mkd", onehot, grad)
+                g_assign = np.einsum("bd,mkd->mbk", grad, stacked)
+                g_scores = soft * (g_assign - (g_assign * soft).sum(axis=-1, keepdims=True))
+                g_scores *= inv_t
+                if use_dot:
+                    grad_embedding = np.einsum("mbk,mkd->bd", g_scores, stacked)
+                    grad_books += np.einsum("mbk,bd->mkd", g_scores, emb)
+                else:
+                    grad_embedding = 2.0 * np.einsum(
+                        "mbk,mkd->bd", g_scores, stacked
+                    ) - 2.0 * emb * g_scores.sum(axis=(0, 2))[:, None]
+                    grad_books += 2.0 * np.einsum(
+                        "mbk,bd->mkd", g_scores, emb
+                    ) - 2.0 * stacked * g_scores.sum(axis=1)[:, :, None]
+            if embeddings.requires_grad:
+                accumulate_grad(embeddings, grad_embedding)
+            chain.accumulate_stacked_grad(grad_books, chain_cache)
+
+        params = self._fused_cache.get("chain")
+        if params is None:
+            params = self._fused_cache["chain"] = tuple(chain.parameters())
+        reconstruction = Tensor._from_op(recon, (embeddings, *params), backward)
+        return DSQOutput(
+            codes=codes,
+            reconstruction=reconstruction,
+            level_outputs=[Tensor(levels[k]) for k in range(num_books)],
+            soft_assignments=[Tensor(soft[k]) for k in range(num_books)],
         )
 
     def encode(self, embeddings: np.ndarray) -> np.ndarray:

@@ -22,7 +22,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.longtail import class_weights
-from repro.nn import Module, Parameter, Tensor, cross_entropy, log_softmax, maximum
+from repro.nn import (
+    Module,
+    Parameter,
+    Tensor,
+    cross_entropy,
+    fused_center_loss,
+    fused_commitment_loss,
+    fused_cross_entropy,
+    fused_ranking_loss,
+    fused_scaled_sum,
+    log_softmax,
+    maximum,
+)
 from repro.nn import init as nn_init
 from repro.rng import make_rng
 
@@ -79,22 +91,55 @@ def ranking_loss(
     return -picked.mean()
 
 
+def _pairwise_distances(embeddings: Tensor) -> Tensor:
+    """``(n, n)`` Euclidean distances between batch rows, as in Eqn. (16)."""
+    emb_sq = (embeddings * embeddings).sum(axis=1, keepdims=True)
+    cross = embeddings @ embeddings.T
+    sq = maximum(emb_sq + emb_sq.T - cross * 2.0, 0.0)
+    return (sq + 1e-12).sqrt()
+
+
 def triplet_loss(
     embeddings: Tensor, labels: np.ndarray, margin: float = 1.0
 ) -> Tensor:
     """Direct triplet loss (Eqn. 16) — the O(N³) objective of Proposition 1.
 
     ``Σ_i Σ_{j∈{y_i}} Σ_{k∉{y_i}} max(‖o_i-o_j‖ - ‖o_i-o_k‖ + m, 0)``,
-    normalised by the number of triplets. Only usable on small batches;
+    normalised by the number of triplets. Vectorised over the full
+    ``(n, n, n)`` triplet cube: the anchor/positive/negative loops become
+    one broadcast hinge masked by validity, so both memory and time are
+    O(n³) but with no Python-level iteration (the loop form this replaces is
+    kept as :func:`triplet_loss_reference`). Only usable on small batches;
     provided as the reference point for the upper-bound property test and
     the complexity comparison.
     """
     labels = np.asarray(labels)
     n = len(labels)
-    emb_sq = (embeddings * embeddings).sum(axis=1, keepdims=True)
-    cross = embeddings @ embeddings.T
-    sq = maximum(emb_sq + emb_sq.T - cross * 2.0, 0.0)
-    distances = (sq + 1e-12).sqrt()
+    same = labels[:, None] == labels[None, :]
+    positive = same & ~np.eye(n, dtype=bool)
+    valid = positive[:, :, None] & ~same[:, None, :]
+    count = int(valid.sum())
+    if count == 0:
+        return Tensor(0.0)
+    distances = _pairwise_distances(embeddings)
+    hinge = maximum(
+        distances.reshape(n, n, 1) - distances.reshape(n, 1, n) + margin, 0.0
+    )
+    total = (hinge * Tensor(valid.astype(np.float64))).sum()
+    return total / float(count)
+
+
+def triplet_loss_reference(
+    embeddings: Tensor, labels: np.ndarray, margin: float = 1.0
+) -> Tensor:
+    """Per-anchor loop form of :func:`triplet_loss`; the parity oracle.
+
+    Same triplets, same ``max(·, 0)`` tie convention — only the summation
+    order differs, so values agree to float rounding.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    distances = _pairwise_distances(embeddings)
 
     total: Tensor | None = None
     count = 0
@@ -162,6 +207,11 @@ class LightLTCriterion(Module):
 
     The prototypes of Eqns. (13)-(14) are learnable parameters trained
     jointly with the model, as in the original center-loss formulation.
+
+    With ``fused=True`` every term is computed by the single-node kernels
+    of :mod:`repro.nn.fused` instead of primitive-op compositions. Loss
+    *values* are bit-identical to the reference path (the kernels mirror
+    its operation order); gradients agree to float rounding.
     """
 
     def __init__(
@@ -171,10 +221,12 @@ class LightLTCriterion(Module):
         train_class_counts: np.ndarray,
         config: LossConfig = LossConfig(),
         rng: np.random.Generator | int = 0,
+        fused: bool = False,
     ):
         super().__init__()
         self.config = config
         self.num_classes = num_classes
+        self.fused = bool(fused)
         rng = make_rng(rng)
         self.prototypes = Parameter(
             nn_init.normal((num_classes, dim), rng, std=0.05), name="prototypes"
@@ -196,36 +248,64 @@ class LightLTCriterion(Module):
     ) -> LossBreakdown:
         """Eqn. (15): ``L_ce + α (L_c + L_r)``, plus optional β·‖f(x)−o‖²."""
         labels = np.asarray(labels)
-        classification = cross_entropy(logits, labels, weights=self._weights)
-        total = classification
+        if self.fused:
+            classification = fused_cross_entropy(logits, labels, weights=self._weights)
+        else:
+            classification = cross_entropy(logits, labels, weights=self._weights)
+        extra_terms: list[tuple[Tensor, float]] = []
         center_term: Tensor | None = None
         ranking_term: Tensor | None = None
         reconstruction_term: Tensor | None = None
         if self.config.use_center:
-            center_term = center_loss(quantized, labels, self.prototypes, p=self.config.p)
-            total = total + center_term * self.config.alpha
+            if self.fused:
+                center_term = fused_center_loss(
+                    quantized, labels, self.prototypes, p=self.config.p
+                )
+            else:
+                center_term = center_loss(
+                    quantized, labels, self.prototypes, p=self.config.p
+                )
+            extra_terms.append((center_term, self.config.alpha))
         if self.config.use_ranking:
-            ranking_term = ranking_loss(
+            ranking = fused_ranking_loss if self.fused else ranking_loss
+            ranking_term = ranking(
                 quantized,
                 labels,
                 self.prototypes,
                 tau=self.config.tau,
                 p=self.config.p,
             )
-            total = total + ranking_term * self.config.alpha
+            extra_terms.append((ranking_term, self.config.alpha))
         if self.config.beta > 0 and embedding is not None:
             # VQ-VAE-style split: the codebook term pulls the reconstruction
             # toward the (frozen) embedding; the small commitment term keeps
             # the embedding near the codewords without letting the backbone
             # collapse its variance to cheat the objective.
-            codebook_diff = embedding.detach() - quantized
-            codebook_term = (codebook_diff * codebook_diff).sum(axis=1).mean()
-            commit_diff = embedding - quantized.detach()
-            commit_term = (commit_diff * commit_diff).sum(axis=1).mean()
-            reconstruction_term = (
-                codebook_term + commit_term * self.config.commitment
+            if self.fused:
+                reconstruction_term = fused_commitment_loss(
+                    embedding, quantized, commitment=self.config.commitment
+                )
+            else:
+                codebook_diff = embedding.detach() - quantized
+                codebook_term = (codebook_diff * codebook_diff).sum(axis=1).mean()
+                commit_diff = embedding - quantized.detach()
+                commit_term = (commit_diff * commit_diff).sum(axis=1).mean()
+                reconstruction_term = (
+                    codebook_term + commit_term * self.config.commitment
+                )
+            extra_terms.append((reconstruction_term, self.config.beta))
+        if self.fused:
+            # One combine node in place of the scalar mul/add chain; the
+            # accumulation order mirrors the reference, so totals agree
+            # bit for bit.
+            total = fused_scaled_sum(
+                [classification, *(t for t, _ in extra_terms)],
+                [1.0, *(w for _, w in extra_terms)],
             )
-            total = total + reconstruction_term * self.config.beta
+        else:
+            total = classification
+            for term, weight in extra_terms:
+                total = total + term * weight
         return LossBreakdown(
             total=total,
             classification=classification,

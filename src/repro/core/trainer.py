@@ -68,6 +68,11 @@ class TrainingConfig:
     # quantization module adapts far faster; this scale reproduces that
     # two-speed optimisation (backbone LR = learning_rate × scale).
     backbone_lr_scale: float = 0.3
+    # Run the training fast path: batched single-node DSQ kernel, fused
+    # loss ops, and the flat-buffer AdamW. Same trajectory as the
+    # reference path up to documented float tolerance (see
+    # docs/architecture.md, "training fast path").
+    fused: bool = False
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULES:
@@ -128,14 +133,27 @@ class EpochReport:
         )
 
 
-def clip_gradients(params, max_norm: float) -> float:
+def clip_gradients(params, max_norm: float, flat_grad: np.ndarray | None = None) -> float:
     """Scale gradients so their global ℓ2 norm is at most ``max_norm``.
 
     A non-finite global norm (a NaN or Inf anywhere in the gradients) would
     propagate a NaN scale into *every* gradient; instead the step is zeroed
     — all gradients set to 0 so a subsequent optimiser step is harmless —
     and the non-finite norm is returned so the caller can surface the event.
+
+    ``flat_grad`` (the fused optimiser's gradient arena, of which every
+    ``param.grad`` is a view) lets both the norm and the scale run as one
+    whole-arena op instead of a per-parameter loop; the result differs from
+    the loop only in floating-point summation order.
     """
+    if flat_grad is not None:
+        norm = float(np.sqrt(float((flat_grad * flat_grad).sum())))
+        if not math.isfinite(norm):
+            flat_grad[...] = 0.0
+            return norm
+        if norm > max_norm > 0:
+            flat_grad *= max_norm / norm
+        return norm
     total_sq = 0.0
     for param in params:
         if param.grad is not None:
@@ -241,6 +259,15 @@ class TrainingSession:
         grad_norm_max = 0.0
         obs = get_obs()
         epoch_start = time.perf_counter() if obs.enabled else 0.0
+        if obs.enabled:
+            # Resolved once per epoch; the per-step loop only calls
+            # observe()/inc() on the instruments.
+            registry = obs.registry
+            step_time_hist = registry.histogram(metric_names.TRAIN_STEP_TIME)
+            step_loss_hist = registry.histogram(metric_names.TRAIN_STEP_LOSS)
+            grad_norm_hist = registry.histogram(metric_names.TRAIN_STEP_GRAD_NORM)
+            steps_counter = registry.counter(metric_names.TRAIN_STEPS_TOTAL)
+            skipped_counter = registry.counter(metric_names.TRAIN_STEPS_SKIPPED)
         with obs.span("train.epoch", epoch=epoch):
             for step, (features, labels) in enumerate(self.loader):
                 step_start = time.perf_counter() if obs.enabled else 0.0
@@ -257,7 +284,20 @@ class TrainingSession:
                 if step_ok:
                     breakdown.total.backward()
                     if config.max_grad_norm is not None:
-                        norm = clip_gradients(self.flat_params, config.max_grad_norm)
+                        # The fused optimiser's arena holds every managed
+                        # gradient contiguously; zero_grad() at the top of
+                        # the step re-synced the views, so the whole-arena
+                        # clip sees exactly flat_params' gradients.
+                        flat_grad = (
+                            self.optimizer._flat_grad
+                            if getattr(self.optimizer, "fused", False)
+                            else None
+                        )
+                        norm = clip_gradients(
+                            self.flat_params,
+                            config.max_grad_norm,
+                            flat_grad=flat_grad,
+                        )
                         if math.isfinite(norm):
                             grad_norm_max = max(grad_norm_max, norm)
                         else:
@@ -272,21 +312,14 @@ class TrainingSession:
                     for key, value in breakdown.to_floats().items():
                         epoch_terms.setdefault(key, []).append(value)
                 if obs.enabled:
-                    registry = obs.registry
-                    registry.histogram(metric_names.TRAIN_STEP_TIME).observe(
-                        time.perf_counter() - step_start
-                    )
-                    registry.counter(metric_names.TRAIN_STEPS_TOTAL).inc()
+                    step_time_hist.observe(time.perf_counter() - step_start)
+                    steps_counter.inc()
                     if not step_ok:
-                        registry.counter(metric_names.TRAIN_STEPS_SKIPPED).inc()
+                        skipped_counter.inc()
                     if math.isfinite(total_value):
-                        registry.histogram(metric_names.TRAIN_STEP_LOSS).observe(
-                            total_value
-                        )
+                        step_loss_hist.observe(total_value)
                     if math.isfinite(norm):
-                        registry.histogram(metric_names.TRAIN_STEP_GRAD_NORM).observe(
-                            norm
-                        )
+                        grad_norm_hist.observe(norm)
         if epoch_terms:
             terms = {key: float(np.mean(values)) for key, values in epoch_terms.items()}
         else:
@@ -421,6 +454,15 @@ class Trainer:
         built_here = model is None or criterion is None
         if built_here:
             model, criterion = self.build(dataset)
+        if config.fused:
+            # One switch turns on the whole fast path; an externally-built
+            # model/criterion is adopted rather than rebuilt, so the flags
+            # are set directly (never force-disabled for a caller that
+            # enabled them independently).
+            model.dsq.fused = True
+            criterion.fused = True
+            if hasattr(model.backbone, "fused"):
+                model.backbone.fused = True
         if run_warm_start is None:
             run_warm_start = built_here and config.warm_start
         if run_warm_start:
@@ -445,7 +487,10 @@ class Trainer:
                 {"params": other_params, "lr_scale": 1.0},
             ]
         optimizer = AdamW(
-            groups, lr=config.learning_rate, weight_decay=config.weight_decay
+            groups,
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+            fused=config.fused,
         )
         num_epochs = epochs if epochs is not None else config.epochs
         loader = DataLoader(

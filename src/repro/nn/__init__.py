@@ -18,7 +18,17 @@ from repro.nn.functional import (
     pairwise_distances,
     pairwise_sq_distances,
     softmax,
+    stable_softmax_array,
     straight_through,
+)
+from repro.nn.fused import (
+    fused_center_loss,
+    fused_commitment_loss,
+    fused_cross_entropy,
+    fused_ranking_loss,
+    fused_scaled_sum,
+    fused_softmax,
+    fused_softmax_ste,
 )
 from repro.nn.gradcheck import check_gradient, numerical_gradient
 from repro.nn.layers import (
@@ -80,6 +90,13 @@ __all__ = [
     "cosine_similarity",
     "cross_entropy",
     "dropout",
+    "fused_center_loss",
+    "fused_commitment_loss",
+    "fused_cross_entropy",
+    "fused_ranking_loss",
+    "fused_scaled_sum",
+    "fused_softmax",
+    "fused_softmax_ste",
     "is_grad_enabled",
     "l2_normalize",
     "load_state",
@@ -93,6 +110,7 @@ __all__ = [
     "pairwise_sq_distances",
     "save_state",
     "softmax",
+    "stable_softmax_array",
     "stack",
     "straight_through",
     "where",

@@ -14,6 +14,30 @@ import numpy as np
 from repro.nn.tensor import Tensor, maximum
 
 
+def stable_softmax_array(
+    scores: np.ndarray,
+    axis: int = -1,
+    temperature: float = 1.0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Plain-ndarray tempered softmax, matching :func:`softmax` bit for bit.
+
+    Shared by the reference ops here and the single-node kernels in
+    :mod:`repro.nn.fused`: both scale by ``1/temperature`` (a multiply, not
+    a divide) and subtract the max before exponentiating, so values agree
+    exactly and only gradient *accumulation order* can differ between the
+    two paths. ``out`` receives the result in place (and is returned),
+    letting hot callers reuse a scratch buffer.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = np.multiply(scores, 1.0 / temperature, out=out)
+    scaled -= scaled.max(axis=axis, keepdims=True)
+    np.exp(scaled, out=scaled)
+    scaled /= scaled.sum(axis=axis, keepdims=True)
+    return scaled
+
+
 def softmax(logits: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
     """Tempered softmax, numerically stabilised by subtracting the max.
 

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.autograd import accumulate_grad
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
 
@@ -133,6 +134,12 @@ class MLP(Module):
 
     Serves as the trainable backbone ``f(.)`` on top of the (simulated)
     pre-trained features — the role ResNet-34 / BERT play in the paper.
+
+    With ``fused=True`` (and no dropout layers) the whole Linear/ReLU stack
+    runs as one autograd node: the forward mirrors the layer ops bit for
+    bit and one backward closure walks the stack in reverse, accumulating
+    weight/bias gradients directly. Dropout keeps the reference path — its
+    RNG draw order is part of the training trajectory contract.
     """
 
     def __init__(
@@ -154,9 +161,65 @@ class MLP(Module):
                 if dropout > 0:
                     layers.append(Dropout(dropout, rng))
         self.net = Sequential(*layers)
+        self.fused = False
+        self._stack_fusable = all(
+            isinstance(layer, (Linear, ReLU)) for layer in self.net
+        )
+        # Dict-wrapped so Module's attribute scan does not register the
+        # cached parameter tuple a second time.
+        self._fused_cache: dict[str, tuple] = {}
+
+    def _fused_params(self) -> tuple:
+        params = self._fused_cache.get("params")
+        if params is None:
+            params = self._fused_cache["params"] = tuple(self.parameters())
+        return params
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.fused and self._stack_fusable:
+            out, cache = self._stack_forward(x.data)
+
+            def backward(grad: np.ndarray) -> None:
+                g_input = self._stack_backward(grad, cache)
+                if x.requires_grad:
+                    accumulate_grad(x, g_input)
+
+            return Tensor._from_op(out, (x, *self._fused_params()), backward)
         return self.net(x)
+
+    def _stack_forward(self, data: np.ndarray) -> tuple[np.ndarray, list]:
+        """Run the Linear/ReLU stack in plain NumPy, caching for backward.
+
+        Same op order as the tape (``x @ W + b``, then ``pre * (pre > 0)``),
+        so outputs are bit-identical to the reference path.
+        """
+        cache: list[tuple] = []
+        out = data
+        for layer in self.net:
+            if isinstance(layer, Linear):
+                cache.append((layer, out))
+                out = out @ layer.weight.data
+                if layer.bias is not None:
+                    out = out + layer.bias.data
+            else:  # ReLU
+                mask = out > 0
+                cache.append((None, mask))
+                out = out * mask
+        return out, cache
+
+    def _stack_backward(self, grad: np.ndarray, cache: list) -> np.ndarray:
+        """Reverse walk of :meth:`_stack_forward`; returns the input grad."""
+        g = grad
+        for layer, saved in reversed(cache):
+            if layer is None:  # ReLU: saved is the mask
+                g = g * saved
+            else:  # Linear: saved is the layer input
+                if layer.bias is not None and layer.bias.requires_grad:
+                    accumulate_grad(layer.bias, g.sum(axis=0))
+                if layer.weight.requires_grad:
+                    accumulate_grad(layer.weight, saved.T @ g)
+                g = g @ layer.weight.data.T
+        return g
 
 
 class ResidualMLP(Module):
@@ -173,8 +236,23 @@ class ResidualMLP(Module):
         super().__init__()
         self.inner = MLP([dim, *hidden_dims, dim], rng, dropout=dropout)
         self.gate = Parameter(np.zeros(1), name="gate")
+        self.fused = False
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.fused and self.inner._stack_fusable:
+            inner_out, cache = self.inner._stack_forward(x.data)
+            out = x.data + inner_out * self.gate.data
+
+            def backward(grad: np.ndarray) -> None:
+                if self.gate.requires_grad:
+                    accumulate_grad(self.gate, np.array([(grad * inner_out).sum()]))
+                g_input = self.inner._stack_backward(grad * self.gate.data, cache)
+                if x.requires_grad:
+                    accumulate_grad(x, grad + g_input)
+
+            return Tensor._from_op(
+                out, (x, self.gate, *self.inner._fused_params()), backward
+            )
         return x + self.inner(x) * self.gate
 
 

@@ -92,10 +92,14 @@ class Module:
                 )
             param.data = value.copy()
 
-    def zero_grad(self) -> None:
-        """Clear gradients on every parameter in the subtree."""
+    def zero_grad(self, set_to_none: bool = False) -> None:
+        """Clear gradients on every parameter in the subtree.
+
+        Existing gradient buffers are zeroed in place and reused by the
+        next backward pass; pass ``set_to_none=True`` to drop them instead.
+        """
         for param in self.parameters():
-            param.zero_grad()
+            param.zero_grad(set_to_none)
 
     def freeze(self) -> None:
         """Exclude this subtree's parameters from future backward passes."""

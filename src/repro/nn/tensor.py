@@ -135,9 +135,21 @@ class Tensor:
                 node._backward = None
                 node._parents = ()
 
-    def zero_grad(self) -> None:
-        """Drop any accumulated gradient."""
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = False) -> None:
+        """Clear the accumulated gradient.
+
+        By default an existing gradient buffer is zeroed *in place* and
+        kept, so the next backward pass accumulates into the same array
+        instead of reallocating one per parameter per step (the flat-buffer
+        optimiser additionally relies on the buffer staying put inside its
+        arena). ``set_to_none=True`` restores the old drop-the-array
+        behaviour; a tensor that never received a gradient stays at
+        ``None`` either way.
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad[...] = 0.0
 
     # ------------------------------------------------------------------
     # Arithmetic

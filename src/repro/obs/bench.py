@@ -32,7 +32,10 @@ import numpy as np
 from repro import obs
 from repro.obs import names as metric_names
 
-BENCH_SCHEMA_VERSION = 1
+#: v2 adds the ``train`` phase (fused-vs-reference training comparison);
+#: v1 files load fine — the extra phase is simply absent.
+BENCH_SCHEMA_VERSION = 2
+_READABLE_SCHEMA_VERSIONS = (1, 2)
 DEFAULT_RESULTS_PATH = "BENCH_results.json"
 #: Dataset profiles a default (no ``--profile``) run covers.
 DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
@@ -40,6 +43,12 @@ DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
 TINY_PROFILE = "tiny"
 
 _PHASES = ("train_step", "encode", "index_build", "query")
+
+#: Relative tolerance for the fused-vs-reference final-loss parity bit.
+#: The two paths follow bit-identical loss values but accumulate gradients
+#: in different orders, so trajectories drift at float-rounding rate; over
+#: a few epochs the final epoch-mean losses agree to well under this.
+PARITY_RTOL = 1e-4
 
 
 def canonical_dataset(profile: str) -> str:
@@ -178,6 +187,8 @@ def bench_profile(
     same batch and records its scan throughput, the serial scan throughput,
     their ratio, and a top-k parity bit under ``phases.query.engine``.
     """
+    import dataclasses
+
     from repro.core.trainer import Trainer
     from repro.experiments.config import (
         default_loss_config,
@@ -187,20 +198,41 @@ def bench_profile(
 
     dataset = _load_profile_dataset(profile, seed)
     epochs = 1 if quick else 3
-    trainer = Trainer(
-        default_model_config(dataset),
-        default_loss_config(dataset),
-        default_training_config(dataset, fast=True),
+    model_config = default_model_config(dataset)
+    loss_config = default_loss_config(dataset)
+    training_config = default_training_config(dataset, fast=True)
+    trainer = Trainer(model_config, loss_config, training_config, seed=seed)
+    fused_trainer = Trainer(
+        model_config,
+        loss_config,
+        dataclasses.replace(training_config, fused=True),
         seed=seed,
     )
     with obs.observed() as handle:
         tracer = handle.tracer
+        registry = handle.registry
+        steps_counter = registry.counter(metric_names.TRAIN_STEPS_TOTAL)
         with handle.span("bench.profile", profile=profile):
             with handle.span("bench.setup"):
                 session = trainer.start_session(dataset, epochs=epochs)
             with handle.span("bench.train_step"):
                 while not session.finished:
                     session.run_epoch()
+            # Snapshot reference-run training metrics before the fused run
+            # below adds its own steps/times to the same counters.
+            reference_steps = int(steps_counter.value)
+            reference_step_time = _latency_summary(
+                registry.histogram(metric_names.TRAIN_STEP_TIME)
+            )
+            # Train phase: same seed, same data order, fused fast path. A
+            # fresh session (not a continuation) so both runs start from
+            # identical initialisation and their final losses compare.
+            with handle.span("bench.setup_fused"):
+                fused_session = fused_trainer.start_session(dataset, epochs=epochs)
+            with handle.span("bench.train_fused"):
+                while not fused_session.finished:
+                    fused_session.run_epoch()
+            fused_steps = int(steps_counter.value) - reference_steps
             model = session.model
             model.eval()
             database = dataset.database.features
@@ -241,14 +273,30 @@ def bench_profile(
                         serial_scan_tput, handle,
                         workers=workers or 1, shards=shards,
                     )
-        registry = handle.registry
-
-        steps = registry.counter(metric_names.TRAIN_STEPS_TOTAL).value
+        steps = reference_steps
         train_wall = _span_duration(tracer, "bench.train_step")
+        fused_wall = _span_duration(tracer, "bench.train_fused")
         encode_wall = _span_duration(tracer, "bench.encode")
         build_wall = _span_duration(tracer, "bench.index_build")
         single_wall = _span_duration(tracer, "bench.query.single")
         batch_wall = _span_duration(tracer, "bench.query.batch")
+
+        reference_final = float(session.history.last()["total"])
+        fused_final = float(fused_session.history.last()["total"])
+        loss_rel_diff = abs(fused_final - reference_final) / max(
+            abs(reference_final), 1e-12
+        )
+        loss_parity = bool(loss_rel_diff <= PARITY_RTOL)
+        reference_sps = steps / train_wall if train_wall > 0 else None
+        fused_sps = fused_steps / fused_wall if fused_wall > 0 else None
+        speedup = (
+            fused_sps / reference_sps if fused_sps and reference_sps else None
+        )
+        if speedup is not None:
+            registry.gauge(metric_names.TRAIN_FUSED_SPEEDUP).set(speedup)
+        registry.gauge(metric_names.TRAIN_FUSED_LOSS_PARITY).set(
+            1.0 if loss_parity else 0.0
+        )
 
         return {
             "profile": profile,
@@ -265,10 +313,28 @@ def bench_profile(
                     "wall_time_s": train_wall,
                     "epochs": epochs,
                     "steps": int(steps),
-                    "steps_per_s": steps / train_wall if train_wall > 0 else None,
-                    "step_time_s": _latency_summary(
-                        registry.histogram(metric_names.TRAIN_STEP_TIME)
-                    ),
+                    "steps_per_s": reference_sps,
+                    "step_time_s": reference_step_time,
+                },
+                "train": {
+                    "wall_time_s": train_wall + fused_wall,
+                    "epochs": epochs,
+                    "reference": {
+                        "wall_time_s": train_wall,
+                        "steps": int(steps),
+                        "steps_per_s": reference_sps,
+                        "final_loss": reference_final,
+                    },
+                    "fused": {
+                        "wall_time_s": fused_wall,
+                        "steps": int(fused_steps),
+                        "steps_per_s": fused_sps,
+                        "final_loss": fused_final,
+                    },
+                    "speedup": speedup,
+                    "loss_parity": loss_parity,
+                    "loss_rel_diff": loss_rel_diff,
+                    "parity_rtol": PARITY_RTOL,
                 },
                 "encode": {
                     "wall_time_s": encode_wall,
@@ -350,10 +416,10 @@ def load_results(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         results = json.load(handle)
     version = results.get("schema_version")
-    if version != BENCH_SCHEMA_VERSION:
+    if version not in _READABLE_SCHEMA_VERSIONS:
         raise ValueError(
             f"{path}: unsupported bench schema {version!r} "
-            f"(expected {BENCH_SCHEMA_VERSION})"
+            f"(readable: {_READABLE_SCHEMA_VERSIONS})"
         )
     return results
 
@@ -389,6 +455,19 @@ def format_summary(results: dict) -> str:
             lines.append(
                 f"{profile:<16} {phase:<12} {wall:>9.3f} {rate_text:>18} "
                 f"{p50:>9} {p95:>9} {p99:>9}"
+            )
+        train = phases.get("train")
+        if train:
+            fused = train["fused"]
+            sps = fused.get("steps_per_s")
+            rate_text = f"{sps:,.0f} steps/s" if sps else "-"
+            speedup = train.get("speedup")
+            speedup_text = f"x{speedup:.2f}" if speedup else "-"
+            parity = "ok" if train.get("loss_parity") else "MISMATCH"
+            lines.append(
+                f"{profile:<16} {'train.fused':<12} "
+                f"{fused['wall_time_s']:>9.3f} {rate_text:>18} "
+                f"{speedup_text} vs reference (loss parity {parity})"
             )
         engine = phases["query"].get("engine")
         if engine:
@@ -428,6 +507,21 @@ def compare_results(old: dict, new: dict) -> str:
             lines.append(
                 f"{profile:<16} {phase:<12} {old_wall:>9.3f} {new_wall:>9.3f} "
                 f"{delta:>+7.1f}%"
+            )
+        # Train throughput: prefer the fused figure of the v2 ``train``
+        # phase; a v1 run (or one without it) falls back to the reference
+        # loop's steps/s, which every schema records.
+        def _train_sps(run: dict) -> float | None:
+            phases = run["profiles"][profile]["phases"]
+            fused = phases.get("train", {}).get("fused", {})
+            return fused.get("steps_per_s") or phases["train_step"]["steps_per_s"]
+
+        old_sps, new_sps = _train_sps(old), _train_sps(new)
+        if old_sps and new_sps:
+            ratio = new_sps / old_sps
+            lines.append(
+                f"{profile:<16} {'train steps/s':<12} {old_sps:>9.1f} "
+                f"{new_sps:>9.1f} {'x' + format(ratio, '.2f'):>8}"
             )
         old_engine = old["profiles"][profile]["phases"]["query"].get("engine")
         new_engine = new["profiles"][profile]["phases"]["query"].get("engine")

@@ -197,3 +197,96 @@ class TestCriterion:
             logits, embedding + 2.0, labels, embedding=embedding
         )
         assert mismatched.reconstruction.item() > matched.reconstruction.item()
+
+
+class TestTripletVectorizationRegression:
+    """Pin the broadcast triplet cube to the per-anchor loop it replaced."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("margin", [0.0, 0.5, 1.0])
+    def test_value_matches_loop_reference(self, seed, margin):
+        from repro.core.losses import triplet_loss_reference
+
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=9)
+        points = rng.normal(size=(9, 4))
+        fast = triplet_loss(Tensor(points), labels, margin=margin).item()
+        loop = triplet_loss_reference(Tensor(points), labels, margin=margin).item()
+        assert fast == pytest.approx(loop, rel=1e-12, abs=1e-12)
+
+    def test_gradient_matches_loop_reference(self):
+        from repro.core.losses import triplet_loss_reference
+
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3, size=8)
+        points = rng.normal(size=(8, 4))
+
+        vec = Tensor(points.copy(), requires_grad=True)
+        triplet_loss(vec, labels, margin=0.7).backward()
+        loop = Tensor(points.copy(), requires_grad=True)
+        triplet_loss_reference(loop, labels, margin=0.7).backward()
+        np.testing.assert_allclose(vec.grad, loop.grad, rtol=1e-10, atol=1e-12)
+
+    def test_degenerate_batches_agree(self):
+        from repro.core.losses import triplet_loss_reference
+
+        points = np.random.default_rng(4).normal(size=(5, 3))
+        for labels in (np.zeros(5, dtype=int), np.arange(5)):
+            assert (
+                triplet_loss(Tensor(points), labels).item()
+                == triplet_loss_reference(Tensor(points), labels).item()
+                == 0.0
+            )
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 2, size=6)
+        points = rng.normal(size=(6, 3))
+        ok, err = check_gradient(
+            lambda t: triplet_loss(t, labels, margin=0.5), points
+        )
+        assert ok, f"vectorized triplet gradcheck failed: {err}"
+
+
+class TestFusedCriterionParity:
+    """fused=True criterion follows the reference term combination exactly."""
+
+    @pytest.mark.parametrize("beta", [0.0, 0.3])
+    def test_total_and_terms_bit_equal(self, beta):
+        points, labels, prototypes = clustered_embeddings(seed=6)
+        config = LossConfig(beta=beta)
+        logits = np.random.default_rng(7).normal(size=(len(labels), 3))
+        quantized = points + np.random.default_rng(8).normal(
+            scale=0.05, size=points.shape
+        )
+
+        def run(fused):
+            criterion = LightLTCriterion(
+                num_classes=3,
+                dim=points.shape[1],
+                train_class_counts=np.bincount(labels),
+                config=config,
+                rng=0,
+                fused=fused,
+            )
+            quant = Tensor(quantized.copy(), requires_grad=True)
+            emb = Tensor(points.copy(), requires_grad=True)
+            out = criterion(
+                Tensor(logits.copy()), quant, labels, embedding=emb
+            )
+            out.total.backward()
+            return out, quant, criterion
+
+        ref_out, ref_quant, ref_crit = run(fused=False)
+        fused_out, fused_quant, fused_crit = run(fused=True)
+        assert fused_out.total.data == ref_out.total.data
+        assert fused_out.classification.data == ref_out.classification.data
+        np.testing.assert_allclose(
+            fused_quant.grad, ref_quant.grad, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fused_crit.prototypes.grad,
+            ref_crit.prototypes.grad,
+            rtol=1e-10,
+            atol=1e-12,
+        )

@@ -143,7 +143,16 @@ class TestModesAndFreezing:
         mlp.eval()
         mlp(Tensor(np.ones((2, 4)))).sum().backward()
         assert any(p.grad is not None for p in mlp.parameters())
+        buffers = [p.grad for p in mlp.parameters()]
         mlp.zero_grad()
+        # Buffers are zeroed in place and kept for the next backward pass.
+        for param, buffer in zip(mlp.parameters(), buffers):
+            if buffer is None:
+                assert param.grad is None
+            else:
+                assert param.grad is buffer
+                assert np.all(param.grad == 0.0)
+        mlp.zero_grad(set_to_none=True)
         assert all(p.grad is None for p in mlp.parameters())
 
 

@@ -106,3 +106,95 @@ class TestParameterGroups:
         (quadratic_loss(a) + quadratic_loss(b)).backward()
         opt.step()
         assert abs(b.data[0] - 1.0) > abs(a.data[0] - 1.0) - 1e-12
+
+
+def make_param_set(seed: int = 0) -> list[Parameter]:
+    rng = np.random.default_rng(seed)
+    return [
+        Parameter(rng.normal(size=(4, 3))),
+        Parameter(rng.normal(size=(3,))),
+        Parameter(rng.normal(size=(1,))),
+    ]
+
+
+def toy_loss(params: list[Parameter]) -> Tensor:
+    total = (params[0] * params[0]).sum()
+    for p in params[1:]:
+        total = total + (p * p * 0.5).sum()
+    return total
+
+
+class TestFusedAdamW:
+    def test_matches_reference_bit_for_bit(self):
+        reference = make_param_set(seed=1)
+        fused = make_param_set(seed=1)
+        ref_opt = AdamW(reference, lr=0.05, weight_decay=0.01)
+        fused_opt = AdamW(fused, lr=0.05, weight_decay=0.01, fused=True)
+        for _ in range(25):
+            for opt, params in ((ref_opt, reference), (fused_opt, fused)):
+                opt.zero_grad()
+                toy_loss(params).backward()
+                opt.step()
+        for ref_p, fused_p in zip(reference, fused):
+            # The arena step mirrors the reference op grouping exactly, so
+            # trajectories are bit-identical, not merely close.
+            np.testing.assert_array_equal(fused_p.data, ref_p.data)
+
+    def test_grads_live_in_arena_and_buffers_are_reused(self):
+        params = make_param_set(seed=2)
+        opt = AdamW(params, lr=0.05, fused=True)
+        opt.zero_grad()
+        toy_loss(params).backward()
+        opt.step()
+        grad_buffers = [p.grad for p in params]
+        data_buffers = [p.data for p in params]
+        for _ in range(5):
+            opt.zero_grad()
+            toy_loss(params).backward()
+            opt.step()
+        # No per-step reallocation: every gradient and parameter array is
+        # the same object (an arena view) on every subsequent step.
+        for p, grad_buf, data_buf in zip(params, grad_buffers, data_buffers):
+            assert p.grad is grad_buf
+            assert p.data is data_buf
+            assert np.shares_memory(p.grad, opt._flat_grad)
+            assert np.shares_memory(p.data, opt._flat_data)
+
+    def test_state_dict_round_trip_resumes_exactly(self):
+        steady = make_param_set(seed=3)
+        steady_opt = AdamW(steady, lr=0.05, weight_decay=0.01, fused=True)
+        resumed = make_param_set(seed=3)
+        resumed_opt = AdamW(resumed, lr=0.05, weight_decay=0.01, fused=True)
+
+        def advance(opt, params, steps):
+            for _ in range(steps):
+                opt.zero_grad()
+                toy_loss(params).backward()
+                opt.step()
+
+        advance(steady_opt, steady, 10)
+        advance(resumed_opt, resumed, 6)
+
+        state = resumed_opt.state_dict()
+        fresh = make_param_set(seed=3)
+        for fresh_p, resumed_p in zip(fresh, resumed):
+            fresh_p.data[...] = resumed_p.data
+        fresh_opt = AdamW(fresh, lr=0.05, weight_decay=0.01, fused=True)
+        fresh_opt.load_state_dict(state)
+        advance(fresh_opt, fresh, 4)
+
+        for steady_p, fresh_p in zip(steady, fresh):
+            np.testing.assert_array_equal(fresh_p.data, steady_p.data)
+
+    def test_out_of_band_rebind_is_readopted(self):
+        # Code outside the optimiser may replace param.data wholesale
+        # (e.g. warm-start codebook injection); the fused step must adopt
+        # the new values instead of stepping a stale arena copy.
+        params = make_param_set(seed=4)
+        opt = AdamW(params, lr=0.05, fused=True)
+        params[0].data = np.full((4, 3), 2.0)
+        opt.zero_grad()
+        toy_loss(params).backward()
+        opt.step()
+        assert np.all(params[0].data < 2.0)  # stepped from the new values
+        assert np.shares_memory(params[0].data, opt._flat_data)

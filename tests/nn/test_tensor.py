@@ -242,11 +242,25 @@ class TestGraphMechanics:
         (a * 3).sum().backward()
         assert np.allclose(a.grad, [5.0])
 
-    def test_zero_grad(self):
+    def test_zero_grad_reuses_buffer_in_place(self):
         a = Tensor([1.0], requires_grad=True)
         (a * 2).sum().backward()
+        buffer = a.grad
         a.zero_grad()
+        assert a.grad is buffer  # same array, zeroed, not reallocated
+        assert np.all(a.grad == 0.0)
+        (a * 3).sum().backward()
+        assert a.grad is buffer  # backward accumulated into the kept buffer
+        assert np.allclose(a.grad, [3.0])
+
+    def test_zero_grad_set_to_none(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad(set_to_none=True)
         assert a.grad is None
+        b = Tensor([1.0], requires_grad=True)
+        b.zero_grad()  # never-touched grad stays None either way
+        assert b.grad is None
 
     def test_diamond_graph_gradient(self):
         # f(x) = (x*2) + (x*3); grad = 5

@@ -12,6 +12,10 @@ Commands:
   print the rendered artifact.
 - ``bench`` — the per-phase benchmark harness (:mod:`repro.obs.bench`);
   writes ``BENCH_results.json``.
+- ``serve`` — boot the resilient serving daemon (:mod:`repro.serving`)
+  over a saved index and drive seeded open- or closed-loop traffic
+  through it; prints the latency/QPS load report and any degradation or
+  failover events.
 
 The consolidated flag reference lives in README.md ("CLI reference").
 """
@@ -110,6 +114,34 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument(
         "--full", action="store_true", help="full training budget (slower)"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a saved index through the resilient daemon and drive "
+        "seeded traffic through it",
+    )
+    serve.add_argument("--index", required=True, help="index archive from --save-index")
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument("--requests", type=int, default=256)
+    serve.add_argument(
+        "--clients", type=int, default=8,
+        help="closed-loop concurrency (ignored with --qps)",
+    )
+    serve.add_argument(
+        "--qps", type=float, default=None,
+        help="open-loop arrival rate (default: closed loop)",
+    )
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--queries", type=int, default=64, help="seeded query-pool size")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--kill-replica-at", type=int, default=None, metavar="CALL",
+        help="demo fault: kill replica 0 at its CALL-th scan (failover demo)",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None,
+        help="enable observability and write the serve.* snapshot here (JSONL)",
     )
 
     commands.add_parser(
@@ -270,6 +302,79 @@ def _engine_report(model, index, dataset, workers: int, shards: int | None) -> s
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the daemon over a saved index and push seeded traffic through."""
+    import asyncio
+
+    import numpy as np
+
+    from repro.retrieval.persistence import load_index
+    from repro.rng import make_rng
+    from repro.serving import ServingDaemon, TrafficGenerator
+
+    if args.replicas < 1:
+        print("error: --replicas must be at least 1", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be at least 1", file=sys.stderr)
+        return 2
+    obs_handle = None
+    if args.metrics_out:
+        from repro import obs
+
+        obs_handle = obs.enable_observability()
+    index = load_index(args.index)
+    rng = make_rng(args.seed)
+    pool = rng.normal(size=(args.queries, index.codebooks.shape[2]))
+    faults = None
+    if args.kill_replica_at is not None:
+        from repro.resilience.faults import ReplicaKillFault, ServingFaults
+
+        faults = ServingFaults(
+            ReplicaKillFault(replica=0, at_call=args.kill_replica_at)
+        )
+        print(f"fault plan: kill replica 0 at scan {args.kill_replica_at}")
+
+    async def run():
+        daemon = ServingDaemon(
+            index, num_replicas=args.replicas, faults=faults, on_event=print
+        )
+        async with daemon:
+            generator = TrafficGenerator(
+                daemon, pool, k=args.k, seed=args.seed
+            )
+            if args.qps is not None:
+                report = await generator.run_open(args.qps, args.requests)
+            else:
+                report = await generator.run_closed(
+                    args.requests, clients=args.clients
+                )
+        return daemon, report
+
+    daemon, report = asyncio.run(run())
+    mode = f"open loop @ {args.qps:g} qps" if args.qps is not None else (
+        f"closed loop, {args.clients} clients"
+    )
+    print(f"serve: {args.replicas} replicas, {mode}")
+    for line in report.summary_lines():
+        print(line)
+    interesting = (
+        "retries", "hedges", "failovers", "shed", "stale_served",
+        "degraded_transitions",
+    )
+    resilience = {key: daemon.counts[key] for key in interesting if daemon.counts[key]}
+    if resilience:
+        print("resilience: " + "  ".join(f"{k}: {v}" for k, v in sorted(resilience.items())))
+    if obs_handle is not None:
+        from repro import obs
+
+        run_info = {"command": "serve", "index": args.index, "seed": args.seed}
+        obs.export_metrics(obs_handle.registry, args.metrics_out, run=run_info)
+        print(f"metrics written to {args.metrics_out}")
+        obs.disable_observability()
+    return 0 if report.n_failed == 0 else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as exp
 
@@ -324,6 +429,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,11 +1,14 @@
 """The benchmark harness: seeded per-phase timing with a stable schema.
 
 This is the baseline every performance PR is judged against. One run
-times four phases per dataset profile — **train-step** (optimisation
-steps through the real session loop), **encode** (DSQ encoding of the
-database), **index-build** (the full Fig. 3 indexing pipeline), and
-**query** (ADC search, measured both one-query-at-a-time for honest
-latency percentiles and as one batch for throughput) — and writes
+times six phases per dataset profile — **train-step** (optimisation
+steps through the real session loop), **train** (the fused-vs-reference
+training comparison), **encode** (DSQ encoding of the
+database), **index-build** (the full Fig. 3 indexing pipeline), **query**
+(ADC search, measured both one-query-at-a-time for honest latency
+percentiles and as one batch for throughput), and **serve** (closed-loop
+traffic through the resilient serving daemon, recording request-level
+p50/p95/p99 latency and sustained QPS) — and writes
 ``BENCH_results.json`` in the versioned schema documented in
 ``docs/benchmarks.md``.
 
@@ -33,9 +36,10 @@ from repro import obs
 from repro.obs import names as metric_names
 
 #: v2 adds the ``train`` phase (fused-vs-reference training comparison);
-#: v1 files load fine — the extra phase is simply absent.
-BENCH_SCHEMA_VERSION = 2
-_READABLE_SCHEMA_VERSIONS = (1, 2)
+#: v3 adds the ``serve`` phase (serving-daemon latency/QPS under closed-loop
+#: traffic). Older files load fine — the extra phases are simply absent.
+BENCH_SCHEMA_VERSION = 3
+_READABLE_SCHEMA_VERSIONS = (1, 2, 3)
 DEFAULT_RESULTS_PATH = "BENCH_results.json"
 #: Dataset profiles a default (no ``--profile``) run covers.
 DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
@@ -173,6 +177,38 @@ def _bench_engine(index, queries, serial_topk, scan_hist, serial_scan_tput,
     return entry
 
 
+def _bench_serve(
+    index, queries, seed: int, n_requests: int,
+    replicas: int = 2, clients: int = 8,
+) -> dict:
+    """Serve the query set through the resilient daemon (closed loop).
+
+    Requests draw from the profile's real query set under a seeded
+    schedule; the returned entry is the :class:`LoadReport` payload
+    (request counts, QPS, p50/p95/p99 latency in ms) plus the daemon
+    topology and its cache-hit count — with a seeded schedule the hit
+    pattern replays, so two runs measure the same request mix.
+    """
+    import asyncio
+
+    from repro.serving import ServingDaemon, TrafficGenerator
+
+    async def run():
+        daemon = ServingDaemon(index, num_replicas=replicas)
+        async with daemon:
+            generator = TrafficGenerator(daemon, queries, k=10, seed=seed)
+            report = await generator.run_closed(n_requests, clients=clients)
+        return daemon, report
+
+    daemon, report = asyncio.run(run())
+    return {
+        "replicas": replicas,
+        "clients": clients,
+        "cache_hits": int(daemon.counts["cache_hits"]),
+        **report.as_dict(),
+    }
+
+
 def bench_profile(
     profile: str,
     quick: bool = False,
@@ -180,7 +216,7 @@ def bench_profile(
     workers: int | None = None,
     shards: int | None = None,
 ) -> dict:
-    """Run all four phases for one profile; returns its result subtree.
+    """Run every phase for one profile; returns its result subtree.
 
     With ``workers`` (and optionally ``shards``) set, the query phase also
     times the sharded :class:`repro.retrieval.engine.QueryEngine` on the
@@ -273,7 +309,13 @@ def bench_profile(
                         serial_scan_tput, handle,
                         workers=workers or 1, shards=shards,
                     )
+            n_serve = 64 if quick else 256
+            with handle.span("bench.serve", requests=n_serve):
+                serve_entry = _bench_serve(
+                    index, queries, seed=seed, n_requests=n_serve
+                )
         steps = reference_steps
+        serve_wall = _span_duration(tracer, "bench.serve")
         train_wall = _span_duration(tracer, "bench.train_step")
         fused_wall = _span_duration(tracer, "bench.train_fused")
         encode_wall = _span_duration(tracer, "bench.encode")
@@ -365,6 +407,10 @@ def bench_profile(
                         ),
                     },
                     **({"engine": engine_entry} if engine_entry else {}),
+                },
+                "serve": {
+                    "wall_time_s": serve_wall,
+                    **serve_entry,
                 },
             },
             "metrics": registry.snapshot(),
@@ -482,6 +528,21 @@ def format_summary(results: dict) -> str:
                 f"scan {speedup_text} ({engine['dispatch']}, "
                 f"{engine['workers']}w/{engine['shards']}s, top-k {parity})"
             )
+        serve = phases.get("serve")
+        if serve:
+            qps = serve.get("qps")
+            rate_text = f"{qps:,.0f} qps" if qps else "-"
+            p50, p95, p99 = (
+                f"{serve[f'latency_p{q}_ms'] / 1e3:.2e}"
+                for q in ("50", "95", "99")
+            )
+            lines.append(
+                f"{profile:<16} {'serve':<12} "
+                f"{serve['wall_time_s']:>9.3f} {rate_text:>18} "
+                f"{p50:>9} {p95:>9} {p99:>9} "
+                f"({serve['replicas']}r/{serve['clients']}c, "
+                f"ok {serve['ok']}/{serve['requests']})"
+            )
     return "\n".join(lines)
 
 
@@ -537,14 +598,34 @@ def compare_results(old: dict, new: dict) -> str:
                 f"{profile:<16} {'scan Mcodes/s':<12} {old_scan / 1e6:>9.0f} "
                 f"{new_scan / 1e6:>9.0f} {'x' + format(ratio, '.2f'):>8}"
             )
+        # Serving-daemon rows (schema v3): QPS ratio and tail-latency delta.
+        # Absent on either side (a pre-v3 file) the rows are simply skipped.
+        old_serve = old["profiles"][profile]["phases"].get("serve")
+        new_serve = new["profiles"][profile]["phases"].get("serve")
+        if old_serve and new_serve:
+            old_qps, new_qps = old_serve.get("qps"), new_serve.get("qps")
+            if old_qps and new_qps:
+                ratio = new_qps / old_qps
+                lines.append(
+                    f"{profile:<16} {'serve qps':<12} {old_qps:>9.0f} "
+                    f"{new_qps:>9.0f} {'x' + format(ratio, '.2f'):>8}"
+                )
+            old_p99 = old_serve.get("latency_p99_ms")
+            new_p99 = new_serve.get("latency_p99_ms")
+            if old_p99 and new_p99:
+                delta = (new_p99 - old_p99) / old_p99 * 100
+                lines.append(
+                    f"{profile:<16} {'serve p99 ms':<12} {old_p99:>9.3f} "
+                    f"{new_p99:>9.3f} {delta:>+7.1f}%"
+                )
     return "\n".join(lines)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="run_bench",
-        description="Time train-step/encode/index-build/query phases and "
-        "write BENCH_results.json",
+        description="Time train-step/encode/index-build/query/serve phases "
+        "and write BENCH_results.json",
     )
     parser.add_argument(
         "--profile",

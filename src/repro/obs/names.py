@@ -67,12 +67,33 @@ ENGINE_MERGE_TIME = "engine.merge.time_s"
 ENGINE_SHARDS_SCANNED = "engine.shards.scanned"
 ENGINE_BATCHES_TOTAL = "engine.batches.total"
 ENGINE_PARALLEL_BATCHES = "engine.batches.parallel"
+ENGINE_POOL_FALLBACKS = "engine.pool.fallbacks"
 INDEX_ENCODE_TIME = "index.encode.time_s"
 INDEX_BUILD_TIME = "index.build.time_s"
 QUERY_LATENCY = "query.latency_s"
 QUERY_BATCHES_TOTAL = "query.batches.total"
 QUERY_ITEMS_TOTAL = "query.items.total"
 SEARCH_EXHAUSTIVE_TIME = "search.exhaustive.time_s"
+
+# --- serving daemon (repro.serving.daemon / .batcher / .replica) ------------
+SERVE_REQUESTS_TOTAL = "serve.requests.total"
+SERVE_REQUESTS_OK = "serve.requests.ok"
+SERVE_REQUESTS_FAILED = "serve.requests.failed"
+SERVE_REQUESTS_SHED = "serve.requests.shed"
+SERVE_REQUEST_LATENCY = "serve.request.latency_s"
+SERVE_BATCH_SIZE = "serve.batch.size"
+SERVE_BATCHES_TOTAL = "serve.batches.total"
+SERVE_QUEUE_DEPTH = "serve.queue.depth"
+SERVE_CACHE_HITS = "serve.cache.hits"
+SERVE_CACHE_MISSES = "serve.cache.misses"
+SERVE_CACHE_STALE_SERVED = "serve.cache.stale_served"
+SERVE_RETRIES_TOTAL = "serve.retries.total"
+SERVE_HEDGES_TOTAL = "serve.hedges.total"
+SERVE_FAILOVERS_TOTAL = "serve.failovers.total"
+SERVE_BREAKER_OPENS = "serve.breaker.opens"
+SERVE_REPLICAS_HEALTHY = "serve.replicas.healthy"
+SERVE_DEGRADED_ACTIVE = "serve.degraded.active"
+SERVE_DEGRADED_TRANSITIONS = "serve.degraded.transitions"
 
 SPECS: tuple[MetricSpec, ...] = (
     MetricSpec(
@@ -233,6 +254,152 @@ SPECS: tuple[MetricSpec, ...] = (
         "repro.retrieval.engine.QueryEngine.search",
         "Engine batches dispatched to the multiprocessing pool (the rest "
         "ran in-process because parallelism could not pay).",
+    ),
+    MetricSpec(
+        ENGINE_POOL_FALLBACKS,
+        COUNTER,
+        "batches",
+        "repro.retrieval.engine.QueryEngine.search",
+        "Engine batches whose pool dispatch timed out or crashed and were "
+        "re-served by the in-process serial scan (the pool is rebuilt on "
+        "the next parallel batch).",
+    ),
+    MetricSpec(
+        SERVE_REQUESTS_TOTAL,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Client requests accepted by the serving daemon.",
+    ),
+    MetricSpec(
+        SERVE_REQUESTS_OK,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Requests answered successfully (including cached and degraded "
+        "answers).",
+    ),
+    MetricSpec(
+        SERVE_REQUESTS_FAILED,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Requests that exhausted every retry, failover, and degraded "
+        "fallback and returned an error to the client.",
+    ),
+    MetricSpec(
+        SERVE_REQUESTS_SHED,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Requests rejected at admission because the request queue was at "
+        "its backpressure limit.",
+    ),
+    MetricSpec(
+        SERVE_REQUEST_LATENCY,
+        HISTOGRAM,
+        "seconds",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "End-to-end latency of one served request: enqueue to answer, "
+        "including batching delay, retries, and failover.",
+    ),
+    MetricSpec(
+        SERVE_BATCH_SIZE,
+        HISTOGRAM,
+        "requests",
+        "repro.serving.batcher.MicroBatcher",
+        "Number of client requests coalesced into one engine scan.",
+    ),
+    MetricSpec(
+        SERVE_BATCHES_TOTAL,
+        COUNTER,
+        "batches",
+        "repro.serving.batcher.MicroBatcher",
+        "Micro-batches dispatched to the replica set.",
+    ),
+    MetricSpec(
+        SERVE_QUEUE_DEPTH,
+        HISTOGRAM,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Request-queue depth observed at each admission — the daemon's "
+        "instantaneous backlog.",
+    ),
+    MetricSpec(
+        SERVE_CACHE_HITS,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Requests answered from a fresh result-cache entry.",
+    ),
+    MetricSpec(
+        SERVE_CACHE_MISSES,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Requests that missed the result cache and went to the engine.",
+    ),
+    MetricSpec(
+        SERVE_CACHE_STALE_SERVED,
+        COUNTER,
+        "requests",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Requests answered from an expired cache entry while the daemon "
+        "was degraded (stale-while-degraded).",
+    ),
+    MetricSpec(
+        SERVE_RETRIES_TOTAL,
+        COUNTER,
+        "attempts",
+        "repro.serving.daemon.ServingDaemon",
+        "Scan attempts beyond the first, issued after a failure or "
+        "deadline with exponential backoff and jitter.",
+    ),
+    MetricSpec(
+        SERVE_HEDGES_TOTAL,
+        COUNTER,
+        "attempts",
+        "repro.serving.daemon.ServingDaemon",
+        "Hedged scans: a duplicate attempt raced against a straggler on a "
+        "different replica (first answer wins).",
+    ),
+    MetricSpec(
+        SERVE_FAILOVERS_TOTAL,
+        COUNTER,
+        "events",
+        "repro.serving.daemon.ServingDaemon",
+        "Batches whose answer came from a different replica than the one "
+        "first attempted.",
+    ),
+    MetricSpec(
+        SERVE_BREAKER_OPENS,
+        COUNTER,
+        "events",
+        "repro.serving.breaker.CircuitBreaker",
+        "Circuit-breaker transitions into the open state (a replica "
+        "quarantined after consecutive failures).",
+    ),
+    MetricSpec(
+        SERVE_REPLICAS_HEALTHY,
+        GAUGE,
+        "replicas",
+        "repro.serving.replica.ReplicaSet",
+        "Replicas currently believed healthy by heartbeats and breakers.",
+    ),
+    MetricSpec(
+        SERVE_DEGRADED_ACTIVE,
+        GAUGE,
+        "bool",
+        "repro.serving.daemon.ServingDaemon",
+        "1 while the daemon is serving in a degraded mode (overload or "
+        "replica loss), else 0.",
+    ),
+    MetricSpec(
+        SERVE_DEGRADED_TRANSITIONS,
+        COUNTER,
+        "events",
+        "repro.serving.daemon.ServingDaemon",
+        "Degraded-mode entries and exits (each direction counts one).",
     ),
     MetricSpec(
         INDEX_ENCODE_TIME,

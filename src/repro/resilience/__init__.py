@@ -33,8 +33,13 @@ from repro.resilience.errors import (
 )
 from repro.resilience.faults import (
     AlwaysNaNLoss,
+    CorruptResponseFault,
     NaNLossInjector,
+    ReplicaCrash,
+    ReplicaKillFault,
+    ServingFaults,
     SimulatedCrash,
+    SlowReplicaFault,
     crash_after_epoch,
     flip_bytes,
     truncate_file,
@@ -47,12 +52,17 @@ __all__ = [
     "CHECKPOINT_KIND",
     "CheckpointManager",
     "CorruptArtifactError",
+    "CorruptResponseFault",
     "GuardPolicy",
     "GuardedTrainer",
     "IncompatibleStateError",
     "NaNLossInjector",
+    "ReplicaCrash",
+    "ReplicaKillFault",
     "ResilienceError",
+    "ServingFaults",
     "SimulatedCrash",
+    "SlowReplicaFault",
     "TrainingDivergedError",
     "crash_after_epoch",
     "flatten_state",

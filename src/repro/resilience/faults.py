@@ -1,6 +1,6 @@
 """Deterministic fault injection for testing the fault-tolerant runtime.
 
-Three failure families, each seeded/explicit so tests are reproducible:
+Four failure families, each seeded/explicit so tests are reproducible:
 
 - **Loss faults** — :class:`NaNLossInjector` poisons the training loss at
   chosen ``(epoch, step)`` coordinates via the trainer's ``transform_loss``
@@ -10,14 +10,22 @@ Three failure families, each seeded/explicit so tests are reproducible:
   mid-run kill between checkpoint writes.
 - **Storage faults** — :func:`truncate_file` and :func:`flip_bytes` damage
   saved archives the way real disks do (partial write, silent bit rot).
+- **Serving faults** — :class:`SlowReplicaFault`, :class:`ReplicaKillFault`,
+  and :class:`CorruptResponseFault`, bundled by :class:`ServingFaults`,
+  hit a serving replica at chosen ``(replica, call)`` coordinates — the
+  same explicit-trigger pattern as the ``(epoch, step)`` loss faults, so
+  failover tests replay identically. The daemon's replicas expose two duck-
+  typed hook points (``before_scan`` / ``transform_response``) and never
+  import this module.
 
-Nothing here is imported by production code paths; the trainer only sees
-ordinary hook callables.
+Nothing here is imported by production code paths; the trainer and the
+serving daemon only see ordinary hook callables.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
@@ -82,6 +90,178 @@ def crash_after_epoch(epoch: int):
             raise SimulatedCrash(f"simulated crash after epoch {epoch}")
 
     return hook
+
+
+# ---------------------------------------------------------------------------
+# Serving faults: deterministic failure injection for the serving daemon.
+#
+# A replica calls ``before_scan(replica_id, call)`` as a scan starts (calls
+# are 1-based per replica) and ``transform_response(replica_id, call,
+# indices, distances)`` on what it is about to return. Faults match on
+# ``(replica, call)`` coordinates, mirroring the (epoch, step) triggers
+# above, and record what they did in ``.fired`` for test assertions.
+# ---------------------------------------------------------------------------
+
+
+class ReplicaCrash(RuntimeError):
+    """Stand-in for a serving replica dying mid-scan."""
+
+
+def _normalize_calls(at) -> set[int] | None:
+    if at is None:
+        return None
+    if isinstance(at, int):
+        return {int(at)}
+    return {int(c) for c in at}
+
+
+class SlowReplicaFault:
+    """Inject straggler latency: sleep ``delay_s`` before chosen scans.
+
+    Fires on replica ``replica`` when the per-replica call number is in
+    ``at``, or — with ``every=N`` — on every Nth call. With neither given
+    it fires on every call (a persistently slow worker).
+    """
+
+    def __init__(
+        self,
+        replica: int,
+        delay_s: float,
+        at: int | list[int] | set[int] | None = None,
+        every: int | None = None,
+    ) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if every is not None and every < 1:
+            raise ValueError("every must be at least 1")
+        self.replica = int(replica)
+        self.delay_s = float(delay_s)
+        self.at = _normalize_calls(at)
+        self.every = every
+        self.fired: list[tuple[int, int]] = []
+
+    def _matches(self, call: int) -> bool:
+        if self.at is not None and call in self.at:
+            return True
+        if self.every is not None and call % self.every == 0:
+            return True
+        return self.at is None and self.every is None
+
+    def before_scan(self, replica: int, call: int) -> None:
+        if replica == self.replica and self._matches(call):
+            self.fired.append((replica, call))
+            time.sleep(self.delay_s)
+
+
+class ReplicaKillFault:
+    """Replica ``replica`` is dead from call ``at_call`` on: every scan
+    raises :class:`ReplicaCrash` until ``revive_at`` (exclusive), modelling
+    a crashed worker that a supervisor eventually restarts (``revive_at=
+    None`` means it stays down for the run)."""
+
+    def __init__(self, replica: int, at_call: int, revive_at: int | None = None) -> None:
+        if at_call < 1:
+            raise ValueError("at_call is 1-based and must be >= 1")
+        if revive_at is not None and revive_at <= at_call:
+            raise ValueError("revive_at must come after at_call")
+        self.replica = int(replica)
+        self.at_call = int(at_call)
+        self.revive_at = revive_at
+        self.fired: list[tuple[int, int]] = []
+
+    def before_scan(self, replica: int, call: int) -> None:
+        if replica != self.replica or call < self.at_call:
+            return
+        if self.revive_at is not None and call >= self.revive_at:
+            return
+        self.fired.append((replica, call))
+        raise ReplicaCrash(
+            f"simulated crash of replica {replica} at call {call}"
+        )
+
+
+class CorruptResponseFault:
+    """Flip bits in a scan response at chosen calls — silent wire corruption.
+
+    ``count`` seeded-random entries of the returned index matrix get one
+    bit XORed (which may push them out of range) and their distances set
+    to ``-1.0`` (impossible for a squared distance), so a response
+    validator has something concrete to catch. Operates on copies; the
+    engine's own buffers are never damaged.
+    """
+
+    def __init__(
+        self,
+        replica: int,
+        at: int | list[int] | set[int],
+        count: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        self.replica = int(replica)
+        self.at = _normalize_calls(at)
+        self.count = int(count)
+        self.seed = int(seed)
+        self.fired: list[tuple[int, int]] = []
+
+    def transform_response(
+        self,
+        replica: int,
+        call: int,
+        indices: np.ndarray,
+        distances: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if replica != self.replica or call not in self.at or indices.size == 0:
+            return indices, distances
+        self.fired.append((replica, call))
+        indices = indices.copy()
+        distances = distances.copy()
+        # One RNG per (replica, call) so concurrent replicas can't reorder
+        # the draws between runs.
+        rng = make_rng(self.seed + 1009 * call + replica)
+        flat = rng.choice(indices.size, size=min(self.count, indices.size),
+                          replace=False)
+        rows, cols = np.unravel_index(flat, indices.shape)
+        indices[rows, cols] ^= 1 << int(rng.integers(0, 8))
+        distances[rows, cols] = -1.0
+        return indices, distances
+
+
+class ServingFaults:
+    """Bundle serving faults behind the two replica hook points.
+
+    The daemon hands each replica one ``ServingFaults``; every fault sees
+    every coordinate and decides for itself whether to fire, so one plan
+    can script a whole incident (slow worker at calls 3..9, crash at 10,
+    corruption on the failover target at 11).
+    """
+
+    def __init__(self, *faults) -> None:
+        self.faults = list(faults)
+
+    def add(self, fault) -> "ServingFaults":
+        self.faults.append(fault)
+        return self
+
+    def before_scan(self, replica: int, call: int) -> None:
+        for fault in self.faults:
+            hook = getattr(fault, "before_scan", None)
+            if hook is not None:
+                hook(replica, call)
+
+    def transform_response(
+        self,
+        replica: int,
+        call: int,
+        indices: np.ndarray,
+        distances: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        for fault in self.faults:
+            hook = getattr(fault, "transform_response", None)
+            if hook is not None:
+                indices, distances = hook(replica, call, indices, distances)
+        return indices, distances
 
 
 def truncate_file(path: str, fraction: float = 0.5) -> None:

@@ -260,6 +260,13 @@ class QueryEngine:
         ``"auto"`` (pool only when it can pay), ``"force"``, or ``"never"``.
     min_parallel_codes:
         ``"auto"`` work threshold, in table lookups per batch.
+    task_timeout_s:
+        Upper bound on one pool dispatch. A crashed or hung worker would
+        otherwise block the query forever (``Pool`` does not detect dead
+        children); when the bound trips — or the dispatch raises — the pool
+        is terminated, the batch is re-served by the in-process serial scan
+        (``last_dispatch == "in-process-fallback"``), and the next parallel
+        batch rebuilds a fresh pool. ``None`` disables the bound.
 
     Use as a context manager, or call :meth:`close` — the pool and its
     shared-memory buffers are released explicitly, not by the GC.
@@ -277,6 +284,7 @@ class QueryEngine:
         parallel: str = "auto",
         min_parallel_codes: int = MIN_PARALLEL_CODES,
         block_rows: int = _BLOCK_ROWS,
+        task_timeout_s: float | None = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -294,7 +302,11 @@ class QueryEngine:
         self.parallel = parallel
         self.min_parallel_codes = int(min_parallel_codes)
         self.block_rows = int(block_rows)
-        self.last_dispatch: str | None = None  # "in-process" | "process-pool"
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive (or None)")
+        self.task_timeout_s = task_timeout_s
+        # "in-process" | "process-pool" | "in-process-fallback"
+        self.last_dispatch: str | None = None
         self._pool = None
         self._shms: list[shared_memory.SharedMemory] = []
         self._closed = False
@@ -361,6 +373,22 @@ class QueryEngine:
         work = n_queries * len(self.sharded) * self.sharded.num_codebooks
         return work >= self.min_parallel_codes
 
+    def _abandon_pool(self) -> None:
+        """Terminate a misbehaving pool without touching shared memory.
+
+        The parent's ``codes_t``/``norms`` arrays stay valid (they view the
+        shared buffers, which only :meth:`close` unlinks), so the in-process
+        fallback scan and any later pool rebuild reuse them as-is.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown of a wedged pool
+            pass
+
     def _ensure_pool(self):
         if self._pool is not None:
             return self._pool
@@ -368,23 +396,27 @@ class QueryEngine:
         ctx = get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
-        codes_shm = shared_memory.SharedMemory(
-            create=True, size=sharded.codes_t.nbytes
-        )
-        norms_shm = shared_memory.SharedMemory(create=True, size=sharded.norms.nbytes)
-        self._shms = [codes_shm, norms_shm]
-        codes_view = np.ndarray(
-            sharded.codes_t.shape, sharded.codes_t.dtype, buffer=codes_shm.buf
-        )
-        norms_view = np.ndarray(
-            sharded.norms.shape, sharded.norms.dtype, buffer=norms_shm.buf
-        )
-        codes_view[:] = sharded.codes_t
-        norms_view[:] = sharded.norms
-        # Scan from the shared buffers in-parent too, so both paths read the
-        # same memory and the per-worker copies never exist.
-        sharded.codes_t = codes_view
-        sharded.norms = norms_view
+        if not self._shms:
+            codes_shm = shared_memory.SharedMemory(
+                create=True, size=sharded.codes_t.nbytes
+            )
+            norms_shm = shared_memory.SharedMemory(
+                create=True, size=sharded.norms.nbytes
+            )
+            self._shms = [codes_shm, norms_shm]
+            codes_view = np.ndarray(
+                sharded.codes_t.shape, sharded.codes_t.dtype, buffer=codes_shm.buf
+            )
+            norms_view = np.ndarray(
+                sharded.norms.shape, sharded.norms.dtype, buffer=norms_shm.buf
+            )
+            codes_view[:] = sharded.codes_t
+            norms_view[:] = sharded.norms
+            # Scan from the shared buffers in-parent too, so both paths read
+            # the same memory and the per-worker copies never exist.
+            sharded.codes_t = codes_view
+            sharded.norms = norms_view
+        codes_shm, norms_shm = self._shms
         self._pool = ctx.Pool(
             min(self.workers, self.num_shards),
             initializer=_init_worker,
@@ -401,18 +433,31 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, queries: np.ndarray, k: int | None = None) -> np.ndarray:
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        *,
+        rerank: bool | None = None,
+    ) -> np.ndarray:
         """Ranked database indices per query, shaped like the serial path.
 
         ``k=None`` returns the full ranking; otherwise ``(n_q, min(k,
         n_db))``. Rankings are tie-stable on (distance, index) — the order
-        the serial float64 scan's stable argsort produces.
+        the serial float64 scan's stable argsort produces. ``rerank``
+        overrides the engine-level setting for this call only: a degraded
+        server passes ``rerank=False`` to skip the float64 re-scoring pass
+        and serve raw float32 rankings cheaply.
         """
-        indices, _ = self.search_with_distances(queries, k=k)
+        indices, _ = self.search_with_distances(queries, k=k, rerank=rerank)
         return indices
 
     def search_with_distances(
-        self, queries: np.ndarray, k: int | None = None
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        *,
+        rerank: bool | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Like :meth:`search` but also returns the squared distances."""
         sharded = self.sharded
@@ -442,7 +487,10 @@ class QueryEngine:
             q_sq = q_sq64
         scan_start = time.perf_counter() if obs.enabled else 0.0
 
-        shard_k = min(k_eff + (self.rerank_pad if self.rerank else 0), n_db)
+        use_rerank = self.rerank if rerank is None else (
+            bool(rerank) and sharded.scan_dtype == np.dtype(np.float32)
+        )
+        shard_k = min(k_eff + (self.rerank_pad if use_rerank else 0), n_db)
         use_pool = self._use_pool(n_q)
         self.last_dispatch = "process-pool" if use_pool else "in-process"
         # Sharding exists to feed pool workers. When the batch stays
@@ -456,22 +504,41 @@ class QueryEngine:
             (lut, q_sq, lo, hi, min(shard_k, hi - lo), self.block_rows)
             for lo, hi in bounds
         ]
+        fell_back = False
         if use_pool:
-            pool = self._ensure_pool()
-            results = pool.map(_pool_scan_shard, tasks)
-        else:
+            try:
+                pool = self._ensure_pool()
+                results = pool.map_async(_pool_scan_shard, tasks).get(
+                    timeout=self.task_timeout_s
+                )
+            except BaseException as exc:
+                # A hung worker surfaces as multiprocessing.TimeoutError; a
+                # crashed one as a pool-internal error (or the timeout, since
+                # Pool never notices dead children on its own). Either way
+                # the pool can no longer be trusted: tear it down — the next
+                # parallel batch rebuilds it over the same shared buffers —
+                # and re-serve this batch with the in-process serial scan.
+                self._abandon_pool()
+                if not isinstance(exc, Exception):  # pragma: no cover
+                    raise  # KeyboardInterrupt and friends propagate
+                fell_back = True
+                self.last_dispatch = "in-process-fallback"
+                tasks = [(lut, q_sq, 0, n_db, min(shard_k, n_db),
+                          self.block_rows)]
+        if not use_pool or fell_back:
             results = [
                 _scan_shard(lut, q_sq, sharded.codes_t, sharded.norms, lo, hi,
                             shard_k_i, self.block_rows)
                 for (lut, q_sq, lo, hi, shard_k_i, _) in tasks
             ]
+        served_by_pool = use_pool and not fell_back
         scan_elapsed = time.perf_counter() - scan_start if obs.enabled else 0.0
 
         merge_start = time.perf_counter() if obs.enabled else 0.0
         indices, values = merge_topk(
             [r[0] for r in results], [r[1] for r in results], shard_k
         )
-        if self.rerank:
+        if use_rerank:
             indices, values = self._rerank_exact(
                 lut64, q_sq64, indices, k_eff
             )
@@ -491,7 +558,7 @@ class QueryEngine:
             # figure.
             adc_scan_seconds = (
                 scan_elapsed if use_pool else sum(r[2] for r in results)
-            )
+            )  # a fallback batch keeps the phase wall: the stall was real
             registry.histogram(metric_names.ADC_SCAN_TIME).observe(
                 adc_scan_seconds
             )
@@ -505,8 +572,10 @@ class QueryEngine:
             registry.histogram(metric_names.ENGINE_MERGE_TIME).observe(merge_elapsed)
             registry.counter(metric_names.ENGINE_SHARDS_SCANNED).inc(len(results))
             registry.counter(metric_names.ENGINE_BATCHES_TOTAL).inc()
-            if use_pool:
+            if served_by_pool:
                 registry.counter(metric_names.ENGINE_PARALLEL_BATCHES).inc()
+            if fell_back:
+                registry.counter(metric_names.ENGINE_POOL_FALLBACKS).inc()
         return indices, values
 
     def _rerank_exact(self, lut64, q_sq64, candidates, k):

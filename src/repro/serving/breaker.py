@@ -1,0 +1,109 @@
+"""Per-replica circuit breaker: fail fast instead of hammering a corpse.
+
+Classic three-state machine, deterministic because every transition takes
+the current time as an argument (the daemon passes its event-loop clock,
+tests pass literals):
+
+- **closed** — traffic flows; ``failure_threshold`` *consecutive* failures
+  trip it open (any success resets the streak).
+- **open** — all traffic refused for ``cooldown_s``; the replica gets a
+  breather instead of a retry storm.
+- **half-open** — after the cooldown, exactly one probe request is let
+  through. Success closes the breaker; failure re-opens it for another
+  full cooldown.
+
+Opening increments ``serve.breaker.opens`` when observability is enabled.
+"""
+
+from __future__ import annotations
+
+from repro.obs import get_obs
+from repro.obs import names as metric_names
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one replica.
+
+    ``allow(now)`` is the mutating gate (it claims the half-open probe
+    slot); ``would_allow(now)`` answers the same question without side
+    effects, for listing candidate replicas.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 0.25,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.name = name
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.opens_total = 0
+        self._probe_inflight = False
+
+    def _cooldown_over(self, now: float) -> bool:
+        return self.opened_at is not None and (
+            now - self.opened_at
+        ) >= self.cooldown_s
+
+    def would_allow(self, now: float) -> bool:
+        """Non-mutating preview of :meth:`allow`."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            return self._cooldown_over(now)
+        return not self._probe_inflight  # HALF_OPEN
+
+    def allow(self, now: float) -> bool:
+        """Gate one attempt; claims the probe slot when half-open."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if not self._cooldown_over(now):
+                return False
+            self.state = HALF_OPEN
+            self._probe_inflight = False
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self, now: float) -> None:
+        """An attempt through this breaker succeeded."""
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        self.state = CLOSED
+
+    def record_failure(self, now: float) -> None:
+        """An attempt through this breaker failed."""
+        self._probe_inflight = False
+        if self.state == HALF_OPEN:
+            self._open(now)
+            return
+        self.consecutive_failures += 1
+        if self.state == CLOSED and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open(now)
+
+    def _open(self, now: float) -> None:
+        self.state = OPEN
+        self.opened_at = now
+        self.consecutive_failures = 0
+        self.opens_total += 1
+        obs = get_obs()
+        if obs.enabled:
+            obs.registry.counter(metric_names.SERVE_BREAKER_OPENS).inc()

@@ -1,0 +1,104 @@
+"""LRU/TTL result cache keyed on query signature.
+
+The daemon caches the exact answer of every healthy (non-degraded) scan
+under a :func:`query_signature` — a digest of the canonical float64 query
+bytes plus ``k``, so two requests hit the same entry only when they would
+produce byte-identical answers. Entries age out after ``ttl_s`` but are
+*kept* until LRU eviction: an expired entry is invisible to normal lookups
+yet can still be served with ``allow_stale=True``, which is exactly the
+degraded mode's stale-while-degraded contract. A fresh ``put`` on the same
+key revalidates (overwrites) the stale entry.
+
+Time is always passed in by the caller (the daemon uses its event-loop
+clock), so tests drive freshness deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheEntry", "ResultCache", "query_signature"]
+
+
+def query_signature(query: np.ndarray, k: int) -> str:
+    """Stable digest identifying ``(query, k)`` across processes.
+
+    The query is canonicalised to contiguous float64 first, so the same
+    vector arriving as float32 or as a non-contiguous slice maps to the
+    same entry.
+    """
+    canonical = np.ascontiguousarray(query, dtype=np.float64)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(canonical.tobytes())
+    digest.update(int(k).to_bytes(8, "little", signed=True))
+    digest.update(int(canonical.size).to_bytes(8, "little"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached answer: ranked ids, their distances, and its birth time."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+    stored_at: float
+
+
+class ResultCache:
+    """Bounded LRU map of query signatures to :class:`CacheEntry`.
+
+    ``get`` returns ``(entry, fresh)`` — ``fresh`` is False once the entry
+    is older than ``ttl_s``; stale entries are only returned when the
+    caller opts in with ``allow_stale=True``. Hit/miss accounting lives in
+    the daemon (it knows *why* it asked), not here.
+    """
+
+    def __init__(self, capacity: int = 2048, ttl_s: float = 2.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self.capacity = int(capacity)
+        self.ttl_s = float(ttl_s)
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(
+        self, key: str, now: float, allow_stale: bool = False
+    ) -> tuple[CacheEntry, bool] | None:
+        """The entry under ``key`` plus its freshness, or ``None``.
+
+        A stale entry is a miss unless ``allow_stale``; either way it stays
+        cached (LRU-refreshed only on an actual return) so a degraded
+        window later can still serve it.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        fresh = (now - entry.stored_at) <= self.ttl_s
+        if not fresh and not allow_stale:
+            return None
+        self._entries.move_to_end(key)
+        return entry, fresh
+
+    def put(
+        self, key: str, indices: np.ndarray, distances: np.ndarray, now: float
+    ) -> None:
+        """Insert or revalidate ``key``; evicts the LRU entry when full."""
+        self._entries[key] = CacheEntry(
+            indices=np.array(indices, copy=True),
+            distances=np.array(distances, copy=True),
+            stored_at=float(now),
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)

@@ -1,0 +1,772 @@
+"""The resilient serving daemon: keep answering, whatever breaks.
+
+:class:`ServingDaemon` fronts the sharded ADC engine with an asyncio
+request loop and owns every recovery decision between a client's
+``await daemon.submit(query, k)`` and an answer:
+
+- **Micro-batching** — concurrent requests coalesce into one engine scan
+  per ``k`` (:mod:`repro.serving.batcher`).
+- **Replication + failover** — each scan runs on one of ``num_replicas``
+  replica engines (:mod:`repro.serving.replica`); a crash, corrupt
+  response, or timeout moves the batch to the next healthy replica.
+- **Deadlines, retries, hedging** — every request carries an absolute
+  deadline; failed attempts retry with exponential backoff and seeded
+  jitter, and a straggling attempt is hedged once on a second replica
+  (first answer wins).
+- **Circuit breakers** — per replica (:mod:`repro.serving.breaker`), so a
+  failing replica is quarantined instead of re-timed-out per request.
+- **Result cache** — LRU/TTL keyed on query signature
+  (:mod:`repro.serving.cache`); fresh hits skip the engine entirely.
+- **Graceful degradation** — under overload (queue depth) or replica loss
+  the daemon enters an explicit degraded mode: expired cache entries are
+  served stale, scans skip the float64 rerank (and optionally cap ``k``),
+  and hedging stops. Entry/exit transitions are counted, gauged
+  (``serve.degraded.*``), and appended to ``daemon.events``.
+- **Backpressure** — admission beyond the bounded queue sheds with
+  :class:`Overloaded` rather than building unbounded backlog.
+- **Clean shutdown** — ``stop(drain=True)`` refuses new work, finishes
+  every in-flight request, then tears the replicas down.
+
+Everything observable lands in the ``serve.*`` metric family (see
+``docs/metrics.md``); the always-on ``daemon.counts`` mirror of the key
+counters keeps load reports working with observability disabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter as CountMap
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import get_obs
+from repro.obs import names as metric_names
+from repro.retrieval.engine import QueryEngine, ShardedIndex
+from repro.rng import make_rng
+from repro.serving.batcher import MicroBatcher, PendingRequest
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.cache import ResultCache, query_signature
+from repro.serving.replica import Replica, ReplicaSet
+
+__all__ = [
+    "Overloaded",
+    "RequestFailed",
+    "ServeResult",
+    "ServingConfig",
+    "ServingDaemon",
+]
+
+
+class Overloaded(RuntimeError):
+    """Request shed at admission: the queue hit its backpressure limit."""
+
+
+class RequestFailed(RuntimeError):
+    """Every retry, failover, and degraded fallback was exhausted."""
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables for one daemon. Defaults suit CI-scale indexes; the time
+    knobs scale together (attempt < hedge budget < request deadline)."""
+
+    default_k: int = 10
+    #: Requests coalesced into one scan, and how long to wait for company.
+    max_batch_size: int = 32
+    batch_delay_s: float = 0.002
+    #: Admission queue bound — beyond it requests shed with Overloaded.
+    max_queue: int = 1024
+    #: End-to-end deadline per request (enqueue to answer).
+    request_timeout_s: float = 1.0
+    #: Budget for a single replica scan attempt.
+    attempt_timeout_s: float = 0.2
+    #: Scan attempts per batch, first try included.
+    max_attempts: int = 4
+    #: Exponential backoff between retries, with seeded +-jitter fraction.
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    #: Hedge a straggler after this long (None disables hedging).
+    hedge_after_s: float | None = 0.05
+    #: Result cache geometry.
+    cache_capacity: int = 2048
+    cache_ttl_s: float = 2.0
+    #: Replica health-check period (None disables the heartbeat loop).
+    heartbeat_interval_s: float | None = 0.1
+    #: Circuit breaker per replica.
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 0.25
+    #: Overload degradation: enter at this queue depth, exit at half of it
+    #: (hysteresis). None derives max_queue // 2.
+    degrade_queue_depth: int | None = None
+    #: Replica-loss degradation: degraded while healthy replicas < this.
+    #: None derives a majority: (num_replicas + 1) // 2.
+    degrade_min_healthy: int | None = None
+    #: Degraded scans skip the float64 rerank (raw float32 ranking).
+    degraded_skip_rerank: bool = True
+    #: Degraded answers truncate to at most this many neighbours (None: off).
+    degraded_k_cap: int | None = None
+    #: Seed for backoff jitter — runs replay identically.
+    seed: int = 0
+
+
+@dataclass
+class ServeResult:
+    """One answered request.
+
+    ``source`` is ``"engine"``, ``"cache"`` (fresh hit), or
+    ``"cache_stale"`` (expired entry served under degradation);
+    ``degraded`` marks answers produced under any degraded mode — outside
+    degraded windows results are exactly the engine's serial-parity scan.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    source: str
+    degraded: bool
+    latency_s: float
+    replica: int | None = None
+    attempts: int = 1
+
+
+@dataclass
+class _BatchOutcome:
+    indices: np.ndarray
+    distances: np.ndarray
+    replica: int
+    attempts: int
+    degraded: bool
+    cacheable: bool
+    k_served: int
+    meta: dict = field(default_factory=dict)
+
+
+class ServingDaemon:
+    """Long-running front end over replicated :class:`QueryEngine` scans.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.retrieval.index.QuantizedIndex` to serve.
+    num_replicas:
+        Replica engines to spread scans (and failures) over. By default
+        all replicas share one :class:`ShardedIndex` — the database is
+        materialised once — and scan in-process; pass ``engine_kwargs``
+        to give each replica its own engine configuration (e.g. a worker
+        pool), at the cost of per-replica index copies.
+    faults:
+        Optional fault plan (duck-typed ``before_scan`` /
+        ``transform_response`` hooks, e.g.
+        :class:`repro.resilience.faults.ServingFaults`) handed to every
+        replica — production code passes nothing.
+    on_event:
+        Optional callable for state-change lines (degraded enter/exit,
+        replica death/revival); the same lines always accumulate in
+        ``daemon.events``.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        num_replicas: int = 2,
+        config: ServingConfig | None = None,
+        faults=None,
+        engine_kwargs: dict | None = None,
+        on_event=None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be at least 1")
+        self.config = config or ServingConfig()
+        cfg = self.config
+        if engine_kwargs:
+            engines = [
+                QueryEngine(index, **engine_kwargs) for _ in range(num_replicas)
+            ]
+        else:
+            shared = ShardedIndex(index, num_shards=1)
+            engines = [
+                QueryEngine(shared, parallel="never")
+                for _ in range(num_replicas)
+            ]
+        replicas = [Replica(i, engine, faults=faults) for i, engine in enumerate(engines)]
+        breakers = [
+            CircuitBreaker(
+                failure_threshold=cfg.breaker_failure_threshold,
+                cooldown_s=cfg.breaker_cooldown_s,
+                name=f"replica-{i}",
+            )
+            for i in range(num_replicas)
+        ]
+        self.replica_set = ReplicaSet(replicas, breakers)
+        self.cache = ResultCache(
+            capacity=cfg.cache_capacity, ttl_s=cfg.cache_ttl_s
+        )
+        self.batcher = MicroBatcher(
+            self._dispatch_group,
+            max_batch_size=cfg.max_batch_size,
+            max_delay_s=cfg.batch_delay_s,
+            max_queue=cfg.max_queue,
+        )
+        self.dim = replicas[0].dim
+        self.n_db = replicas[0].n_db
+        self._min_healthy = (
+            cfg.degrade_min_healthy
+            if cfg.degrade_min_healthy is not None
+            else (num_replicas + 1) // 2
+        )
+        self._overload_enter = (
+            cfg.degrade_queue_depth
+            if cfg.degrade_queue_depth is not None
+            else max(1, cfg.max_queue // 2)
+        )
+        self._overload_exit = max(1, self._overload_enter // 2)
+        self._rng = make_rng(cfg.seed)
+        self._degraded_reasons: set[str] = set()
+        self.events: list[str] = []
+        self._on_event = on_event
+        self.counts: CountMap = CountMap()
+        self._accepting = False
+        self._heartbeat_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Begin accepting requests; starts the batcher and heartbeats."""
+        if self._accepting:
+            return
+        self.batcher.start()
+        if self.config.heartbeat_interval_s is not None:
+            self._heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop(), name="serve-heartbeat"
+            )
+        self._accepting = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting; with ``drain`` finish all in-flight work first."""
+        self._accepting = False
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
+        if drain:
+            await self.batcher.drain()
+        else:
+            await self.batcher.abort()
+        for replica in self.replica_set.replicas:
+            replica.engine.close()
+
+    async def __aenter__(self) -> "ServingDaemon":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=True)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._degraded_reasons)
+
+    @property
+    def degraded_reasons(self) -> frozenset:
+        return frozenset(self._degraded_reasons)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    async def submit(self, query: np.ndarray, k: int | None = None) -> ServeResult:
+        """Serve one query; resolves when an answer (or failure) is final."""
+        if not self._accepting:
+            raise RuntimeError("daemon is not accepting requests")
+        cfg = self.config
+        k = cfg.default_k if k is None else int(k)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise ValueError(f"query must be a ({self.dim},) vector")
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        obs = get_obs()
+        self.counts["requests"] += 1
+        depth = self.batcher.qsize()
+        if obs.enabled:
+            registry = obs.registry
+            registry.counter(metric_names.SERVE_REQUESTS_TOTAL).inc()
+            registry.histogram(metric_names.SERVE_QUEUE_DEPTH).observe(depth)
+        self._update_overload(depth)
+
+        signature = query_signature(query, k)
+        hit = self.cache.get(signature, now=start, allow_stale=self.degraded)
+        if hit is not None:
+            entry, fresh = hit
+            source = "cache" if fresh else "cache_stale"
+            self.counts["cache_hits" if fresh else "stale_served"] += 1
+            if obs.enabled:
+                registry.counter(
+                    metric_names.SERVE_CACHE_HITS
+                    if fresh
+                    else metric_names.SERVE_CACHE_STALE_SERVED
+                ).inc()
+            return self._finish_ok(
+                loop,
+                start,
+                indices=entry.indices.copy(),
+                distances=entry.distances.copy(),
+                source=source,
+                degraded=not fresh,
+                replica=None,
+                attempts=0,
+            )
+        self.counts["cache_misses"] += 1
+        if obs.enabled:
+            registry.counter(metric_names.SERVE_CACHE_MISSES).inc()
+
+        request = PendingRequest(
+            query=query,
+            k=k,
+            future=loop.create_future(),
+            enqueue_time=start,
+            deadline=start + cfg.request_timeout_s,
+            signature=signature,
+        )
+        if not self.batcher.try_enqueue(request):
+            self.counts["shed"] += 1
+            if obs.enabled:
+                registry.counter(metric_names.SERVE_REQUESTS_SHED).inc()
+            raise Overloaded("request queue full — request shed")
+        try:
+            indices, distances, meta = await request.future
+        except Exception:
+            self.counts["failed"] += 1
+            if obs.enabled:
+                registry.counter(metric_names.SERVE_REQUESTS_FAILED).inc()
+            raise
+        return self._finish_ok(
+            loop,
+            start,
+            indices=indices,
+            distances=distances,
+            source=meta["source"],
+            degraded=meta["degraded"],
+            replica=meta.get("replica"),
+            attempts=meta.get("attempts", 1),
+        )
+
+    def _finish_ok(
+        self, loop, start, *, indices, distances, source, degraded,
+        replica, attempts,
+    ) -> ServeResult:
+        latency = loop.time() - start
+        self.counts["ok"] += 1
+        obs = get_obs()
+        if obs.enabled:
+            obs.registry.counter(metric_names.SERVE_REQUESTS_OK).inc()
+            obs.registry.histogram(
+                metric_names.SERVE_REQUEST_LATENCY
+            ).observe(latency)
+        return ServeResult(
+            indices=indices,
+            distances=distances,
+            source=source,
+            degraded=degraded,
+            latency_s=latency,
+            replica=replica,
+            attempts=attempts,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch serving: attempts, failover, hedging
+    # ------------------------------------------------------------------
+    async def _dispatch_group(self, group: list[PendingRequest]) -> None:
+        try:
+            await self._serve_batch(group)
+        except asyncio.CancelledError:
+            # Aborted shutdown: the dispatch dies, but its awaiters must not
+            # hang — fail them before propagating the cancellation.
+            for request in group:
+                if not request.future.done():
+                    request.future.set_exception(
+                        RuntimeError("serving daemon stopped")
+                    )
+            raise
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            for request in group:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    async def _serve_batch(self, group: list[PendingRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        queries = np.stack([request.query for request in group])
+        k = group[0].k
+        deadline = min(request.deadline for request in group)
+        degraded = self.degraded
+        rerank: bool | None = (
+            False if (degraded and cfg.degraded_skip_rerank) else None
+        )
+        k_scan = k
+        if degraded and cfg.degraded_k_cap is not None:
+            k_scan = min(k, cfg.degraded_k_cap)
+        cacheable = rerank is None and k_scan == k
+
+        attempts = 0
+        tried: set[int] = set()
+        first_replica: int | None = None
+        last_error: Exception | None = None
+        outcome: _BatchOutcome | None = None
+        while attempts < cfg.max_attempts:
+            now = loop.time()
+            if now >= deadline:
+                break
+            candidates = self.replica_set.candidates(now, exclude=tried)
+            if not candidates and tried:
+                # Every replica has been tried once; start a second lap —
+                # a crashed replica may have revived, and backoff already
+                # spaced the attempts out.
+                tried = set()
+                candidates = self.replica_set.candidates(now)
+            if not candidates:
+                break
+            replica = candidates[0]
+            breaker = self.replica_set.breaker_for(replica.replica_id)
+            if not breaker.allow(now):
+                tried.add(replica.replica_id)
+                continue
+            if first_replica is None:
+                first_replica = replica.replica_id
+            attempts += 1
+            if attempts > 1:
+                self._count("retries", metric_names.SERVE_RETRIES_TOTAL)
+            budget = min(cfg.attempt_timeout_s, deadline - now)
+            try:
+                indices, distances, served_by = await self._attempt(
+                    replica,
+                    queries,
+                    k_scan,
+                    rerank,
+                    budget,
+                    tried,
+                    allow_hedge=not degraded,
+                )
+            except Exception as exc:
+                last_error = exc
+                tried.add(replica.replica_id)
+                self._update_health()
+                backoff = self._backoff_delay(attempts)
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                if backoff > 0:
+                    await asyncio.sleep(min(backoff, remaining))
+                continue
+            if served_by != first_replica:
+                self._count("failovers", metric_names.SERVE_FAILOVERS_TOTAL)
+            outcome = _BatchOutcome(
+                indices=indices,
+                distances=distances,
+                replica=served_by,
+                attempts=attempts,
+                degraded=degraded,
+                cacheable=cacheable,
+                k_served=k_scan,
+            )
+            break
+
+        if outcome is not None:
+            self._resolve_group(group, outcome, loop)
+            return
+        self._resolve_exhausted(group, last_error, loop)
+
+    async def _attempt(
+        self,
+        replica: Replica,
+        queries: np.ndarray,
+        k: int,
+        rerank: bool | None,
+        budget_s: float,
+        tried: set[int],
+        allow_hedge: bool,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One scan attempt, hedged once if it straggles.
+
+        Returns ``(indices, distances, replica_id)`` from whichever task
+        finished first with a valid answer; raises the primary's error (or
+        a timeout) when nothing succeeded inside the budget. Late
+        finishers are detached, their outcome still feeding the breaker.
+        """
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        attempt_deadline = loop.time() + budget_s
+        running: dict[asyncio.Task, Replica] = {
+            self._scan_task(replica, queries, k, rerank): replica
+        }
+        hedge_wait = (
+            cfg.hedge_after_s
+            if allow_hedge
+            and cfg.hedge_after_s is not None
+            and cfg.hedge_after_s < budget_s
+            else None
+        )
+        last_error: Exception | None = None
+        hedged = False
+        while running:
+            if hedge_wait is not None and not hedged:
+                timeout = min(hedge_wait, attempt_deadline - loop.time())
+            else:
+                timeout = attempt_deadline - loop.time()
+            if timeout <= 0:
+                break
+            done, _ = await asyncio.wait(
+                set(running), timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            now = loop.time()
+            if not done:
+                if hedge_wait is not None and not hedged:
+                    hedged = True
+                    hedge_replica = self._pick_hedge(
+                        now, tried | {r.replica_id for r in running.values()}
+                    )
+                    if hedge_replica is not None:
+                        self._count("hedges", metric_names.SERVE_HEDGES_TOTAL)
+                        running[
+                            self._scan_task(hedge_replica, queries, k, rerank)
+                        ] = hedge_replica
+                    continue
+                break
+            for task in done:
+                task_replica = running.pop(task)
+                breaker = self.replica_set.breaker_for(task_replica.replica_id)
+                error = task.exception()
+                if error is None:
+                    breaker.record_success(now)
+                    self.replica_set.mark_healthy(task_replica.replica_id)
+                    for straggler, straggler_replica in running.items():
+                        self._detach(straggler, straggler_replica)
+                    indices, distances = task.result()
+                    return indices, distances, task_replica.replica_id
+                last_error = error
+                self._record_scan_failure(task_replica, error, now)
+        # Attempt timed out (or every racer failed): abandon what's still
+        # running — an abandoned straggler counts as a breaker failure now,
+        # and its eventual real outcome is folded in by the detach hook.
+        now = loop.time()
+        for task, task_replica in running.items():
+            self._record_scan_failure(
+                task_replica,
+                TimeoutError(f"scan attempt exceeded {budget_s:.3f}s"),
+                now,
+            )
+            self._detach(task, task_replica)
+        if last_error is None:
+            last_error = TimeoutError(
+                f"scan attempt exceeded {budget_s:.3f}s budget"
+            )
+        raise last_error
+
+    def _scan_task(
+        self, replica: Replica, queries: np.ndarray, k: int,
+        rerank: bool | None,
+    ) -> asyncio.Task:
+        loop = asyncio.get_running_loop()
+
+        async def scan():
+            return await loop.run_in_executor(
+                None, lambda: replica.search(queries, k, rerank=rerank)
+            )
+
+        return asyncio.create_task(scan())
+
+    def _pick_hedge(self, now: float, exclude: set[int]) -> Replica | None:
+        candidates = self.replica_set.candidates(now, exclude=exclude)
+        for candidate in candidates:
+            breaker = self.replica_set.breaker_for(candidate.replica_id)
+            if breaker.allow(now):
+                return candidate
+        return None
+
+    def _detach(self, task: asyncio.Task, replica: Replica) -> None:
+        """Let an abandoned scan finish on its own; harvest its outcome."""
+
+        def harvest(finished: asyncio.Task) -> None:
+            if finished.cancelled():
+                return
+            error = finished.exception()
+            try:
+                now = asyncio.get_running_loop().time()
+            except RuntimeError:  # pragma: no cover - loop already gone
+                return
+            breaker = self.replica_set.breaker_for(replica.replica_id)
+            if error is None:
+                breaker.record_success(now)
+                self.replica_set.mark_healthy(replica.replica_id)
+            else:
+                self._record_scan_failure(replica, error, now)
+
+        task.add_done_callback(harvest)
+
+    def _record_scan_failure(
+        self, replica: Replica, error: Exception, now: float
+    ) -> None:
+        breaker = self.replica_set.breaker_for(replica.replica_id)
+        breaker.record_failure(now)
+        if type(error).__name__ == "ReplicaCrash":
+            if self.replica_set.states.get(replica.replica_id) != "dead":
+                self._emit(f"replica {replica.replica_id} crashed; failing over")
+            self.replica_set.mark_dead(replica.replica_id)
+        self._update_health()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _resolve_group(
+        self, group: list[PendingRequest], outcome: _BatchOutcome, loop
+    ) -> None:
+        now = loop.time()
+        meta = {
+            "source": "engine",
+            "degraded": outcome.degraded,
+            "replica": outcome.replica,
+            "attempts": outcome.attempts,
+        }
+        for row, request in enumerate(group):
+            indices = outcome.indices[row]
+            distances = outcome.distances[row]
+            if outcome.cacheable:
+                self.cache.put(request.signature, indices, distances, now)
+            if not request.future.done():
+                request.future.set_result((indices, distances, meta))
+
+    def _resolve_exhausted(
+        self, group: list[PendingRequest], last_error, loop
+    ) -> None:
+        """Attempts are gone: stale cache is the last resort, else fail."""
+        now = loop.time()
+        for request in group:
+            if request.future.done():
+                continue
+            hit = self.cache.get(request.signature, now=now, allow_stale=True)
+            if hit is not None:
+                entry, _fresh = hit
+                self._count(
+                    "stale_served", metric_names.SERVE_CACHE_STALE_SERVED
+                )
+                meta = {
+                    "source": "cache_stale",
+                    "degraded": True,
+                    "replica": None,
+                    "attempts": self.config.max_attempts,
+                }
+                request.future.set_result(
+                    (entry.indices.copy(), entry.distances.copy(), meta)
+                )
+                continue
+            request.future.set_exception(
+                RequestFailed(
+                    "request exhausted retries, failover, and degraded "
+                    f"fallbacks (last error: {last_error!r})"
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Degradation state machine
+    # ------------------------------------------------------------------
+    def _update_overload(self, depth: int) -> None:
+        if depth >= self._overload_enter:
+            self._set_degraded("overload", True)
+        elif depth <= self._overload_exit:
+            self._set_degraded("overload", False)
+
+    def _update_health(self) -> None:
+        healthy = self.replica_set.healthy_count()
+        self._set_degraded("replica_loss", healthy < self._min_healthy)
+
+    def _set_degraded(self, reason: str, active: bool) -> None:
+        before = bool(self._degraded_reasons)
+        if active:
+            self._degraded_reasons.add(reason)
+        else:
+            self._degraded_reasons.discard(reason)
+        after = bool(self._degraded_reasons)
+        if before == after:
+            return
+        self.counts["degraded_transitions"] += 1
+        obs = get_obs()
+        if obs.enabled:
+            obs.registry.counter(
+                metric_names.SERVE_DEGRADED_TRANSITIONS
+            ).inc()
+            obs.registry.gauge(metric_names.SERVE_DEGRADED_ACTIVE).set(
+                1.0 if after else 0.0
+            )
+        if after:
+            reasons = ", ".join(sorted(self._degraded_reasons))
+            self._emit(f"degraded mode entered ({reasons})")
+        else:
+            self._emit("degraded mode exited")
+
+    def _emit(self, line: str) -> None:
+        self.events.append(line)
+        if self._on_event is not None:
+            self._on_event(line)
+
+    def _count(self, key: str, metric: str) -> None:
+        self.counts[key] += 1
+        obs = get_obs()
+        if obs.enabled:
+            obs.registry.counter(metric).inc()
+
+    def _backoff_delay(self, attempt: int) -> float:
+        cfg = self.config
+        base = cfg.backoff_base_s * (cfg.backoff_factor ** max(0, attempt - 1))
+        jitter = 1.0 + cfg.backoff_jitter * (2.0 * float(self._rng.random()) - 1.0)
+        return max(0.0, base * jitter)
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        interval = self.config.heartbeat_interval_s
+        assert interval is not None
+        while True:
+            await asyncio.sleep(interval)
+            await self._heartbeat_once()
+
+    async def _heartbeat_once(self) -> None:
+        """Ping every replica concurrently; apply outcomes on the loop."""
+        loop = asyncio.get_running_loop()
+
+        async def ping(replica: Replica) -> tuple[int, bool]:
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(None, replica.ping),
+                    timeout=self.config.attempt_timeout_s,
+                )
+            except Exception:
+                return replica.replica_id, False
+            return replica.replica_id, True
+
+        outcomes = await asyncio.gather(
+            *(ping(replica) for replica in self.replica_set.replicas)
+        )
+        now = loop.time()
+        for replica_id, alive in outcomes:
+            breaker = self.replica_set.breaker_for(replica_id)
+            was = self.replica_set.states.get(replica_id)
+            if alive:
+                breaker.record_success(now)
+                self.replica_set.mark_healthy(replica_id)
+                if was == "dead":
+                    self._emit(f"replica {replica_id} revived by heartbeat")
+            else:
+                breaker.record_failure(now)
+                if was != "dead":
+                    self._emit(f"replica {replica_id} failed heartbeat")
+                self.replica_set.mark_dead(replica_id)
+        self._update_health()

@@ -1,0 +1,214 @@
+"""Traffic generation and latency reporting for the serving daemon.
+
+Two canonical load shapes:
+
+- **Closed loop** (:meth:`TrafficGenerator.run_closed`) — ``clients``
+  concurrent workers, each submitting its next request the moment the
+  previous one answers. Throughput is whatever the daemon sustains;
+  latency under this shape measures service time plus queueing from the
+  fixed concurrency.
+- **Open loop** (:meth:`TrafficGenerator.run_open`) — requests arrive on a
+  fixed schedule (``qps``) regardless of completions, the shape that
+  exposes queue buildup and shedding: a daemon slower than the arrival
+  rate cannot hide it by slowing the clients down.
+
+Queries are drawn from a seeded pool (``make_rng``), so two runs submit
+the identical request sequence. The collected :class:`LoadReport` computes
+p50/p95/p99 latency and QPS from the raw per-request records — these are
+the numbers the bench ``serve`` phase persists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import make_rng
+
+__all__ = ["LoadReport", "RequestRecord", "TrafficGenerator"]
+
+
+@dataclass
+class RequestRecord:
+    """One submitted request's fate."""
+
+    index: int
+    ok: bool
+    latency_s: float
+    source: str  # "engine" | "cache" | "cache_stale" | "" on failure
+    degraded: bool
+    error: str = ""
+
+
+@dataclass
+class LoadReport:
+    """Aggregate view of one traffic run."""
+
+    records: list[RequestRecord]
+    wall_s: float
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_requests - self.n_ok
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for r in self.records if r.ok and r.degraded)
+
+    @property
+    def qps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.n_ok / self.wall_s
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (seconds) over *successful* requests."""
+        latencies = [r.latency_s for r in self.records if r.ok]
+        if not latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(latencies, dtype=np.float64), q))
+
+    def as_dict(self) -> dict:
+        """The bench-schema payload for a ``serve`` phase."""
+        return {
+            "requests": self.n_requests,
+            "ok": self.n_ok,
+            "failed": self.n_failed,
+            "degraded": self.n_degraded,
+            "wall_s": self.wall_s,
+            "qps": self.qps,
+            "latency_p50_ms": self.latency_percentile(50) * 1e3,
+            "latency_p95_ms": self.latency_percentile(95) * 1e3,
+            "latency_p99_ms": self.latency_percentile(99) * 1e3,
+        }
+
+    def summary_lines(self) -> list[str]:
+        stats = self.as_dict()
+        return [
+            f"requests: {stats['requests']}  ok: {stats['ok']}  "
+            f"failed: {stats['failed']}  degraded: {stats['degraded']}",
+            f"qps: {stats['qps']:.1f}  wall: {stats['wall_s']:.3f}s",
+            "latency ms  p50: {:.3f}  p95: {:.3f}  p99: {:.3f}".format(
+                stats["latency_p50_ms"],
+                stats["latency_p95_ms"],
+                stats["latency_p99_ms"],
+            ),
+        ]
+
+
+class TrafficGenerator:
+    """Seeded query traffic against one :class:`ServingDaemon`.
+
+    ``query_pool`` rows are the candidate queries; each request draws a
+    row (with replacement) from a ``make_rng(seed)`` stream, so the exact
+    request sequence replays across runs and processes.
+    """
+
+    def __init__(
+        self,
+        daemon,
+        query_pool: np.ndarray,
+        *,
+        k: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        query_pool = np.asarray(query_pool, dtype=np.float64)
+        if query_pool.ndim != 2 or len(query_pool) == 0:
+            raise ValueError("query_pool must be a non-empty (n, dim) array")
+        self.daemon = daemon
+        self.query_pool = query_pool
+        self.k = k
+        self._order: np.ndarray | None = None
+        self.seed = seed
+
+    def _schedule(self, n_requests: int) -> np.ndarray:
+        rng = make_rng(self.seed)
+        return rng.integers(0, len(self.query_pool), size=n_requests)
+
+    async def _one(self, index: int, pool_row: int) -> RequestRecord:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            result = await self.daemon.submit(
+                self.query_pool[pool_row], k=self.k
+            )
+        except Exception as exc:
+            return RequestRecord(
+                index=index,
+                ok=False,
+                latency_s=loop.time() - start,
+                source="",
+                degraded=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return RequestRecord(
+            index=index,
+            ok=True,
+            latency_s=result.latency_s,
+            source=result.source,
+            degraded=result.degraded,
+        )
+
+    async def run_closed(
+        self, n_requests: int, clients: int = 8
+    ) -> LoadReport:
+        """Closed loop: ``clients`` workers, back-to-back requests each."""
+        if n_requests < 1:
+            raise ValueError("n_requests must be at least 1")
+        if clients < 1:
+            raise ValueError("clients must be at least 1")
+        schedule = self._schedule(n_requests)
+        loop = asyncio.get_running_loop()
+        next_index = 0
+        records: list[RequestRecord] = []
+
+        async def worker() -> None:
+            nonlocal next_index
+            while True:
+                index = next_index
+                if index >= n_requests:
+                    return
+                next_index += 1
+                records.append(await self._one(index, int(schedule[index])))
+
+        start = loop.time()
+        await asyncio.gather(
+            *(worker() for _ in range(min(clients, n_requests)))
+        )
+        wall = loop.time() - start
+        records.sort(key=lambda r: r.index)
+        return LoadReport(records=records, wall_s=wall)
+
+    async def run_open(self, qps: float, n_requests: int) -> LoadReport:
+        """Open loop: fixed arrival rate, completions be damned."""
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if n_requests < 1:
+            raise ValueError("n_requests must be at least 1")
+        schedule = self._schedule(n_requests)
+        loop = asyncio.get_running_loop()
+        interval = 1.0 / qps
+        start = loop.time()
+        tasks: list[asyncio.Task] = []
+        for index in range(n_requests):
+            target = start + index * interval
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                asyncio.create_task(self._one(index, int(schedule[index])))
+            )
+        records = list(await asyncio.gather(*tasks))
+        wall = loop.time() - start
+        records.sort(key=lambda r: r.index)
+        return LoadReport(records=records, wall_s=wall)

@@ -36,7 +36,9 @@ class TestRunBench:
 
     def test_phases_have_positive_wall_times(self, results):
         phases = results["profiles"][bench.TINY_PROFILE]["phases"]
-        assert set(phases) == {"train_step", "train", "encode", "index_build", "query"}
+        assert set(phases) == {
+            "train_step", "train", "encode", "index_build", "query", "serve",
+        }
         for name, phase in phases.items():
             assert phase["wall_time_s"] > 0, name
 
@@ -60,6 +62,21 @@ class TestRunBench:
         ]["latency_s"]
         assert latency["count"] > 0
         assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_serve_phase_schema(self, results):
+        # Schema v3: the serve phase records a fault-free closed-loop
+        # load test through the serving daemon.
+        serve = results["profiles"][bench.TINY_PROFILE]["phases"]["serve"]
+        assert serve["failed"] == 0
+        assert serve["ok"] == serve["requests"] > 0
+        assert serve["qps"] > 0
+        assert serve["replicas"] >= 1 and serve["clients"] >= 1
+        assert (
+            0
+            < serve["latency_p50_ms"]
+            <= serve["latency_p95_ms"]
+            <= serve["latency_p99_ms"]
+        )
 
     def test_train_step_throughput(self, results):
         train = results["profiles"][bench.TINY_PROFILE]["phases"]["train_step"]
@@ -93,6 +110,22 @@ class TestReporting:
         text = bench.compare_results(results, results)
         assert bench.TINY_PROFILE in text
         assert "+0.0%" in text or "0.0%" in text
+
+    def test_compare_includes_serve_rows(self, results):
+        text = bench.compare_results(results, results)
+        assert "serve qps" in text
+        assert "serve p99 ms" in text
+
+    def test_compare_tolerates_pre_v3_runs(self, results):
+        # A v2-style run (no serve phase) must still compare cleanly.
+        import copy
+
+        old = copy.deepcopy(results)
+        for entry in old["profiles"].values():
+            entry["phases"].pop("serve")
+        text = bench.compare_results(old, results)
+        assert bench.TINY_PROFILE in text
+        assert "serve qps" not in text
 
 
 class TestCli:

@@ -103,3 +103,161 @@ class TestStorageFaults:
             handle.write(bytes(8))
         with pytest.raises(ValueError):
             flip_bytes(path)
+
+
+class TestSlowReplicaFault:
+    def test_fires_only_at_targeted_calls(self):
+        from repro.resilience.faults import SlowReplicaFault
+
+        fault = SlowReplicaFault(replica=1, delay_s=0.0, at=[2, 4])
+        for call in range(1, 6):
+            fault.before_scan(1, call)
+        assert fault.fired == [(1, 2), (1, 4)]
+
+    def test_other_replicas_are_untouched(self):
+        from repro.resilience.faults import SlowReplicaFault
+
+        fault = SlowReplicaFault(replica=0, delay_s=0.0)
+        fault.before_scan(1, 1)
+        assert fault.fired == []
+
+    def test_every_n_calls(self):
+        from repro.resilience.faults import SlowReplicaFault
+
+        fault = SlowReplicaFault(replica=0, delay_s=0.0, every=3)
+        for call in range(1, 10):
+            fault.before_scan(0, call)
+        assert [c for _, c in fault.fired] == [3, 6, 9]
+
+    def test_default_is_always(self):
+        from repro.resilience.faults import SlowReplicaFault
+
+        fault = SlowReplicaFault(replica=0, delay_s=0.0)
+        for call in (1, 2, 3):
+            fault.before_scan(0, call)
+        assert len(fault.fired) == 3
+
+    def test_actually_sleeps(self):
+        import time as time_mod
+
+        from repro.resilience.faults import SlowReplicaFault
+
+        fault = SlowReplicaFault(replica=0, delay_s=0.05, at=[1])
+        start = time_mod.perf_counter()
+        fault.before_scan(0, 1)
+        assert time_mod.perf_counter() - start >= 0.05
+
+    def test_validation(self):
+        from repro.resilience.faults import SlowReplicaFault
+
+        with pytest.raises(ValueError):
+            SlowReplicaFault(replica=0, delay_s=-0.1)
+        with pytest.raises(ValueError):
+            SlowReplicaFault(replica=0, delay_s=0.1, every=0)
+
+
+class TestReplicaKillFault:
+    def test_dead_from_at_call_onwards(self):
+        from repro.resilience.faults import ReplicaCrash, ReplicaKillFault
+
+        fault = ReplicaKillFault(replica=0, at_call=3)
+        fault.before_scan(0, 1)
+        fault.before_scan(0, 2)
+        for call in (3, 4, 5):
+            with pytest.raises(ReplicaCrash):
+                fault.before_scan(0, call)
+        fault.before_scan(1, 3)  # other replicas are fine
+
+    def test_revive_window(self):
+        from repro.resilience.faults import ReplicaCrash, ReplicaKillFault
+
+        fault = ReplicaKillFault(replica=0, at_call=2, revive_at=4)
+        fault.before_scan(0, 1)
+        with pytest.raises(ReplicaCrash):
+            fault.before_scan(0, 2)
+        with pytest.raises(ReplicaCrash):
+            fault.before_scan(0, 3)
+        fault.before_scan(0, 4)  # supervisor restarted it
+        assert [c for _, c in fault.fired] == [2, 3]
+
+    def test_validation(self):
+        from repro.resilience.faults import ReplicaKillFault
+
+        with pytest.raises(ValueError):
+            ReplicaKillFault(replica=0, at_call=0)
+        with pytest.raises(ValueError):
+            ReplicaKillFault(replica=0, at_call=3, revive_at=3)
+
+
+class TestCorruptResponseFault:
+    def _response(self):
+        import numpy as np
+
+        indices = np.arange(12).reshape(3, 4)
+        distances = np.sort(np.linspace(0.1, 1.2, 12)).reshape(3, 4)
+        return indices, distances
+
+    def test_is_deterministic(self):
+        from repro.resilience.faults import CorruptResponseFault
+
+        indices, distances = self._response()
+        a = CorruptResponseFault(replica=0, at=[1], seed=9)
+        b = CorruptResponseFault(replica=0, at=[1], seed=9)
+        ia, da = a.transform_response(0, 1, indices, distances)
+        ib, db = b.transform_response(0, 1, indices, distances)
+        import numpy as np
+
+        assert np.array_equal(ia, ib) and np.array_equal(da, db)
+
+    def test_mutates_copies_not_originals(self):
+        import numpy as np
+
+        from repro.resilience.faults import CorruptResponseFault
+
+        indices, distances = self._response()
+        original = indices.copy()
+        fault = CorruptResponseFault(replica=0, at=[1], count=3)
+        mutated_i, mutated_d = fault.transform_response(0, 1, indices, distances)
+        assert np.array_equal(indices, original)  # input untouched
+        assert (mutated_d == -1.0).sum() == 3
+        assert (mutated_i != original).sum() >= 1  # some bit actually flipped
+
+    def test_untargeted_calls_pass_through_unchanged(self):
+        from repro.resilience.faults import CorruptResponseFault
+
+        indices, distances = self._response()
+        fault = CorruptResponseFault(replica=0, at=[5])
+        got_i, got_d = fault.transform_response(0, 1, indices, distances)
+        assert got_i is indices and got_d is distances
+        got_i, got_d = fault.transform_response(1, 5, indices, distances)
+        assert got_i is indices
+        assert fault.fired == []
+
+
+class TestServingFaultsBundle:
+    def test_composes_hooks_and_duck_typing(self):
+        import numpy as np
+
+        from repro.resilience.faults import (
+            CorruptResponseFault,
+            ReplicaCrash,
+            ReplicaKillFault,
+            ServingFaults,
+            SlowReplicaFault,
+        )
+
+        plan = ServingFaults(
+            SlowReplicaFault(replica=0, delay_s=0.0, at=[1])
+        ).add(ReplicaKillFault(replica=0, at_call=2)).add(
+            CorruptResponseFault(replica=1, at=[1])
+        )
+        plan.before_scan(0, 1)  # slow fault fires, kill doesn't (call 1)
+        with pytest.raises(ReplicaCrash):
+            plan.before_scan(0, 2)
+        indices = np.arange(6).reshape(2, 3)
+        distances = np.linspace(0.1, 0.6, 6).reshape(2, 3)
+        got_i, _ = plan.transform_response(1, 1, indices, distances)
+        assert not np.array_equal(got_i, indices)
+        # Faults without a transform hook are skipped, not an error.
+        got_i, _ = plan.transform_response(0, 1, indices, distances)
+        assert np.array_equal(got_i, indices)

@@ -236,3 +236,105 @@ class TestIndexDelegation:
         with QueryEngine(other) as engine:
             with pytest.raises(ValueError, match="geometry"):
                 index.search(queries, k=5, engine=engine)
+
+
+def _hang_scan_shard(args):
+    """Stand-in pool worker that never answers (dead/hung worker)."""
+    import time as _time
+
+    _time.sleep(60)
+
+
+def _crash_scan_shard(args):
+    """Stand-in pool worker that dies mid-dispatch."""
+    raise RuntimeError("simulated worker crash")
+
+
+class TestEnginePoolFallback:
+    def test_hung_workers_fall_back_to_serial_scan(self, monkeypatch):
+        import repro.retrieval.engine as engine_mod
+
+        index, queries = make_index()
+        want = serial_topk(index, queries, 5)
+        with QueryEngine(index, workers=2, num_shards=4, parallel="force",
+                         task_timeout_s=0.3) as engine:
+            with monkeypatch.context() as patched:
+                # Fork start method: patching the parent's module function
+                # before the pool is created propagates to the children.
+                patched.setattr(engine_mod, "_pool_scan_shard", _hang_scan_shard)
+                got = engine.search(queries, k=5)
+            assert engine.last_dispatch == "in-process-fallback"
+            assert np.array_equal(got, want)
+            assert engine._pool is None  # the hung pool was terminated
+            # The engine recovers: the next dispatch rebuilds a healthy
+            # pool over the same shared-memory buffers.
+            again = engine.search(queries, k=5)
+            assert engine.last_dispatch == "process-pool"
+            assert np.array_equal(again, want)
+
+    def test_worker_exception_mid_dispatch_falls_back(self, monkeypatch):
+        import repro.retrieval.engine as engine_mod
+
+        index, queries = make_index(seed=2)
+        want = serial_topk(index, queries, 7)
+        with QueryEngine(index, workers=2, num_shards=4,
+                         parallel="force") as engine:
+            with monkeypatch.context() as patched:
+                patched.setattr(engine_mod, "_pool_scan_shard", _crash_scan_shard)
+                got = engine.search(queries, k=7)
+            assert engine.last_dispatch == "in-process-fallback"
+            assert np.array_equal(got, want)
+            assert engine._pool is None
+
+    def test_fallback_increments_obs_counter(self, monkeypatch):
+        import repro.obs as obs
+        from repro.obs import names as metric_names
+        import repro.retrieval.engine as engine_mod
+
+        index, queries = make_index(seed=3)
+        handle = obs.enable_observability()
+        try:
+            with QueryEngine(index, workers=2, num_shards=2, parallel="force",
+                             task_timeout_s=0.3) as engine:
+                with monkeypatch.context() as patched:
+                    patched.setattr(
+                        engine_mod, "_pool_scan_shard", _crash_scan_shard
+                    )
+                    engine.search(queries, k=5)
+            counter = handle.registry.counter(metric_names.ENGINE_POOL_FALLBACKS)
+            assert counter.value == 1
+        finally:
+            obs.disable_observability()
+
+    def test_task_timeout_validation(self):
+        index, _ = make_index()
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            QueryEngine(index, task_timeout_s=0.0)
+        engine = QueryEngine(index, task_timeout_s=None)  # None disables it
+        engine.close()
+
+
+class TestRerankOverride:
+    def test_per_call_override_matches_constructor_setting(self):
+        index, queries = make_index(seed=4)
+        with QueryEngine(index, rerank=True) as on, \
+                QueryEngine(index, rerank=False) as off:
+            for k in (1, 5, 20):
+                got_i, got_d = on.search_with_distances(
+                    queries, k=k, rerank=False
+                )
+                want_i, want_d = off.search_with_distances(queries, k=k)
+                assert np.array_equal(got_i, want_i)
+                assert np.array_equal(got_d, want_d)
+                got_i, got_d = off.search_with_distances(
+                    queries, k=k, rerank=True
+                )
+                want_i, want_d = on.search_with_distances(queries, k=k)
+                assert np.array_equal(got_i, want_i)
+                assert np.array_equal(got_d, want_d)
+
+    def test_override_none_keeps_engine_default(self):
+        index, queries = make_index(seed=6)
+        with QueryEngine(index, rerank=True) as engine:
+            base = engine.search(queries, k=10)
+            assert np.array_equal(engine.search(queries, k=10, rerank=None), base)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the serving-daemon suite: one small real index."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.index import QuantizedIndex
+
+
+def build_index(seed=0, n_db=200, m=3, k_words=16, dim=6):
+    rng = np.random.default_rng(seed)
+    codebooks = rng.normal(size=(m, k_words, dim))
+    codes = rng.integers(0, k_words, size=(n_db, m))
+    index = QuantizedIndex.build(
+        codebooks, rng.normal(size=(n_db, dim)), codes=codes
+    )
+    return index, rng.normal(size=(12, dim))
+
+
+@pytest.fixture(scope="module")
+def served_index():
+    """(index, query_pool) — module-scoped, treat as read-only."""
+    return build_index()

@@ -1,0 +1,87 @@
+"""Circuit-breaker state machine tests — driven by a literal fake clock."""
+
+import pytest
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker():
+    return CircuitBreaker(failure_threshold=3, cooldown_s=1.0)
+
+
+class TestClosedState:
+    def test_allows_by_default(self):
+        breaker = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow(0.0)
+        assert breaker.would_allow(0.0)
+
+    def test_stays_closed_below_threshold(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state == CLOSED
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state == CLOSED
+
+
+class TestOpenSchedule:
+    def test_opens_at_threshold_and_refuses_during_cooldown(self):
+        breaker = make_breaker()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.state == OPEN
+        assert breaker.opens_total == 1
+        assert not breaker.would_allow(0.3)
+        assert not breaker.allow(1.19)  # cooldown runs from the open at 0.2
+
+    def test_half_opens_exactly_after_cooldown(self):
+        breaker = make_breaker()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.would_allow(1.2)  # 0.2 + cooldown 1.0
+        assert breaker.allow(1.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_a_single_probe(self):
+        breaker = make_breaker()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.allow(1.5)
+        assert not breaker.allow(1.6)  # probe slot already claimed
+        assert not breaker.would_allow(1.6)
+
+    def test_probe_success_closes(self):
+        breaker = make_breaker()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.allow(1.5)
+        breaker.record_success(1.6)
+        assert breaker.state == CLOSED
+        assert breaker.allow(1.7)
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        breaker = make_breaker()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.6)
+        assert breaker.state == OPEN
+        assert breaker.opens_total == 2
+        assert not breaker.would_allow(2.5)  # 1.6 + 1.0 = 2.6
+        assert breaker.would_allow(2.6)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0.0)

@@ -1,0 +1,79 @@
+"""Tests for the LRU/TTL result cache and query signatures."""
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import ResultCache, query_signature
+
+
+class TestQuerySignature:
+    def test_dtype_and_layout_canonicalised(self):
+        query = np.arange(8, dtype=np.float64)
+        wide = np.zeros((8, 2))
+        wide[:, 0] = query
+        assert query_signature(query, 5) == query_signature(
+            query.astype(np.float32), 5
+        )
+        assert query_signature(query, 5) == query_signature(wide[:, 0], 5)
+
+    def test_k_is_part_of_the_key(self):
+        query = np.arange(8, dtype=np.float64)
+        assert query_signature(query, 5) != query_signature(query, 6)
+
+    def test_different_vectors_differ(self):
+        a = np.arange(8, dtype=np.float64)
+        b = a.copy()
+        b[3] += 1e-9
+        assert query_signature(a, 5) != query_signature(b, 5)
+
+
+class TestResultCache:
+    def _put(self, cache, key, now, tag=0.0):
+        cache.put(key, np.array([1, 2]), np.array([0.1, 0.2 + tag]), now)
+
+    def test_fresh_roundtrip_copies(self):
+        cache = ResultCache(capacity=4, ttl_s=1.0)
+        indices = np.array([3, 1])
+        cache.put("a", indices, np.array([0.5, 0.7]), now=0.0)
+        indices[0] = 99  # caller's array mutates; the entry must not
+        entry, fresh = cache.get("a", now=0.5)
+        assert fresh
+        assert entry.indices.tolist() == [3, 1]
+
+    def test_miss_returns_none(self):
+        cache = ResultCache(capacity=4, ttl_s=1.0)
+        assert cache.get("missing", now=0.0) is None
+
+    def test_ttl_expiry_hidden_then_visible_with_allow_stale(self):
+        cache = ResultCache(capacity=4, ttl_s=1.0)
+        self._put(cache, "a", now=0.0)
+        assert cache.get("a", now=1.0) is not None  # exactly at ttl: fresh
+        assert cache.get("a", now=1.01) is None
+        stale = cache.get("a", now=1.01, allow_stale=True)
+        assert stale is not None
+        entry, fresh = stale
+        assert not fresh
+        assert "a" in cache  # stale entries stay until LRU eviction
+
+    def test_put_revalidates_stale_entry(self):
+        cache = ResultCache(capacity=4, ttl_s=1.0)
+        self._put(cache, "a", now=0.0)
+        assert cache.get("a", now=5.0) is None
+        self._put(cache, "a", now=5.0, tag=1.0)
+        entry, fresh = cache.get("a", now=5.5)
+        assert fresh
+        assert entry.distances[1] == pytest.approx(1.2)
+
+    def test_lru_eviction_respects_recency(self):
+        cache = ResultCache(capacity=2, ttl_s=10.0)
+        self._put(cache, "a", now=0.0)
+        self._put(cache, "b", now=1.0)
+        cache.get("a", now=2.0)  # refresh a → b is now LRU
+        self._put(cache, "c", now=3.0)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_s=0.0)

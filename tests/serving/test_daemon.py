@@ -1,0 +1,489 @@
+"""End-to-end daemon tests: failover, deadlines, degradation, shutdown.
+
+No pytest-asyncio in the toolchain, so every test drives its coroutine
+with ``asyncio.run`` — each test gets a fresh event loop, which also
+guarantees no daemon state leaks between tests.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    CorruptResponseFault,
+    ReplicaKillFault,
+    ServingFaults,
+    SlowReplicaFault,
+)
+from repro.retrieval.engine import QueryEngine
+from repro.serving import (
+    Overloaded,
+    RequestFailed,
+    ServingConfig,
+    ServingDaemon,
+)
+
+from tests.serving.conftest import build_index
+
+
+def quiet_config(**overrides):
+    """Heartbeats off and tight timeouts: deterministic, fast tests."""
+    defaults = dict(
+        heartbeat_interval_s=None,
+        request_timeout_s=1.0,
+        attempt_timeout_s=0.3,
+        backoff_base_s=0.001,
+        cache_ttl_s=30.0,
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+def exact_answers(index, pool, k=10):
+    engine = QueryEngine(index, parallel="never")
+    indices, distances = engine.search_with_distances(pool, k=k)
+    engine.close()
+    return indices, distances
+
+
+class TestHealthyServing:
+    def test_results_match_exact_engine_scan(self, served_index):
+        index, pool = served_index
+        want_i, want_d = exact_answers(index, pool)
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=2, config=quiet_config()
+            ) as daemon:
+                results = await asyncio.gather(
+                    *(daemon.submit(pool[row], k=10) for row in range(len(pool)))
+                )
+            return results
+
+        results = asyncio.run(run())
+        for row, result in enumerate(results):
+            assert not result.degraded
+            assert result.source == "engine"
+            assert np.array_equal(result.indices, want_i[row])
+            assert np.allclose(result.distances, want_d[row])
+
+    def test_concurrent_submits_batch_and_cache(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=1, config=quiet_config()
+            ) as daemon:
+                await daemon.submit(pool[0], k=10)
+                repeat = await daemon.submit(pool[0], k=10)
+                return daemon, repeat
+
+        daemon, repeat = asyncio.run(run())
+        assert repeat.source == "cache"
+        assert daemon.counts["cache_hits"] == 1
+        assert daemon.counts["ok"] == 2
+
+    def test_submit_validation(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=1, config=quiet_config()
+            ) as daemon:
+                with pytest.raises(ValueError):
+                    await daemon.submit(pool[0], k=0)
+                with pytest.raises(ValueError):
+                    await daemon.submit(pool[0][:3], k=5)
+
+        asyncio.run(run())
+
+    def test_rejects_after_stop(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            daemon = ServingDaemon(index, num_replicas=1, config=quiet_config())
+            await daemon.start()
+            await daemon.stop()
+            with pytest.raises(RuntimeError):
+                await daemon.submit(pool[0], k=5)
+
+        asyncio.run(run())
+
+
+class TestFailover:
+    def test_replica_killed_mid_run_completes_with_correct_topk(
+        self, served_index
+    ):
+        index, pool = served_index
+        want_i, _ = exact_answers(index, pool)
+        faults = ServingFaults(ReplicaKillFault(replica=0, at_call=1))
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=2, config=quiet_config(), faults=faults
+            ) as daemon:
+                results = await asyncio.gather(
+                    *(daemon.submit(pool[row], k=10) for row in range(len(pool)))
+                )
+                return daemon, results
+
+        daemon, results = asyncio.run(run())
+        for row, result in enumerate(results):
+            assert np.array_equal(result.indices, want_i[row])
+            assert result.replica in (1, None)  # engine scans came from r1
+        assert daemon.counts["failovers"] >= 1
+        assert daemon.replica_set.states[0] == "dead"
+        assert any("crashed" in event for event in daemon.events)
+
+    def test_corrupted_response_fails_over_to_clean_replica(self, served_index):
+        index, pool = served_index
+        want_i, _ = exact_answers(index, pool[:1], k=5)
+        faults = ServingFaults(
+            CorruptResponseFault(replica=0, at=[1, 2, 3, 4], seed=7)
+        )
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=2, config=quiet_config(), faults=faults
+            ) as daemon:
+                result = await daemon.submit(pool[0], k=5)
+                return daemon, result
+
+        daemon, result = asyncio.run(run())
+        assert np.array_equal(result.indices, want_i[0])
+        # Either replica may be tried first (rotation); if 0 went first the
+        # corruption was detected and the request still succeeded.
+        assert result.replica == 1
+
+    def test_all_replicas_down_raises_request_failed(self, served_index):
+        index, pool = served_index
+        faults = ServingFaults(
+            ReplicaKillFault(replica=0, at_call=1),
+            ReplicaKillFault(replica=1, at_call=1),
+        )
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(request_timeout_s=0.5, max_attempts=3),
+                faults=faults,
+            ) as daemon:
+                with pytest.raises(RequestFailed):
+                    await daemon.submit(pool[0], k=5)
+                return daemon
+
+        daemon = asyncio.run(run())
+        assert daemon.counts["failed"] == 1
+        assert daemon.counts["retries"] >= 1
+
+
+class TestDeadlineRetryHedge:
+    def test_slow_primary_is_hedged_and_answer_comes_from_the_hedge(
+        self, served_index
+    ):
+        index, pool = served_index
+        want_i, _ = exact_answers(index, pool[:1], k=5)
+        # Every scan on replica 0 stalls well past the hedge trigger but
+        # inside the attempt budget — only the hedge can answer quickly.
+        faults = ServingFaults(SlowReplicaFault(replica=0, delay_s=0.25))
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(
+                    attempt_timeout_s=0.6,
+                    hedge_after_s=0.02,
+                    request_timeout_s=2.0,
+                ),
+                faults=faults,
+            ) as daemon:
+                # Pin the rotation so replica 0 is tried first.
+                daemon.replica_set._rotation = 0
+                result = await daemon.submit(pool[0], k=5)
+                return daemon, result
+
+        daemon, result = asyncio.run(run())
+        assert np.array_equal(result.indices, want_i[0])
+        assert result.replica == 1
+        assert daemon.counts["hedges"] == 1
+        assert result.attempts == 1  # the hedge rode inside attempt one
+
+    def test_timeout_then_retry_sequencing(self, served_index):
+        index, pool = served_index
+        want_i, _ = exact_answers(index, pool[:1], k=5)
+        # Replica 0's first scan blows the attempt budget; hedging is off,
+        # so the daemon must time the attempt out and retry on replica 1.
+        faults = ServingFaults(SlowReplicaFault(replica=0, delay_s=0.3))
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(
+                    attempt_timeout_s=0.05,
+                    hedge_after_s=None,
+                    request_timeout_s=2.0,
+                ),
+                faults=faults,
+            ) as daemon:
+                daemon.replica_set._rotation = 0
+                result = await daemon.submit(pool[0], k=5)
+                return daemon, result
+
+        daemon, result = asyncio.run(run())
+        assert np.array_equal(result.indices, want_i[0])
+        assert result.replica == 1
+        assert result.attempts == 2
+        assert daemon.counts["retries"] == 1
+        assert daemon.counts["hedges"] == 0
+
+    def test_deadline_is_respected_when_everything_is_slow(self, served_index):
+        index, pool = served_index
+        faults = ServingFaults(
+            SlowReplicaFault(replica=0, delay_s=0.4),
+            SlowReplicaFault(replica=1, delay_s=0.4),
+        )
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(
+                    attempt_timeout_s=0.08,
+                    hedge_after_s=None,
+                    request_timeout_s=0.25,
+                    max_attempts=10,
+                ),
+                faults=faults,
+            ) as daemon:
+                loop = asyncio.get_running_loop()
+                start = loop.time()
+                with pytest.raises(RequestFailed):
+                    await daemon.submit(pool[0], k=5)
+                return loop.time() - start
+
+        elapsed = asyncio.run(run())
+        # Bounded by the request deadline, not 10 full attempt budgets.
+        assert elapsed < 1.5
+
+
+class TestBreakerIntegration:
+    def test_repeated_failures_open_the_replica_breaker(self, served_index):
+        index, pool = served_index
+        # Corruption (unlike a crash) keeps the replica in rotation, so the
+        # breaker — not liveness — is what must quarantine it.
+        faults = ServingFaults(
+            CorruptResponseFault(replica=0, at=range(1, 50))
+        )
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(
+                    breaker_failure_threshold=2, breaker_cooldown_s=60.0
+                ),
+                faults=faults,
+            ) as daemon:
+                for row in range(6):
+                    await daemon.submit(pool[row], k=5)
+                return daemon
+
+        daemon = asyncio.run(run())
+        breaker = daemon.replica_set.breaker_for(0)
+        assert breaker.state == "open"
+        assert breaker.opens_total >= 1
+        assert daemon.replica_set.states[0] == "healthy"  # corrupt, not dead
+        # With the breaker open and a long cooldown, replica 0 stopped
+        # being scanned after its second corrupt response.
+        assert daemon.replica_set.replicas[0].calls <= 3
+        assert daemon.counts["ok"] == 6  # every request still answered
+
+
+class TestDegradation:
+    def test_stale_cache_served_when_replicas_die_and_revalidates_on_recovery(
+        self, served_index
+    ):
+        index, pool = served_index
+        want_i, _ = exact_answers(index, pool[:1], k=5)
+
+        async def run():
+            daemon = ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(
+                    cache_ttl_s=0.01,
+                    request_timeout_s=0.4,
+                    attempt_timeout_s=0.1,
+                    max_attempts=2,
+                ),
+            )
+            async with daemon:
+                first = await daemon.submit(pool[0], k=5)
+                await asyncio.sleep(0.03)  # let the entry expire
+                # Kill both replicas from here on.
+                for replica in daemon.replica_set.replicas:
+                    replica.faults = ServingFaults(
+                        ReplicaKillFault(replica=replica.replica_id, at_call=1)
+                    )
+                stale = await daemon.submit(pool[0], k=5)
+                assert stale.source == "cache_stale"
+                assert stale.degraded
+                assert np.array_equal(stale.indices, first.indices)
+                # Recovery: clear the faults, let heartbeats revive both.
+                for replica in daemon.replica_set.replicas:
+                    replica.faults = None
+                await daemon._heartbeat_once()
+                assert daemon.replica_set.healthy_count() == 2
+                fresh = await daemon.submit(pool[0], k=5)
+                assert fresh.source == "engine"
+                revalidated = await daemon.submit(pool[0], k=5)
+                assert revalidated.source == "cache"
+                assert not revalidated.degraded
+                return daemon, stale
+
+        daemon, stale = asyncio.run(run())
+        assert np.array_equal(stale.indices, want_i[0])
+        assert daemon.counts["stale_served"] == 1
+
+    def test_replica_loss_enters_and_exits_degraded_mode(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            daemon = ServingDaemon(
+                index,
+                num_replicas=2,
+                config=quiet_config(degrade_min_healthy=2),
+            )
+            async with daemon:
+                daemon.replica_set.replicas[0].faults = ServingFaults(
+                    ReplicaKillFault(replica=0, at_call=1)
+                )
+                await daemon._heartbeat_once()
+                assert daemon.degraded
+                assert "replica_loss" in daemon.degraded_reasons
+                degraded_result = await daemon.submit(pool[0], k=5)
+                assert degraded_result.degraded
+                daemon.replica_set.replicas[0].faults = None
+                await daemon._heartbeat_once()
+                assert not daemon.degraded
+                return daemon, degraded_result
+
+        daemon, degraded_result = asyncio.run(run())
+        assert daemon.counts["degraded_transitions"] == 2
+        assert any("degraded mode entered" in e for e in daemon.events)
+        assert any("degraded mode exited" in e for e in daemon.events)
+
+    def test_degraded_results_skip_rerank_and_are_not_cached(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            daemon = ServingDaemon(
+                index,
+                num_replicas=1,
+                config=quiet_config(degraded_k_cap=3),
+            )
+            async with daemon:
+                daemon._set_degraded("replica_loss", True)
+                capped = await daemon.submit(pool[0], k=10)
+                assert capped.degraded
+                assert capped.indices.shape == (3,)
+                daemon._set_degraded("replica_loss", False)
+                full = await daemon.submit(pool[0], k=10)
+                # The degraded answer must not have been cached.
+                assert full.source == "engine"
+                assert full.indices.shape == (10,)
+
+        asyncio.run(run())
+
+    def test_overload_sheds_with_backpressure(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            daemon = ServingDaemon(
+                index, num_replicas=1, config=quiet_config(max_queue=2)
+            )
+            await daemon.start()
+            # Freeze the collector so the queue bound is actually reached —
+            # admission control must shed, not block or buffer unboundedly.
+            await daemon.batcher._stop_collector()
+            tasks = [
+                asyncio.create_task(daemon.submit(pool[row], k=5))
+                for row in range(4)
+            ]
+            await asyncio.sleep(0.01)
+            shed = [
+                t for t in tasks
+                if t.done() and isinstance(t.exception(), Overloaded)
+            ]
+            assert len(shed) == 2  # queue holds 2; the rest shed immediately
+            # Backpressure recovery: restart the collector and the two
+            # parked requests serve normally.
+            daemon.batcher.start()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await daemon.stop()
+            return daemon, results
+
+        daemon, results = asyncio.run(run())
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(served) == 2
+        assert daemon.counts["shed"] == 2
+        assert daemon.counts["ok"] == 2
+
+
+class TestShutdown:
+    def test_drain_completes_inflight_requests(self, served_index):
+        index, pool = served_index
+        faults = ServingFaults(SlowReplicaFault(replica=0, delay_s=0.05))
+
+        async def run():
+            daemon = ServingDaemon(
+                index,
+                num_replicas=1,
+                config=quiet_config(request_timeout_s=5.0, attempt_timeout_s=1.0),
+                faults=faults,
+            )
+            await daemon.start()
+            pending = [
+                asyncio.create_task(daemon.submit(pool[row], k=5))
+                for row in range(6)
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            await daemon.stop(drain=True)
+            results = await asyncio.gather(*pending, return_exceptions=True)
+            return daemon, results
+
+        daemon, results = asyncio.run(run())
+        failures = [r for r in results if isinstance(r, Exception)]
+        assert not failures, failures
+        assert daemon.counts["ok"] == 6
+
+    def test_abort_fails_parked_requests(self, served_index):
+        index, pool = served_index
+        faults = ServingFaults(SlowReplicaFault(replica=0, delay_s=0.2))
+
+        async def run():
+            daemon = ServingDaemon(
+                index,
+                num_replicas=1,
+                config=quiet_config(
+                    request_timeout_s=5.0, attempt_timeout_s=1.0,
+                    max_batch_size=1, batch_delay_s=0.0,
+                ),
+                faults=faults,
+            )
+            await daemon.start()
+            pending = [
+                asyncio.create_task(daemon.submit(pool[row], k=5))
+                for row in range(4)
+            ]
+            await asyncio.sleep(0.02)  # first scan in flight, rest parked
+            await daemon.stop(drain=False)
+            results = await asyncio.gather(*pending, return_exceptions=True)
+            return results
+
+        results = asyncio.run(run())
+        assert any(isinstance(r, Exception) for r in results)

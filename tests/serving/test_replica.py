@@ -1,0 +1,158 @@
+"""Replica protocol tests: validation, fault hooks, and set bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    CorruptResponseFault,
+    ReplicaCrash,
+    ReplicaKillFault,
+    ServingFaults,
+)
+from repro.retrieval.engine import QueryEngine
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.replica import (
+    Replica,
+    ReplicaSet,
+    ResponseValidationError,
+    validate_response,
+)
+
+from tests.serving.conftest import build_index
+
+
+def make_replica(replica_id=0, faults=None, index=None):
+    if index is None:
+        index, _ = build_index()
+    engine = QueryEngine(index, parallel="never")
+    return Replica(replica_id, engine, faults=faults)
+
+
+def make_set(n=3):
+    index, _ = build_index()
+    replicas = [make_replica(i, index=index) for i in range(n)]
+    breakers = [CircuitBreaker(name=f"r{i}") for i in range(n)]
+    return ReplicaSet(replicas, breakers)
+
+
+class TestValidateResponse:
+    def _good(self, n_queries=2, k=3, n_db=100):
+        indices = np.tile(np.arange(k), (n_queries, 1))
+        distances = np.tile(np.arange(k, dtype=np.float64), (n_queries, 1))
+        return indices, distances, n_db
+
+    def test_accepts_correct_response(self):
+        indices, distances, n_db = self._good()
+        validate_response(indices, distances, n_db, 2, 3)
+
+    def test_rejects_wrong_shape(self):
+        indices, distances, n_db = self._good()
+        with pytest.raises(ResponseValidationError):
+            validate_response(indices, distances, n_db, 2, 4)
+
+    def test_rejects_out_of_range_ids(self):
+        indices, distances, n_db = self._good()
+        indices[0, 0] = n_db
+        with pytest.raises(ResponseValidationError):
+            validate_response(indices, distances, n_db, 2, 3)
+
+    def test_rejects_negative_or_nonfinite_distances(self):
+        indices, distances, n_db = self._good()
+        distances[1, 0] = -1.0
+        with pytest.raises(ResponseValidationError):
+            validate_response(indices, distances, n_db, 2, 3)
+        indices, distances, n_db = self._good()
+        distances[0, 1] = np.nan
+        with pytest.raises(ResponseValidationError):
+            validate_response(indices, distances, n_db, 2, 3)
+
+    def test_rejects_unsorted_rows(self):
+        indices, distances, n_db = self._good()
+        distances[0] = distances[0][::-1].copy()
+        with pytest.raises(ResponseValidationError):
+            validate_response(indices, distances, n_db, 2, 3)
+
+    def test_empty_k_is_fine(self):
+        validate_response(
+            np.empty((2, 0), dtype=int), np.empty((2, 0)), 100, 2, 0
+        )
+
+
+class TestReplica:
+    def test_search_matches_engine_and_counts_calls(self):
+        index, pool = build_index()
+        replica = make_replica(index=index)
+        want_i, want_d = replica.engine.search_with_distances(pool, k=5)
+        got_i, got_d = replica.search(pool, 5)
+        assert np.array_equal(got_i, want_i)
+        assert np.allclose(got_d, want_d)
+        # Only replica.search counts; the direct engine call above doesn't.
+        assert replica.calls == 1
+        replica.search(pool, 5)
+        assert replica.calls == 2
+        replica.engine.close()
+
+    def test_kill_fault_raises_replica_crash(self):
+        faults = ServingFaults(ReplicaKillFault(replica=0, at_call=2))
+        replica = make_replica(faults=faults)
+        _, pool = build_index()
+        replica.search(pool, 3)
+        with pytest.raises(ReplicaCrash):
+            replica.search(pool, 3)
+        replica.engine.close()
+
+    def test_corrupt_response_is_detected(self):
+        faults = ServingFaults(CorruptResponseFault(replica=0, at=[1]))
+        replica = make_replica(faults=faults)
+        _, pool = build_index()
+        with pytest.raises(ResponseValidationError):
+            replica.search(pool, 5)
+        replica.engine.close()
+
+    def test_ping_runs_the_full_path(self):
+        replica = make_replica()
+        replica.ping()
+        assert replica.calls == 1
+        replica.engine.close()
+
+
+class TestReplicaSet:
+    def test_candidates_rotate(self):
+        replica_set = make_set(3)
+        first = [r.replica_id for r in replica_set.candidates(0.0)]
+        second = [r.replica_id for r in replica_set.candidates(0.0)]
+        assert sorted(first) == [0, 1, 2]
+        assert first != second  # rotation moved
+
+    def test_exclude_and_dead_are_skipped(self):
+        replica_set = make_set(3)
+        replica_set.mark_dead(1)
+        ids = {r.replica_id for r in replica_set.candidates(0.0, exclude={0})}
+        assert ids == {2}
+
+    def test_all_dead_still_offers_breaker_allowed_corpses(self):
+        replica_set = make_set(2)
+        replica_set.mark_dead(0)
+        replica_set.mark_dead(1)
+        ids = {r.replica_id for r in replica_set.candidates(0.0)}
+        assert ids == {0, 1}
+
+    def test_heartbeat_marks_dead_and_revives(self):
+        replica_set = make_set(2)
+        kill = ReplicaKillFault(replica=0, at_call=1, revive_at=3)
+        replica_set.replicas[0].faults = ServingFaults(kill)
+        outcomes = replica_set.heartbeat(0.0)  # call 1: dead
+        assert outcomes == {0: False, 1: True}
+        assert replica_set.states[0] == "dead"
+        assert replica_set.healthy_count() == 1
+        replica_set.heartbeat(1.0)  # call 2: still dead
+        outcomes = replica_set.heartbeat(2.0)  # call 3: revived
+        assert outcomes[0] is True
+        assert replica_set.states[0] == "healthy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSet([], [])
+        index, _ = build_index()
+        with pytest.raises(ValueError):
+            ReplicaSet([make_replica(index=index)], [])

@@ -1,0 +1,130 @@
+"""Traffic generator and load-report tests."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    LoadReport,
+    RequestRecord,
+    ServingConfig,
+    ServingDaemon,
+    TrafficGenerator,
+)
+
+from tests.serving.conftest import build_index
+
+
+def make_daemon(index):
+    return ServingDaemon(
+        index,
+        num_replicas=2,
+        config=ServingConfig(heartbeat_interval_s=None),
+    )
+
+
+class TestLoadReport:
+    def _report(self):
+        records = [
+            RequestRecord(index=0, ok=True, latency_s=0.010, source="engine",
+                          degraded=False),
+            RequestRecord(index=1, ok=True, latency_s=0.020, source="cache",
+                          degraded=False),
+            RequestRecord(index=2, ok=True, latency_s=0.030,
+                          source="cache_stale", degraded=True),
+            RequestRecord(index=3, ok=False, latency_s=0.500, source="",
+                          degraded=False, error="RequestFailed: boom"),
+        ]
+        return LoadReport(records=records, wall_s=0.5)
+
+    def test_counts(self):
+        report = self._report()
+        assert report.n_requests == 4
+        assert report.n_ok == 3
+        assert report.n_failed == 1
+        assert report.n_degraded == 1
+        assert report.qps == pytest.approx(6.0)
+
+    def test_percentiles_over_successes_only(self):
+        report = self._report()
+        # The 0.5 s failure must not drag the percentiles.
+        assert report.latency_percentile(50) == pytest.approx(0.020)
+        assert report.latency_percentile(100) == pytest.approx(0.030)
+
+    def test_as_dict_schema(self):
+        stats = self._report().as_dict()
+        for key in (
+            "requests", "ok", "failed", "degraded", "wall_s", "qps",
+            "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+        ):
+            assert key in stats
+        assert stats["latency_p50_ms"] == pytest.approx(20.0)
+
+    def test_summary_lines(self):
+        lines = self._report().summary_lines()
+        assert any("failed: 1" in line for line in lines)
+        assert any("p99" in line for line in lines)
+
+    def test_empty_success_percentiles_are_nan(self):
+        report = LoadReport(records=[], wall_s=1.0)
+        assert np.isnan(report.latency_percentile(50))
+        assert report.qps == 0.0
+
+
+class TestTrafficGenerator:
+    def test_schedule_is_seeded(self, served_index):
+        index, pool = served_index
+        daemon = make_daemon(index)
+        a = TrafficGenerator(daemon, pool, seed=3)
+        b = TrafficGenerator(daemon, pool, seed=3)
+        c = TrafficGenerator(daemon, pool, seed=4)
+        assert np.array_equal(a._schedule(50), b._schedule(50))
+        assert not np.array_equal(a._schedule(50), c._schedule(50))
+
+    def test_closed_loop_serves_everything(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            daemon = make_daemon(index)
+            async with daemon:
+                generator = TrafficGenerator(daemon, pool, k=5, seed=0)
+                return await generator.run_closed(40, clients=4)
+
+        report = asyncio.run(run())
+        assert report.n_requests == 40
+        assert report.n_failed == 0
+        assert [r.index for r in report.records] == list(range(40))
+        assert report.qps > 0
+        assert (
+            report.latency_percentile(50)
+            <= report.latency_percentile(95)
+            <= report.latency_percentile(99)
+        )
+
+    def test_open_loop_paces_arrivals(self, served_index):
+        index, pool = served_index
+
+        async def run():
+            daemon = make_daemon(index)
+            async with daemon:
+                generator = TrafficGenerator(daemon, pool, k=5, seed=0)
+                return await generator.run_open(qps=200.0, n_requests=20)
+
+        report = asyncio.run(run())
+        assert report.n_requests == 20
+        assert report.n_failed == 0
+        # 20 arrivals at 200 qps: the run cannot finish before the last
+        # scheduled arrival at (n-1)/qps = 95 ms.
+        assert report.wall_s >= 0.095
+
+    def test_validation(self, served_index):
+        index, pool = served_index
+        daemon = make_daemon(index)
+        with pytest.raises(ValueError):
+            TrafficGenerator(daemon, pool[0])  # 1-D pool
+        generator = TrafficGenerator(daemon, pool)
+        with pytest.raises(ValueError):
+            asyncio.run(generator.run_closed(0))
+        with pytest.raises(ValueError):
+            asyncio.run(generator.run_open(qps=0.0, n_requests=5))

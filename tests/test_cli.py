@@ -109,6 +109,61 @@ class TestObservabilityFlags:
         assert obs.get_obs().enabled is False
 
 
+class TestServeSubcommand:
+    @pytest.fixture()
+    def index_path(self, tmp_path):
+        import numpy as np
+
+        from repro.retrieval.index import QuantizedIndex
+        from repro.retrieval.persistence import save_index
+
+        rng = np.random.default_rng(0)
+        codebooks = rng.normal(size=(3, 16, 6))
+        codes = rng.integers(0, 16, size=(120, 3))
+        index = QuantizedIndex.build(
+            codebooks, rng.normal(size=(120, 6)), codes=codes
+        )
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        return path
+
+    def test_serve_load_test(self, index_path, capsys):
+        code = main(
+            ["serve", "--index", index_path, "--requests", "24",
+             "--queries", "16", "--clients", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed: 0" in out
+        assert "p99" in out
+
+    def test_serve_with_fault_and_metrics(self, index_path, tmp_path, capsys):
+        metrics_path = str(tmp_path / "serve-metrics.jsonl")
+        code = main(
+            ["serve", "--index", index_path, "--requests", "24",
+             "--queries", "16", "--clients", "4",
+             "--kill-replica-at", "2", "--metrics-out", metrics_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan: kill replica 0" in out
+        assert "failed: 0" in out
+
+        from repro import obs
+        from repro.obs import names as metric_names
+
+        header, *records = obs.read_jsonl(metrics_path)
+        assert header["stream"] == "metrics"
+        emitted = {record["metric"] for record in records}
+        assert metric_names.SERVE_REQUESTS_TOTAL in emitted
+        assert metric_names.SERVE_FAILOVERS_TOTAL in emitted
+        assert obs.get_obs().enabled is False
+
+    def test_serve_validates_flags(self, index_path):
+        assert main(["serve", "--index", index_path, "--replicas", "0"]) == 2
+        assert main(["serve", "--index", index_path, "--requests", "0"]) == 2
+
+
 class TestBenchSubcommand:
     def test_bench_delegates_to_harness(self, tmp_path):
         out = str(tmp_path / "BENCH_results.json")

@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Docs lint: keep ``docs/metrics.md`` and the metric catalogue in sync.
+"""Docs lint: keep the docs honest against the code they describe.
 
 Checks, in both directions:
 
 1. every metric name in the catalogue table of ``docs/metrics.md``
    (first column, backticked) exists in ``repro.obs.names.SPECS``;
 2. every spec in the catalogue is documented in that table;
-3. the documented kind matches the spec's kind.
+3. the documented kind matches the spec's kind;
+4. every ``--flag`` the CLI parsers accept (``repro.cli.build_parser``
+   plus the bench harness's ``repro.obs.bench.build_arg_parser``) appears
+   in README.md's "CLI reference" section;
+5. every ``--flag`` mentioned in that section is one the parsers accept
+   (no documentation of removed flags).
 
 Run from the repository root::
 
@@ -30,8 +35,13 @@ if _SRC not in sys.path:
 from repro.obs import names  # noqa: E402
 
 METRICS_DOC = os.path.join(_ROOT, "docs", "metrics.md")
+README_DOC = os.path.join(_ROOT, "README.md")
 # A catalogue table row: | `metric.name` | kind | ...
 _ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_.<>]*)`\s*\|\s*([a-z]+)\s*\|")
+# A long option anywhere in markdown text: --flag-name
+_FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+#: Options argparse adds on its own; not part of the documented surface.
+_IMPLICIT_FLAGS = frozenset({"--help", "--version"})
 
 
 def documented_metrics(path: str) -> dict[str, str]:
@@ -45,8 +55,47 @@ def documented_metrics(path: str) -> dict[str, str]:
     return rows
 
 
-def check(path: str = METRICS_DOC) -> list[str]:
-    """Return a list of problems (empty means the docs are in sync)."""
+def cli_flags() -> set[str]:
+    """Every ``--flag`` the CLI accepts, across all subcommands.
+
+    Walks ``repro.cli.build_parser()`` (including subparsers) and the
+    bench harness's own parser — ``repro bench`` hands its argv straight
+    to the latter, so its flags are part of the CLI surface too.
+    """
+    import argparse
+
+    from repro.cli import build_parser
+    from repro.obs.bench import build_arg_parser
+
+    flags: set[str] = set()
+
+    def collect(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    collect(sub)
+            else:
+                for option in action.option_strings:
+                    if option.startswith("--") and option not in _IMPLICIT_FLAGS:
+                        flags.add(option)
+
+    collect(build_parser())
+    collect(build_arg_parser())
+    return flags
+
+
+def readme_cli_section(path: str) -> str:
+    """The "CLI reference" section of README.md (empty if absent)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    match = re.search(
+        r"^## CLI reference$(.*?)(?=^## |\Z)", text, re.MULTILINE | re.DOTALL
+    )
+    return match.group(1) if match else ""
+
+
+def check_metrics(path: str = METRICS_DOC) -> list[str]:
+    """Problems in the metrics catalogue page (empty means in sync)."""
     problems = []
     if not os.path.exists(path):
         return [f"{path} does not exist"]
@@ -77,14 +126,41 @@ def check(path: str = METRICS_DOC) -> list[str]:
     return problems
 
 
+def check_cli(path: str = README_DOC) -> list[str]:
+    """Problems in README's CLI reference (empty means in sync)."""
+    if not os.path.exists(path):
+        return [f"{path} does not exist"]
+    section = readme_cli_section(path)
+    if not section.strip():
+        return [f"{path}: found no '## CLI reference' section to check"]
+    documented = set(_FLAG.findall(section))
+    accepted = cli_flags()
+    problems = []
+    for flag in sorted(accepted - documented):
+        problems.append(
+            f"CLI flag {flag!r} is missing from README.md's CLI reference"
+        )
+    for flag in sorted(documented - accepted):
+        problems.append(
+            f"README.md's CLI reference documents {flag!r}, which no "
+            "parser accepts"
+        )
+    return problems
+
+
+def check(path: str = METRICS_DOC) -> list[str]:
+    """Return a list of problems (empty means the docs are in sync)."""
+    return check_metrics(path) + check_cli()
+
+
 def main() -> int:
     problems = check()
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1
-    print(f"docs/metrics.md is in sync with the catalogue "
-          f"({len(names.SPECS)} specs checked)")
+    print(f"docs are in sync: {len(names.SPECS)} metric specs against "
+          f"docs/metrics.md, {len(cli_flags())} CLI flags against README.md")
     return 0
 
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI smoke test for the IVF-pruned retrieval path.
+
+Builds a clustered quantized index, trains the IVF coarse layer, and
+asserts the layer's serving contract end to end:
+
+- probing every cell reproduces the exhaustive engine's ranking exactly
+  (pruning is the *only* source of approximation),
+- the uint8-LUT scan returns the identical final ranking as the float32
+  reference (the error-bounded preselect plus float64 rerank removes the
+  quantization error),
+- a tuned ``nprobe`` clears recall@10 >= 0.9 against the exact oracle
+  while scanning a fraction of the database,
+- the ``QueryEngine(ivf=...)`` integration routes through the layer and
+  ``nprobe=0`` bypasses it back to the exhaustive scan,
+- a quick ``ivf-large``-shaped bench invocation (tiny corpus) produces a
+  schema-v4 ``phases.ivf`` subtree with a recall-vs-speedup curve.
+
+Budget: a few seconds. Run from the repository root::
+
+    python scripts/smoke_ivf.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro.cluster.kmeans import kmeans
+from repro.retrieval.engine import QueryEngine
+from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.ivf import IVFIndex
+
+
+def build_clustered_index(rng, n_db=2000, num_classes=16, m=4, k_words=16, dim=12):
+    means = rng.normal(size=(num_classes, dim)) * 4.0
+    labels = rng.integers(num_classes, size=n_db)
+    database = means[labels] + rng.normal(size=(n_db, dim)) * 0.5
+    residual = database.copy()
+    codebooks = np.empty((m, k_words, dim))
+    for j in range(m):
+        result = kmeans(residual, k_words, rng=j, max_iterations=10)
+        codebooks[j] = result.centroids
+        residual -= result.centroids[result.assignments]
+    index = QuantizedIndex.build(codebooks, database, labels=labels)
+    queries = means[rng.integers(num_classes, size=24)] + rng.normal(
+        size=(24, dim)
+    ) * 0.5
+    return index, queries
+
+
+def main() -> int:
+    rng = np.random.default_rng(0)
+    index, queries = build_clustered_index(rng)
+    oracle = QueryEngine(index).search(queries, k=10)
+
+    ivf = IVFIndex.build(index, num_cells=32, seed=0)
+    assert ivf.cell_sizes().sum() == len(index)
+
+    # Full probe == exhaustive, exactly.
+    full = ivf.search(queries, k=10, nprobe=32)
+    assert np.array_equal(full, oracle), "full-probe IVF diverged from oracle"
+
+    # uint8 LUT: identical final ranking to the float32 reference.
+    ivf8 = IVFIndex.build(index, num_cells=32, lut_dtype="uint8", seed=0)
+    for nprobe in (4, 32):
+        want = ivf.search(queries, k=10, nprobe=nprobe)
+        got = ivf8.search(queries, k=10, nprobe=nprobe)
+        assert np.array_equal(got, want), f"uint8 ranking drifted at nprobe={nprobe}"
+
+    # Tuned nprobe: high recall at a fraction of the scan.
+    pruned = ivf.search(queries, k=10, nprobe=8)
+    recall = float(np.mean([
+        len(set(a) & set(b)) / 10 for a, b in zip(pruned, oracle)
+    ]))
+    assert recall >= 0.9, f"recall@10 {recall:.3f} below floor at nprobe=8"
+
+    # Engine integration: ivf routing and the nprobe=0 exact bypass.
+    with QueryEngine(index, ivf=ivf, nprobe=8) as engine:
+        routed = engine.search(queries, k=10)
+        assert engine.last_dispatch == "ivf"
+        assert np.array_equal(routed, pruned), "engine ivf routing drifted"
+        bypass = engine.search(queries, k=10, nprobe=0)
+        assert np.array_equal(bypass, oracle), "nprobe=0 bypass is not exact"
+
+    # Tiny ivf-large bench run: schema v4 subtree with a curve.
+    from repro.obs.bench import bench_ivf_profile
+
+    entry = bench_ivf_profile(
+        quick=True, seed=0, nprobes=(1, 4, 16), ivf_items=4000
+    )
+    phase = entry["phases"]["ivf"]
+    assert len(phase["curve"]) == 3
+    assert all(0.0 <= p["recall_at_10"] <= 1.0 for p in phase["curve"])
+    assert phase["exhaustive"]["wall_time_s"] > 0
+    recalls = [p["recall_at_10"] for p in phase["curve"]]
+    assert recalls == sorted(recalls), "recall should not fall as nprobe grows"
+
+    print(
+        f"smoke_ivf: ok (recall@10 {recall:.3f} at nprobe=8/32, "
+        f"bench curve {['%.2f' % r for r in recalls]})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

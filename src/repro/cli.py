@@ -15,7 +15,9 @@ Commands:
 - ``serve`` — boot the resilient serving daemon (:mod:`repro.serving`)
   over a saved index and drive seeded open- or closed-loop traffic
   through it; prints the latency/QPS load report and any degradation or
-  failover events.
+  failover events. ``--ivf-cells`` / ``--nprobe`` swap the replicas'
+  exhaustive scan for the IVF-pruned engine (one shared coarse layout,
+  trained at boot).
 
 The consolidated flag reference lives in README.md ("CLI reference").
 """
@@ -138,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--kill-replica-at", type=int, default=None, metavar="CALL",
         help="demo fault: kill replica 0 at its CALL-th scan (failover demo)",
+    )
+    serve.add_argument(
+        "--ivf-cells", type=int, default=None, metavar="N",
+        help="serve through an IVF-pruned engine with N coarse cells "
+        "(default: exhaustive scan; implies the sqrt rule when --nprobe "
+        "is given alone)",
+    )
+    serve.add_argument(
+        "--nprobe", type=int, default=None,
+        help="cells probed per query on the IVF path (default: 8; "
+        "implies --ivf-cells)",
     )
     serve.add_argument(
         "--metrics-out", default=None,
@@ -318,12 +331,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.requests < 1:
         print("error: --requests must be at least 1", file=sys.stderr)
         return 2
+    if args.nprobe is not None and args.nprobe < 1:
+        print("error: --nprobe must be at least 1", file=sys.stderr)
+        return 2
+    if args.ivf_cells is not None and args.ivf_cells < 1:
+        print("error: --ivf-cells must be at least 1", file=sys.stderr)
+        return 2
     obs_handle = None
     if args.metrics_out:
         from repro import obs
 
         obs_handle = obs.enable_observability()
     index = load_index(args.index)
+    engine_kwargs = None
+    if args.ivf_cells is not None or args.nprobe is not None:
+        # One shared IVF layout for every replica: the coarse quantizer is
+        # trained once here, so replicas differ only in their scan state.
+        from repro.retrieval import IVFIndex
+
+        ivf = IVFIndex.build(index, num_cells=args.ivf_cells, seed=args.seed)
+        nprobe = args.nprobe if args.nprobe is not None else 8
+        engine_kwargs = {"ivf": ivf, "nprobe": nprobe}
+        print(
+            f"ivf: {ivf.num_cells} cells, nprobe {nprobe} "
+            f"(~{ivf.cell_sizes().mean():.0f} items/cell)"
+        )
     rng = make_rng(args.seed)
     pool = rng.normal(size=(args.queries, index.codebooks.shape[2]))
     faults = None
@@ -337,7 +369,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run():
         daemon = ServingDaemon(
-            index, num_replicas=args.replicas, faults=faults, on_event=print
+            index, num_replicas=args.replicas, faults=faults,
+            engine_kwargs=engine_kwargs, on_event=print
         )
         async with daemon:
             generator = TrafficGenerator(

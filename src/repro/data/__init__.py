@@ -25,7 +25,12 @@ from repro.data.registry import (
     available_datasets,
     load_dataset,
 )
-from repro.data.synthetic import FeatureModel, hierarchy_feature_model, make_feature_model
+from repro.data.synthetic import (
+    FeatureModel,
+    hierarchy_feature_model,
+    make_feature_model,
+    sample_to_memmap,
+)
 from repro.data.transforms import Standardizer, add_gaussian_noise, center
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "labels_from_sizes",
     "load_dataset",
     "make_feature_model",
+    "sample_to_memmap",
     "zipf_class_sizes",
     "zipf_exponent",
 ]

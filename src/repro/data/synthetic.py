@@ -13,6 +13,7 @@ ImageNet; NC text has higher intra-class variance than CIFAR-100 images).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -99,6 +100,41 @@ def make_feature_model(
         nuisance=nuisance,
         nuisance_sigma=nuisance_sigma,
     )
+
+
+def sample_to_memmap(
+    model: FeatureModel,
+    labels: np.ndarray,
+    path: str | os.PathLike,
+    rng: np.random.Generator | int,
+    chunk_size: int = 65_536,
+) -> np.memmap:
+    """Stream ``model.sample`` into a float32 memory-mapped file.
+
+    The large-scale benchmark profile (``repro bench --profile ivf-large``)
+    indexes corpora of 1e6+ items; materialising them as float64 arrays
+    costs gigabytes, so this writes the features chunk-by-chunk to ``path``
+    and returns a read-only ``np.memmap`` view of shape ``(len(labels),
+    model.dim)``. Peak resident memory is one ``(chunk_size, dim)`` block
+    regardless of corpus size.
+
+    The stream is deterministic for a fixed ``(rng seed, chunk_size)``
+    pair; ``chunk_size`` is part of the reproducibility contract because
+    the generator is consumed chunk-by-chunk.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    rng = make_rng(rng)
+    labels = np.asarray(labels)
+    n = labels.size
+    out = np.memmap(path, dtype=np.float32, mode="w+", shape=(n, model.dim))
+    for lo in range(0, n, chunk_size):
+        hi = min(lo + chunk_size, n)
+        out[lo:hi] = model.sample(labels[lo:hi], rng).astype(np.float32)
+    out.flush()
+    # Reopen read-only: downstream code treats the corpus as immutable.
+    del out
+    return np.memmap(path, dtype=np.float32, mode="r", shape=(n, model.dim))
 
 
 def hierarchy_feature_model(

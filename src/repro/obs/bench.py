@@ -12,6 +12,12 @@ p50/p95/p99 latency and sustained QPS) — and writes
 ``BENCH_results.json`` in the versioned schema documented in
 ``docs/benchmarks.md``.
 
+The opt-in ``ivf-large`` profile (``--profile ivf-large``) is different in
+kind: it builds a memory-mapped long-tail corpus of 1e6+ items, indexes
+it, and runs a single **ivf** phase — the recall@10-vs-speedup curve of
+the IVF-pruned engine swept across ``--nprobe`` values against the exact
+exhaustive oracle (schema v4).
+
 All numbers come from the observability layer itself: each profile runs
 under a fresh :func:`repro.obs.observed` context, phase wall times are
 read off tracer spans, and latency percentiles off the streaming
@@ -37,16 +43,28 @@ from repro.obs import names as metric_names
 
 #: v2 adds the ``train`` phase (fused-vs-reference training comparison);
 #: v3 adds the ``serve`` phase (serving-daemon latency/QPS under closed-loop
-#: traffic). Older files load fine — the extra phases are simply absent.
-BENCH_SCHEMA_VERSION = 3
-_READABLE_SCHEMA_VERSIONS = (1, 2, 3)
+#: traffic); v4 adds the ``ivf`` phase (the ``ivf-large`` profile's
+#: recall@k-vs-speedup curve for the IVF-pruned engine over a memory-mapped
+#: corpus). Older files load fine — the extra phases are simply absent.
+BENCH_SCHEMA_VERSION = 4
+_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4)
 DEFAULT_RESULTS_PATH = "BENCH_results.json"
 #: Dataset profiles a default (no ``--profile``) run covers.
 DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
 #: The synthetic micro-profile used by the CI smoke run.
 TINY_PROFILE = "tiny"
+#: The memory-mapped large-scale IVF profile (opt-in: ``--profile ivf-large``).
+IVF_LARGE_PROFILE = "ivf-large"
 
 _PHASES = ("train_step", "encode", "index_build", "query")
+
+#: ``nprobe`` sweep of the ``ivf`` phase when ``--nprobe`` is not given.
+DEFAULT_NPROBES = (1, 2, 4, 8, 16, 32)
+#: Corpus size of the ``ivf-large`` profile (``--quick`` shrinks it).
+IVF_LARGE_ITEMS = 1_000_000
+IVF_LARGE_QUICK_ITEMS = 50_000
+#: Recall@10 floor the tuned ``best`` operating point must clear.
+IVF_RECALL_FLOOR = 0.95
 
 #: Relative tolerance for the fused-vs-reference final-loss parity bit.
 #: The two paths follow bit-identical loss values but accumulate gradients
@@ -62,6 +80,8 @@ def canonical_dataset(profile: str) -> str:
     are named; ``tiny`` is the harness's own micro-profile.
     """
     name = profile.strip().lower()
+    if name == IVF_LARGE_PROFILE:
+        return name
     if name.endswith("-lt"):
         name = name[: -len("-lt")]
     if name == TINY_PROFILE:
@@ -69,7 +89,7 @@ def canonical_dataset(profile: str) -> str:
     from repro.data.registry import PROFILES
 
     if name not in PROFILES:
-        known = sorted(PROFILES) + [TINY_PROFILE]
+        known = sorted(PROFILES) + [IVF_LARGE_PROFILE, TINY_PROFILE]
         raise ValueError(f"unknown profile {profile!r}; known: {known}")
     return name
 
@@ -209,6 +229,208 @@ def _bench_serve(
     }
 
 
+def _build_ivf_corpus(n_items: int, quick: bool, seed: int, tmpdir: str):
+    """Memory-mapped long-tail corpus + a trained quantized index over it.
+
+    Codebooks come from residual k-means on a corpus sample (the indexing
+    question the IVF phase answers is a *serving* one — the trained-DSQ
+    path is timed by the regular profiles); encoding and norm computation
+    then stream the memmap in chunks, so peak memory stays one chunk of
+    float64 regardless of corpus size.
+    """
+    from repro.cluster.kmeans import kmeans
+    from repro.data.longtail import zipf_class_sizes
+    from repro.data.synthetic import make_feature_model, sample_to_memmap
+    from repro.retrieval import QuantizedIndex, encode_nearest, reconstruct
+
+    num_classes, dim = 200, 32
+    num_codebooks, num_codewords = (4, 64) if quick else (8, 256)
+    rng = np.random.default_rng(seed)
+    model = make_feature_model(
+        num_classes, dim, separation=4.5, intra_sigma=0.8, rng=rng,
+        nuisance_dim=4, nuisance_sigma=0.5,
+    )
+    # Zipf shape from the long-tail substrate, renormalised to draw exactly
+    # n_items labels.
+    sizes = zipf_class_sizes(num_classes, 10_000, 50.0)
+    probabilities = sizes / sizes.sum()
+    db_labels = rng.choice(num_classes, size=n_items, p=probabilities)
+    features = sample_to_memmap(
+        model, db_labels, os.path.join(tmpdir, "corpus.f32"), rng
+    )
+
+    train_rows = rng.choice(n_items, size=min(65_536, n_items), replace=False)
+    train_rows.sort()
+    sample = np.asarray(features[train_rows], dtype=np.float64)
+    residual = sample.copy()
+    codebooks = np.empty((num_codebooks, num_codewords, dim))
+    for j in range(num_codebooks):
+        result = kmeans(residual, num_codewords, rng=rng, max_iterations=15)
+        codebooks[j] = result.centroids
+        residual -= result.centroids[result.assignments]
+
+    chunk = 65_536
+    codes = np.empty((n_items, num_codebooks), dtype=np.int64)
+    norms = np.empty(n_items)
+    for lo in range(0, n_items, chunk):
+        hi = min(lo + chunk, n_items)
+        block = np.asarray(features[lo:hi], dtype=np.float64)
+        codes[lo:hi] = encode_nearest(block, codebooks, residual=True)
+        norms[lo:hi] = (reconstruct(codes[lo:hi], codebooks) ** 2).sum(axis=1)
+    index = QuantizedIndex(
+        codebooks=codebooks, codes=codes, db_sq_norms=norms, labels=db_labels
+    )
+
+    n_query = 32 if quick else 64
+    query_labels = rng.integers(num_classes, size=n_query)
+    queries = model.sample(query_labels, rng)
+    return index, queries, features.nbytes
+
+
+def bench_ivf_profile(
+    quick: bool = False,
+    seed: int = 0,
+    workers: int | None = None,
+    shards: int | None = None,
+    nprobes: tuple[int, ...] | None = None,
+    ivf_items: int | None = None,
+    ivf_cells: int | None = None,
+    ivf_lut: str = "float32",
+) -> dict:
+    """The ``ivf-large`` profile: recall@10-vs-speedup over a memmap corpus.
+
+    Builds a memory-mapped long-tail corpus (1e6 items by default,
+    ``--quick`` shrinks it), indexes it, then measures the exhaustive
+    :class:`~repro.retrieval.engine.QueryEngine` as the recall oracle and
+    sweeps the IVF layer across ``nprobes``. Each sweep point records wall
+    time, QPS, recall@10 against the exact oracle, and speedup over the
+    exhaustive scan; ``best`` is the fastest point whose recall clears
+    :data:`IVF_RECALL_FLOOR`. The result subtree carries a single ``ivf``
+    phase (schema v4).
+    """
+    import shutil
+    import tempfile
+
+    from repro.retrieval import IVFIndex, default_num_cells
+    from repro.retrieval.engine import QueryEngine
+
+    nprobes = tuple(sorted(set(nprobes or DEFAULT_NPROBES)))
+    n_items = ivf_items if ivf_items is not None else (
+        IVF_LARGE_QUICK_ITEMS if quick else IVF_LARGE_ITEMS
+    )
+    tmpdir = tempfile.mkdtemp(prefix="repro-ivf-bench-")
+    try:
+        with obs.observed() as handle:
+            tracer = handle.tracer
+            registry = handle.registry
+            with handle.span("bench.profile", profile=IVF_LARGE_PROFILE):
+                with handle.span("bench.ivf.corpus", items=n_items):
+                    index, queries, corpus_bytes = _build_ivf_corpus(
+                        n_items, quick, seed, tmpdir
+                    )
+                num_cells = (
+                    ivf_cells if ivf_cells is not None
+                    else default_num_cells(len(index))
+                )
+                with handle.span("bench.ivf.build", cells=num_cells):
+                    ivf = IVFIndex.build(
+                        index, num_cells=num_cells, lut_dtype=ivf_lut,
+                        seed=seed,
+                    )
+                with QueryEngine(
+                    index, workers=workers or 1, num_shards=shards
+                ) as engine:
+                    engine.search(queries[:1], k=10)  # warm the scan path
+                    with handle.span("bench.ivf.exhaustive"):
+                        start = time.perf_counter()
+                        exact_topk = engine.search(queries, k=10)
+                        exhaustive_wall = time.perf_counter() - start
+                curve = []
+                cells_hist = registry.histogram(metric_names.IVF_CELLS_PROBED)
+                cand_hist = registry.histogram(
+                    metric_names.IVF_CANDIDATES_SCANNED
+                )
+                ivf.search(queries[:1], k=10)  # warm (and build the LUT path)
+                for nprobe in nprobes:
+                    cells_window = _hist_window(cells_hist)
+                    cand_window = _hist_window(cand_hist)
+                    with handle.span("bench.ivf.sweep", nprobe=nprobe):
+                        start = time.perf_counter()
+                        topk = ivf.search(queries, k=10, nprobe=nprobe)
+                        wall = time.perf_counter() - start
+                    overlap = [
+                        len(set(approx) & set(exact)) / len(exact)
+                        for approx, exact in zip(topk, exact_topk)
+                    ]
+                    curve.append({
+                        "nprobe": int(min(nprobe, ivf.num_cells)),
+                        "wall_time_s": wall,
+                        "qps": len(queries) / wall if wall > 0 else None,
+                        "recall_at_10": float(np.mean(overlap)),
+                        "speedup": (
+                            exhaustive_wall / wall if wall > 0 else None
+                        ),
+                        "mean_cells_probed": _window_mean(
+                            cells_hist, cells_window
+                        ),
+                        "mean_candidates": _window_mean(cand_hist, cand_window),
+                    })
+            eligible = [
+                point for point in curve
+                if point["recall_at_10"] >= IVF_RECALL_FLOOR
+                and point["speedup"] is not None
+            ]
+            best = max(eligible, key=lambda p: p["speedup"]) if eligible else None
+            cell_sizes = ivf.cell_sizes()
+            build_entry = {
+                "wall_time_s": _span_duration(tracer, "bench.ivf.build"),
+                "num_cells": ivf.num_cells,
+                "lut_dtype": ivf_lut,
+                "nbytes": int(ivf.nbytes),
+                "empty_cells": int((cell_sizes == 0).sum()),
+                "cell_size_min": int(cell_sizes.min()),
+                "cell_size_mean": float(cell_sizes.mean()),
+                "cell_size_max": int(cell_sizes.max()),
+            }
+            return {
+                "profile": IVF_LARGE_PROFILE,
+                "dataset": {
+                    "name": IVF_LARGE_PROFILE,
+                    "num_classes": 200,
+                    "dim": index.dim,
+                    "n_train": 0,
+                    "n_db": len(index),
+                    "n_query": len(queries),
+                    "memmap_bytes": int(corpus_bytes),
+                },
+                "phases": {
+                    "ivf": {
+                        "wall_time_s": _span_duration(tracer, "bench.profile"),
+                        "corpus_wall_time_s": _span_duration(
+                            tracer, "bench.ivf.corpus"
+                        ),
+                        "build": build_entry,
+                        "exhaustive": {
+                            "wall_time_s": exhaustive_wall,
+                            "qps": (
+                                len(queries) / exhaustive_wall
+                                if exhaustive_wall > 0 else None
+                            ),
+                            "workers": workers or 1,
+                            "shards": shards or 0,
+                        },
+                        "recall_floor": IVF_RECALL_FLOOR,
+                        "curve": curve,
+                        "best": best,
+                    },
+                },
+                "metrics": registry.snapshot(),
+                "spans": tracer.records(),
+            }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def bench_profile(
     profile: str,
     quick: bool = False,
@@ -222,8 +444,17 @@ def bench_profile(
     times the sharded :class:`repro.retrieval.engine.QueryEngine` on the
     same batch and records its scan throughput, the serial scan throughput,
     their ratio, and a top-k parity bit under ``phases.query.engine``.
+
+    The ``ivf-large`` profile is special-cased to
+    :func:`bench_ivf_profile` (its corpus is memory-mapped and it runs a
+    single ``ivf`` phase instead of the six regular ones).
     """
     import dataclasses
+
+    if canonical_dataset(profile) == IVF_LARGE_PROFILE:
+        return bench_ivf_profile(
+            quick=quick, seed=seed, workers=workers, shards=shards
+        )
 
     from repro.core.trainer import Trainer
     from repro.experiments.config import (
@@ -424,8 +655,16 @@ def run_bench(
     seed: int = 0,
     workers: int | None = None,
     shards: int | None = None,
+    nprobes: tuple[int, ...] | None = None,
+    ivf_items: int | None = None,
+    ivf_cells: int | None = None,
+    ivf_lut: str = "float32",
 ) -> dict:
-    """Run the harness over ``profiles``; returns the full result tree."""
+    """Run the harness over ``profiles``; returns the full result tree.
+
+    The ``ivf_*``/``nprobes`` knobs shape the ``ivf-large`` profile only;
+    they are ignored for the regular six-phase profiles.
+    """
     results = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "created_unix": time.time(),
@@ -440,9 +679,16 @@ def run_bench(
         "profiles": {},
     }
     for profile in profiles:
-        results["profiles"][profile] = bench_profile(
-            profile, quick=quick, seed=seed, workers=workers, shards=shards
-        )
+        if canonical_dataset(profile) == IVF_LARGE_PROFILE:
+            results["profiles"][profile] = bench_ivf_profile(
+                quick=quick, seed=seed, workers=workers, shards=shards,
+                nprobes=nprobes, ivf_items=ivf_items, ivf_cells=ivf_cells,
+                ivf_lut=ivf_lut,
+            )
+        else:
+            results["profiles"][profile] = bench_profile(
+                profile, quick=quick, seed=seed, workers=workers, shards=shards
+            )
     return results
 
 
@@ -480,18 +726,25 @@ def format_summary(results: dict) -> str:
     ]
     for profile, entry in results["profiles"].items():
         phases = entry["phases"]
-        rows = [
-            ("train_step", phases["train_step"]["wall_time_s"],
-             phases["train_step"]["steps_per_s"], "steps/s",
-             phases["train_step"]["step_time_s"]),
-            ("encode", phases["encode"]["wall_time_s"],
-             phases["encode"]["items_per_s"], "items/s", None),
-            ("index_build", phases["index_build"]["wall_time_s"],
-             phases["index_build"]["items_per_s"], "items/s", None),
-            ("query", phases["query"]["wall_time_s"],
-             phases["query"]["batch"]["qps"], "qps",
-             phases["query"]["single"]["latency_s"]),
-        ]
+        rows = []
+        if "train_step" in phases:
+            rows.append(
+                ("train_step", phases["train_step"]["wall_time_s"],
+                 phases["train_step"]["steps_per_s"], "steps/s",
+                 phases["train_step"]["step_time_s"]))
+        if "encode" in phases:
+            rows.append(
+                ("encode", phases["encode"]["wall_time_s"],
+                 phases["encode"]["items_per_s"], "items/s", None))
+        if "index_build" in phases:
+            rows.append(
+                ("index_build", phases["index_build"]["wall_time_s"],
+                 phases["index_build"]["items_per_s"], "items/s", None))
+        if "query" in phases:
+            rows.append(
+                ("query", phases["query"]["wall_time_s"],
+                 phases["query"]["batch"]["qps"], "qps",
+                 phases["query"]["single"]["latency_s"]))
         for phase, wall, rate, unit, dist in rows:
             rate_text = f"{rate:,.0f} {unit}" if rate else "-"
             if dist and dist.get("count"):
@@ -515,7 +768,7 @@ def format_summary(results: dict) -> str:
                 f"{fused['wall_time_s']:>9.3f} {rate_text:>18} "
                 f"{speedup_text} vs reference (loss parity {parity})"
             )
-        engine = phases["query"].get("engine")
+        engine = phases.get("query", {}).get("engine")
         if engine:
             qps = engine.get("qps")
             rate_text = f"{qps:,.0f} qps" if qps else "-"
@@ -543,6 +796,41 @@ def format_summary(results: dict) -> str:
                 f"({serve['replicas']}r/{serve['clients']}c, "
                 f"ok {serve['ok']}/{serve['requests']})"
             )
+        ivf = phases.get("ivf")
+        if ivf:
+            build = ivf["build"]
+            exhaustive = ivf["exhaustive"]
+            exh_qps = exhaustive.get("qps")
+            rate_text = f"{exh_qps:,.0f} qps" if exh_qps else "-"
+            lines.append(
+                f"{profile:<16} {'ivf.exhaustive':<12} "
+                f"{exhaustive['wall_time_s']:>8.3f} {rate_text:>18} "
+                f"(oracle; {build['num_cells']} cells, {build['lut_dtype']} "
+                f"LUT, build {build['wall_time_s']:.1f}s)"
+            )
+            for point in ivf["curve"]:
+                qps = point.get("qps")
+                rate_text = f"{qps:,.0f} qps" if qps else "-"
+                speedup = point.get("speedup")
+                speedup_text = f"x{speedup:.1f}" if speedup else "-"
+                lines.append(
+                    f"{profile:<16} {'ivf.nprobe=' + str(point['nprobe']):<12} "
+                    f"{point['wall_time_s']:>9.3f} {rate_text:>18} "
+                    f"recall@10 {point['recall_at_10']:.3f} {speedup_text}"
+                )
+            best = ivf.get("best")
+            if best:
+                lines.append(
+                    f"{profile:<16} {'ivf.best':<12} nprobe={best['nprobe']} "
+                    f"x{best['speedup']:.1f} at recall@10 "
+                    f"{best['recall_at_10']:.3f} "
+                    f"(floor {ivf['recall_floor']:.2f})"
+                )
+            else:
+                lines.append(
+                    f"{profile:<16} {'ivf.best':<12} no sweep point reached "
+                    f"recall@10 >= {ivf['recall_floor']:.2f}"
+                )
     return "\n".join(lines)
 
 
@@ -561,9 +849,15 @@ def compare_results(old: dict, new: dict) -> str:
         return "no profiles in common between the two runs"
 
     for profile in shared:
+        old_phases = old["profiles"][profile]["phases"]
+        new_phases = new["profiles"][profile]["phases"]
         for phase in _PHASES:
-            old_wall = old["profiles"][profile]["phases"][phase]["wall_time_s"]
-            new_wall = new["profiles"][profile]["phases"][phase]["wall_time_s"]
+            # An ivf-large profile carries only the ``ivf`` phase; skip the
+            # regular rows it never ran.
+            if phase not in old_phases or phase not in new_phases:
+                continue
+            old_wall = old_phases[phase]["wall_time_s"]
+            new_wall = new_phases[phase]["wall_time_s"]
             delta = (new_wall - old_wall) / old_wall * 100 if old_wall else float("nan")
             lines.append(
                 f"{profile:<16} {phase:<12} {old_wall:>9.3f} {new_wall:>9.3f} "
@@ -575,7 +869,8 @@ def compare_results(old: dict, new: dict) -> str:
         def _train_sps(run: dict) -> float | None:
             phases = run["profiles"][profile]["phases"]
             fused = phases.get("train", {}).get("fused", {})
-            return fused.get("steps_per_s") or phases["train_step"]["steps_per_s"]
+            step = phases.get("train_step", {})
+            return fused.get("steps_per_s") or step.get("steps_per_s")
 
         old_sps, new_sps = _train_sps(old), _train_sps(new)
         if old_sps and new_sps:
@@ -584,8 +879,8 @@ def compare_results(old: dict, new: dict) -> str:
                 f"{profile:<16} {'train steps/s':<12} {old_sps:>9.1f} "
                 f"{new_sps:>9.1f} {'x' + format(ratio, '.2f'):>8}"
             )
-        old_engine = old["profiles"][profile]["phases"]["query"].get("engine")
-        new_engine = new["profiles"][profile]["phases"]["query"].get("engine")
+        old_engine = old_phases.get("query", {}).get("engine")
+        new_engine = new_phases.get("query", {}).get("engine")
         old_scan = (old_engine or {}).get("scan_codes_per_s") or (
             new_engine or {}
         ).get("serial_scan_codes_per_s")
@@ -600,8 +895,8 @@ def compare_results(old: dict, new: dict) -> str:
             )
         # Serving-daemon rows (schema v3): QPS ratio and tail-latency delta.
         # Absent on either side (a pre-v3 file) the rows are simply skipped.
-        old_serve = old["profiles"][profile]["phases"].get("serve")
-        new_serve = new["profiles"][profile]["phases"].get("serve")
+        old_serve = old_phases.get("serve")
+        new_serve = new_phases.get("serve")
         if old_serve and new_serve:
             old_qps, new_qps = old_serve.get("qps"), new_serve.get("qps")
             if old_qps and new_qps:
@@ -618,6 +913,17 @@ def compare_results(old: dict, new: dict) -> str:
                     f"{profile:<16} {'serve p99 ms':<12} {old_p99:>9.3f} "
                     f"{new_p99:>9.3f} {delta:>+7.1f}%"
                 )
+        # IVF rows (schema v4): tuned-best speedup and its recall@10.
+        old_best = (old_phases.get("ivf") or {}).get("best")
+        new_best = (new_phases.get("ivf") or {}).get("best")
+        if old_best and new_best:
+            lines.append(
+                f"{profile:<16} {'ivf speedup':<12} "
+                f"{'x' + format(old_best['speedup'], '.1f'):>9} "
+                f"{'x' + format(new_best['speedup'], '.1f'):>9} "
+                f"(recall@10 {old_best['recall_at_10']:.3f} -> "
+                f"{new_best['recall_at_10']:.3f})"
+            )
     return "\n".join(lines)
 
 
@@ -649,6 +955,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "when given alone)",
     )
     parser.add_argument(
+        "--nprobe", action="append", type=int, default=None,
+        help="nprobe sweep point for the ivf-large profile (repeatable; "
+        f"default: {', '.join(str(n) for n in DEFAULT_NPROBES)})",
+    )
+    parser.add_argument(
+        "--ivf-items", type=int, default=None,
+        help="corpus size of the ivf-large profile (default: "
+        f"{IVF_LARGE_ITEMS:,}; --quick: {IVF_LARGE_QUICK_ITEMS:,})",
+    )
+    parser.add_argument(
+        "--ivf-cells", type=int, default=None,
+        help="coarse-quantizer cell count for ivf-large (default: sqrt rule)",
+    )
+    parser.add_argument(
+        "--ivf-lut", choices=("float32", "uint8"), default="float32",
+        help="ADC lookup-table dtype for ivf-large (uint8 = quantized "
+        "tables, 4x smaller scan working set)",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_RESULTS_PATH,
         help=f"result file (default: {DEFAULT_RESULTS_PATH})",
     )
@@ -672,6 +997,9 @@ def main(argv: list[str] | None = None) -> int:
     results = run_bench(
         profiles, quick=args.quick, seed=args.seed,
         workers=args.workers, shards=args.shards,
+        nprobes=tuple(args.nprobe) if args.nprobe else None,
+        ivf_items=args.ivf_items, ivf_cells=args.ivf_cells,
+        ivf_lut=args.ivf_lut,
     )
     path = write_results(results, args.out)
     print(format_summary(results))

@@ -68,6 +68,15 @@ ENGINE_SHARDS_SCANNED = "engine.shards.scanned"
 ENGINE_BATCHES_TOTAL = "engine.batches.total"
 ENGINE_PARALLEL_BATCHES = "engine.batches.parallel"
 ENGINE_POOL_FALLBACKS = "engine.pool.fallbacks"
+IVF_BUILD_TIME = "ivf.build.time_s"
+IVF_TRAIN_TIME = "ivf.train.time_s"
+IVF_ASSIGN_TIME = "ivf.assign.time_s"
+IVF_SCAN_TIME = "ivf.scan.time_s"
+IVF_LUT_QUANTIZE_TIME = "ivf.lut.quantize_time_s"
+IVF_CELLS_PROBED = "ivf.cells.probed"
+IVF_CANDIDATES_SCANNED = "ivf.candidates.scanned"
+IVF_BATCHES_TOTAL = "ivf.batches.total"
+IVF_PROBES_EXPANDED = "ivf.probes.expanded"
 INDEX_ENCODE_TIME = "index.encode.time_s"
 INDEX_BUILD_TIME = "index.build.time_s"
 QUERY_LATENCY = "query.latency_s"
@@ -400,6 +409,79 @@ SPECS: tuple[MetricSpec, ...] = (
         "events",
         "repro.serving.daemon.ServingDaemon",
         "Degraded-mode entries and exits (each direction counts one).",
+    ),
+    MetricSpec(
+        IVF_BUILD_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.ivf.IVFIndex.build",
+        "Total IVF construction time: coarse-quantizer training, cell "
+        "assignment, and the inverted-list layout.",
+    ),
+    MetricSpec(
+        IVF_TRAIN_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.ivf.IVFIndex.build",
+        "Coarse-quantizer k-means training time (zero when prebuilt "
+        "centroids are supplied).",
+    ),
+    MetricSpec(
+        IVF_ASSIGN_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.ivf.IVFIndex.build",
+        "Time to assign every database item to its nearest cell and lay "
+        "out the contiguous inverted lists (streams reconstructions in "
+        "chunks).",
+    ),
+    MetricSpec(
+        IVF_SCAN_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.ivf.IVFIndex.search_with_distances",
+        "Wall time of one IVF query batch: centroid probe scan, candidate "
+        "gather-scan over the probed cells, and the candidate rerank.",
+    ),
+    MetricSpec(
+        IVF_LUT_QUANTIZE_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.ivf.IVFIndex.search_with_distances",
+        "Time spent quantizing per-query lookup tables to uint8 within a "
+        "batch (only observed with lut_dtype='uint8').",
+    ),
+    MetricSpec(
+        IVF_CELLS_PROBED,
+        HISTOGRAM,
+        "cells",
+        "repro.retrieval.ivf.IVFIndex.search_with_distances",
+        "Inverted lists probed per query — nprobe, unless probe expansion "
+        "had to widen the set to fill k.",
+    ),
+    MetricSpec(
+        IVF_CANDIDATES_SCANNED,
+        HISTOGRAM,
+        "codes",
+        "repro.retrieval.ivf.IVFIndex.search_with_distances",
+        "Database items scored per query (the probed cells' total size) — "
+        "divide by n_db for the realised pruning fraction.",
+    ),
+    MetricSpec(
+        IVF_BATCHES_TOTAL,
+        COUNTER,
+        "batches",
+        "repro.retrieval.ivf.IVFIndex.search_with_distances",
+        "Query batches served through the IVF layer.",
+    ),
+    MetricSpec(
+        IVF_PROBES_EXPANDED,
+        COUNTER,
+        "queries",
+        "repro.retrieval.ivf.IVFIndex.search_with_distances",
+        "Queries whose probed cells held fewer than k candidates and had "
+        "their probe set widened in centroid-distance order (empty or "
+        "tiny cells make this reachable).",
     ),
     MetricSpec(
         INDEX_ENCODE_TIME,

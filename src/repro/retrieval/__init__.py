@@ -25,6 +25,7 @@ from repro.retrieval.engine import (
     topk_tie_stable,
 )
 from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.ivf import IVFIndex, default_num_cells, quantize_lut
 from repro.retrieval.metrics import (
     average_precision,
     mean_average_precision,
@@ -41,12 +42,15 @@ from repro.retrieval.search import (
 
 __all__ = [
     "EfficiencyMeasurement",
+    "IVFIndex",
     "QuantizedIndex",
     "QueryEngine",
     "ShardedIndex",
     "StorageCost",
     "compact_code_dtype",
+    "default_num_cells",
     "merge_topk",
+    "quantize_lut",
     "shard_bounds",
     "topk_tie_stable",
     "adc_distances",

@@ -267,6 +267,19 @@ class QueryEngine:
         is terminated, the batch is re-served by the in-process serial scan
         (``last_dispatch == "in-process-fallback"``), and the next parallel
         batch rebuilds a fresh pool. ``None`` disables the bound.
+    ivf:
+        Optional coarse inverted-file layer
+        (:mod:`repro.retrieval.ivf`): a prebuilt
+        :class:`~repro.retrieval.ivf.IVFIndex` over the same index (share
+        one across replicas — the layout is read-only), or an ``int`` cell
+        count to train one here. With an IVF layer attached, searches
+        probe only the ``nprobe`` nearest cells instead of scanning every
+        shard — approximate, with measured recall (``docs/tuning.md``).
+        Per-call ``nprobe=0`` bypasses the layer for an exact exhaustive
+        answer from the same engine.
+    nprobe:
+        Default cells probed per query when ``ivf`` is set (falls back to
+        the IVF index's own default).
 
     Use as a context manager, or call :meth:`close` — the pool and its
     shared-memory buffers are released explicitly, not by the GC.
@@ -285,6 +298,8 @@ class QueryEngine:
         min_parallel_codes: int = MIN_PARALLEL_CODES,
         block_rows: int = _BLOCK_ROWS,
         task_timeout_s: float | None = 30.0,
+        ivf=None,
+        nprobe: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -305,6 +320,27 @@ class QueryEngine:
         if task_timeout_s is not None and task_timeout_s <= 0:
             raise ValueError("task_timeout_s must be positive (or None)")
         self.task_timeout_s = task_timeout_s
+        if isinstance(ivf, int):
+            from repro.retrieval.ivf import IVFIndex
+
+            if not isinstance(index, QuantizedIndex):
+                raise ValueError(
+                    "building an IVF layer here needs the QuantizedIndex; "
+                    "pass a prebuilt IVFIndex when constructing from a "
+                    "ShardedIndex"
+                )
+            ivf = IVFIndex.build(index, num_cells=ivf, rerank=rerank)
+        if ivf is not None and (
+            len(ivf) != len(self.sharded)
+            or ivf.num_codebooks != self.sharded.num_codebooks
+            or ivf.num_codewords != self.sharded.num_codewords
+            or ivf.dim != self.sharded.dim
+        ):
+            raise ValueError("ivf was built over an index with different geometry")
+        self.ivf = ivf
+        if nprobe is not None and nprobe < 1:
+            raise ValueError("nprobe must be at least 1 (0 is per-call only)")
+        self.nprobe = nprobe
         # "in-process" | "process-pool" | "in-process-fallback"
         self.last_dispatch: str | None = None
         self._pool = None
@@ -439,6 +475,7 @@ class QueryEngine:
         k: int | None = None,
         *,
         rerank: bool | None = None,
+        nprobe: int | None = None,
     ) -> np.ndarray:
         """Ranked database indices per query, shaped like the serial path.
 
@@ -447,9 +484,14 @@ class QueryEngine:
         the serial float64 scan's stable argsort produces. ``rerank``
         overrides the engine-level setting for this call only: a degraded
         server passes ``rerank=False`` to skip the float64 re-scoring pass
-        and serve raw float32 rankings cheaply.
+        and serve raw float32 rankings cheaply. With an IVF layer attached
+        (``ivf=``), ``nprobe`` overrides the probe width for this call;
+        ``nprobe=0`` bypasses the layer and serves the exact exhaustive
+        scan.
         """
-        indices, _ = self.search_with_distances(queries, k=k, rerank=rerank)
+        indices, _ = self.search_with_distances(
+            queries, k=k, rerank=rerank, nprobe=nprobe
+        )
         return indices
 
     def search_with_distances(
@@ -458,8 +500,23 @@ class QueryEngine:
         k: int | None = None,
         *,
         rerank: bool | None = None,
+        nprobe: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Like :meth:`search` but also returns the squared distances."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if nprobe is None:
+            nprobe = self.nprobe if self.ivf is not None else None
+        elif self.ivf is None:
+            raise ValueError(
+                "nprobe was given but this engine has no IVF layer "
+                "(construct it with ivf=...)"
+            )
+        if self.ivf is not None and nprobe != 0:
+            self.last_dispatch = "ivf"
+            return self.ivf.search_with_distances(
+                queries, k=k, nprobe=nprobe, rerank=rerank
+            )
         sharded = self.sharded
         n_db = len(sharded)
         queries = np.asarray(queries, dtype=np.float64)

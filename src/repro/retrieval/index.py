@@ -135,14 +135,18 @@ class QuantizedIndex:
         queries: np.ndarray,
         k: int | None = None,
         engine: "object | None" = None,
+        nprobe: int | None = None,
     ) -> np.ndarray:
         """Ranked database indices for each query via ADC lookups.
 
         ``engine`` delegates the scan to a
         :class:`repro.retrieval.engine.QueryEngine` built over this index —
-        the sharded (optionally multi-worker) fast path — while keeping this
-        method's metrics contract. The engine must have been built from an
-        index with this one's geometry.
+        the sharded (optionally multi-worker) fast path — or to an
+        :class:`repro.retrieval.ivf.IVFIndex` (the pruned approximate
+        path), while keeping this method's metrics contract. The engine
+        must have been built from an index with this one's geometry.
+        ``nprobe`` is forwarded to engines with an IVF layer (it is an
+        error for engines without one).
 
         With observability enabled the call records per-query latency into
         ``query.latency_s`` — the batch's wall time spread evenly over its
@@ -157,7 +161,14 @@ class QuantizedIndex:
                     "engine was built over an index with different geometry "
                     "than this one"
                 )
-            ranked = engine.search(queries, k=k)
+            if nprobe is not None:
+                ranked = engine.search(queries, k=k, nprobe=nprobe)
+            else:
+                ranked = engine.search(queries, k=k)
+        elif nprobe is not None:
+            raise ValueError(
+                "nprobe requires an engine with an IVF layer (pass engine=)"
+            )
         else:
             distances = adc_distances(
                 queries, self.codes, self.codebooks, db_sq_norms=self.db_sq_norms
@@ -180,8 +191,9 @@ class QuantizedIndex:
         queries: np.ndarray,
         k: int | None = None,
         engine: "object | None" = None,
+        nprobe: int | None = None,
     ) -> np.ndarray:
         """Ranked database *labels*, ready for MAP evaluation."""
         if self.labels is None:
             raise RuntimeError("index was built without labels")
-        return self.labels[self.search(queries, k=k, engine=engine)]
+        return self.labels[self.search(queries, k=k, engine=engine, nprobe=nprobe)]

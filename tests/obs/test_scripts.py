@@ -38,6 +38,11 @@ def test_smoke_fused_passes():
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+def test_smoke_ivf_passes():
+    result = _run_script("smoke_ivf.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_smoke_serve_passes():
     result = _run_script("smoke_serve.py")
     assert result.returncode == 0, result.stdout + result.stderr

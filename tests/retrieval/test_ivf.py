@@ -1,0 +1,319 @@
+"""Tests for the IVF coarse layer over a quantized index."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans
+from repro.data.longtail import labels_from_sizes, zipf_class_sizes
+from repro.data.synthetic import make_feature_model
+from repro.retrieval.engine import QueryEngine
+from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.ivf import IVFIndex, default_num_cells, quantize_lut
+from repro.retrieval.metrics import recall_at_k
+
+
+def make_clustered_index(seed=0, n_db=600, num_classes=12, m=3, k_words=16, dim=8):
+    """A quantized index over clustered data (so IVF pruning has structure)."""
+    rng = np.random.default_rng(seed)
+    means = rng.normal(size=(num_classes, dim)) * 4.0
+    labels = rng.integers(num_classes, size=n_db)
+    database = means[labels] + rng.normal(size=(n_db, dim)) * 0.5
+    residual = database.copy()
+    codebooks = np.empty((m, k_words, dim))
+    for j in range(m):
+        result = kmeans(residual, k_words, rng=j, max_iterations=10)
+        codebooks[j] = result.centroids
+        residual -= result.centroids[result.assignments]
+    index = QuantizedIndex.build(codebooks, database, labels=labels)
+    queries = means[rng.integers(num_classes, size=20)] + rng.normal(
+        size=(20, dim)
+    ) * 0.5
+    return index, queries
+
+
+class TestDefaultNumCells:
+    def test_sqrt_rule(self):
+        assert default_num_cells(10_000) == 100
+        assert default_num_cells(1) == 1
+
+    def test_clamped(self):
+        assert default_num_cells(0) == 1
+        assert default_num_cells(10**9) == 4096
+
+
+class TestQuantizeLut:
+    def test_reconstruction_within_half_scale(self):
+        rng = np.random.default_rng(0)
+        lut = rng.normal(size=(4, 16)).astype(np.float32) * 37.0
+        q8, offsets, scale = quantize_lut(lut)
+        assert q8.dtype == np.uint8
+        recon = offsets[:, None] + scale * q8.astype(np.float32)
+        assert np.abs(recon - lut).max() <= scale / 2 + 1e-5
+
+    def test_constant_table(self):
+        lut = np.full((2, 4), 3.0, dtype=np.float32)
+        q8, offsets, scale = quantize_lut(lut)
+        assert np.all(q8 == 0)
+        assert np.allclose(offsets, 3.0)
+
+
+class TestBuildLayout:
+    def test_cells_partition_database(self):
+        index, _ = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=16)
+        assert len(ivf) == len(index)
+        assert ivf.cell_sizes().sum() == len(index)
+        assert sorted(ivf.ids.tolist()) == list(range(len(index)))
+        assert ivf.matches(index)
+
+    def test_ids_ascending_within_cells(self):
+        # Stable layout: within one cell, global ids stay ascending, which
+        # is what keeps the scan's tie order identical to the serial path.
+        index, _ = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=16)
+        for cell in range(ivf.num_cells):
+            lo, hi = ivf.cell_offsets[cell], ivf.cell_offsets[cell + 1]
+            ids = ivf.ids[lo:hi]
+            assert np.all(np.diff(ids) > 0) or len(ids) <= 1
+
+    def test_centroids_override_skips_training(self):
+        index, _ = make_clustered_index()
+        centroids = np.zeros((3, index.dim))
+        centroids[1] += 100.0
+        ivf = IVFIndex.build(index, centroids=centroids)
+        assert ivf.num_cells == 3
+        # Everything lands in the cells near the data; the far cell is empty.
+        assert ivf.cell_sizes()[1] == 0
+
+    def test_centroids_override_shape_checked(self):
+        index, _ = make_clustered_index()
+        with pytest.raises(ValueError, match="centroids"):
+            IVFIndex.build(index, centroids=np.zeros((3, index.dim + 1)))
+
+    def test_num_cells_clamped_to_database(self):
+        index, _ = make_clustered_index(n_db=10, k_words=8)
+        ivf = IVFIndex.build(index, num_cells=50)
+        assert ivf.num_cells <= 10
+
+
+class TestSearch:
+    def test_single_cell_equals_exhaustive(self):
+        # num_cells=1 degenerates to an exhaustive scan: identical ranking
+        # and (reranked float64) distances as the serial reference.
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=1)
+        got_i, got_d = ivf.search_with_distances(queries, k=10)
+        want_i, want_d = QueryEngine(index).search_with_distances(queries, k=10)
+        np.testing.assert_array_equal(got_i, want_i)
+        np.testing.assert_allclose(got_d, want_d)
+
+    def test_all_cells_probed_equals_exhaustive(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=8)
+        got = ivf.search(queries, k=7, nprobe=8)
+        want = QueryEngine(index).search(queries, k=7)
+        np.testing.assert_array_equal(got, want)
+
+    def test_nprobe_clamped_above_num_cells(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=4)
+        got = ivf.search(queries, k=5, nprobe=1000)
+        want = ivf.search(queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty_cells_probe_expansion_fills_k(self):
+        # Force empty cells with a fixed coarse codebook: two centroids sit
+        # on the data, two far away. Probing mostly-empty cells must widen
+        # until k candidates exist — the shape contract holds regardless.
+        index, queries = make_clustered_index()
+        centroids = np.vstack([
+            np.asarray(index.reconstructions()[:2]),
+            np.full((2, index.dim), 500.0),
+        ])
+        ivf = IVFIndex.build(index, centroids=centroids)
+        assert (ivf.cell_sizes() == 0).sum() >= 1
+        # Query near the far centroids: its nearest cells are empty.
+        far_queries = np.full((3, index.dim), 400.0)
+        got = ivf.search(far_queries, k=10, nprobe=1)
+        assert got.shape == (3, 10)
+        assert len(np.unique(got[0])) == 10
+
+    def test_k_larger_than_database(self):
+        index, queries = make_clustered_index(n_db=30)
+        ivf = IVFIndex.build(index, num_cells=4)
+        got = ivf.search(queries, k=50)
+        assert got.shape == (len(queries), 30)
+        want = QueryEngine(index).search(queries, k=50)
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty_batch_and_k_zero(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=4)
+        assert ivf.search(queries[:0], k=5).shape == (0, 5)
+        assert ivf.search(queries, k=0).shape == (len(queries), 0)
+
+    def test_k_none_rejected(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=4)
+        with pytest.raises(ValueError, match="full ranking"):
+            ivf.search(queries, k=None)
+
+    def test_invalid_nprobe_rejected(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=4)
+        with pytest.raises(ValueError, match="nprobe"):
+            ivf.search(queries, k=5, nprobe=0)
+
+    def test_query_dim_checked(self):
+        index, _ = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=4)
+        with pytest.raises(ValueError, match="queries"):
+            ivf.search(np.zeros((2, index.dim + 3)), k=5)
+
+    def test_uint8_lut_matches_float_reference(self):
+        # The uint8 scan preselects every candidate within the quantization
+        # error bound and reranks in float64, so its final ranking is
+        # identical to the float32 reference path.
+        index, queries = make_clustered_index()
+        ivf32 = IVFIndex.build(index, num_cells=16, lut_dtype="float32")
+        ivf8 = IVFIndex.build(index, num_cells=16, lut_dtype="uint8")
+        for nprobe in (2, 4, 16):
+            want_i, want_d = ivf32.search_with_distances(
+                queries, k=10, nprobe=nprobe
+            )
+            got_i, got_d = ivf8.search_with_distances(
+                queries, k=10, nprobe=nprobe
+            )
+            np.testing.assert_array_equal(got_i, want_i)
+            np.testing.assert_allclose(got_d, want_d)
+
+    def test_uint8_without_rerank_close_to_reference(self):
+        # Without the rerank the quantization error reaches the output:
+        # distances may differ within the documented M*scale bound.
+        index, queries = make_clustered_index()
+        ivf8 = IVFIndex.build(
+            index, num_cells=16, lut_dtype="uint8", rerank=False
+        )
+        got_i, got_d = ivf8.search_with_distances(queries, k=10, nprobe=16)
+        want_i, want_d = QueryEngine(index).search_with_distances(queries, k=10)
+        # Bound check rather than equality: ranks can swap under error.
+        assert got_d.shape == want_d.shape
+        assert np.median(np.abs(got_d - want_d)) < 10.0
+
+    def test_bad_lut_dtype_rejected(self):
+        index, _ = make_clustered_index()
+        with pytest.raises(ValueError, match="lut_dtype"):
+            IVFIndex.build(index, num_cells=4, lut_dtype="float16")
+
+    def test_recall_floor_on_longtail_profile(self):
+        # A long-tail corpus (Zipf sizes) with class structure: moderate
+        # nprobe must clear recall@10 >= 0.9 against the exact oracle.
+        rng = np.random.default_rng(3)
+        num_classes, dim = 30, 12
+        model = make_feature_model(
+            num_classes, dim, separation=4.5, intra_sigma=0.8, rng=rng
+        )
+        sizes = zipf_class_sizes(num_classes, 200, 50.0)
+        db_labels = labels_from_sizes(sizes, rng=4)
+        database = model.sample(db_labels, rng)
+        residual = database.copy()
+        codebooks = np.empty((4, 16, dim))
+        for j in range(4):
+            result = kmeans(residual, 16, rng=j, max_iterations=10)
+            codebooks[j] = result.centroids
+            residual -= result.centroids[result.assignments]
+        index = QuantizedIndex.build(codebooks, database, labels=db_labels)
+        queries = model.sample(rng.integers(num_classes, size=30), rng)
+
+        oracle = QueryEngine(index).search(queries, k=10)
+        ivf = IVFIndex.build(index, num_cells=32)
+        got = ivf.search(queries, k=10, nprobe=8)
+        overlap = np.mean([
+            len(set(a) & set(b)) / 10 for a, b in zip(got, oracle)
+        ])
+        assert overlap >= 0.9
+        # Label-level recall should also roughly match the oracle's.
+        oracle_recall = recall_at_k(
+            index.labels[oracle], index.labels[got[:, :1]].ravel(),
+            index.labels, k=10,
+        )
+        assert np.isfinite(oracle_recall)
+
+
+class TestEngineIntegration:
+    def test_engine_routes_through_ivf(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=16, nprobe=4)
+        with QueryEngine(index, ivf=ivf) as engine:
+            got = engine.search(queries, k=10)
+            assert engine.last_dispatch == "ivf"
+        want = ivf.search(queries, k=10, nprobe=4)
+        np.testing.assert_array_equal(got, want)
+
+    def test_engine_builds_ivf_from_cell_count(self):
+        index, queries = make_clustered_index()
+        with QueryEngine(index, ivf=16, nprobe=16) as engine:
+            assert engine.ivf.num_cells == 16
+            got = engine.search(queries, k=10)
+        want = QueryEngine(index).search(queries, k=10)
+        np.testing.assert_array_equal(got, want)
+
+    def test_engine_nprobe_zero_bypasses_to_exact(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=16, nprobe=2)
+        with QueryEngine(index, ivf=ivf) as engine:
+            got = engine.search(queries, k=10, nprobe=0)
+            assert engine.last_dispatch != "ivf"
+        want = QueryEngine(index).search(queries, k=10)
+        np.testing.assert_array_equal(got, want)
+
+    def test_engine_rejects_nprobe_without_ivf(self):
+        index, queries = make_clustered_index()
+        with QueryEngine(index) as engine:
+            with pytest.raises(ValueError, match="no IVF layer"):
+                engine.search(queries, k=10, nprobe=4)
+
+    def test_engine_rejects_mismatched_ivf(self):
+        index, _ = make_clustered_index(seed=0)
+        other, _ = make_clustered_index(seed=1, n_db=400)
+        ivf = IVFIndex.build(other, num_cells=8)
+        with pytest.raises(ValueError, match="different geometry"):
+            QueryEngine(index, ivf=ivf)
+
+    def test_index_search_forwards_nprobe(self):
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=16)
+        with QueryEngine(index, ivf=ivf, nprobe=2) as engine:
+            got = index.search(queries, k=10, engine=engine, nprobe=16)
+        want = ivf.search(queries, k=10, nprobe=16)
+        np.testing.assert_array_equal(got, want)
+
+    def test_index_search_rejects_nprobe_without_engine(self):
+        index, queries = make_clustered_index()
+        with pytest.raises(ValueError, match="nprobe requires an engine"):
+            index.search(queries, k=10, nprobe=4)
+
+
+class TestObservability:
+    def test_ivf_metrics_emitted(self):
+        from repro import obs
+        from repro.obs import names
+
+        index, queries = make_clustered_index()
+        with obs.observed() as handle:
+            ivf = IVFIndex.build(index, num_cells=16)
+            ivf.search(queries, k=10, nprobe=4)
+            registry = handle.registry
+            assert registry.histogram(names.IVF_BUILD_TIME).count == 1
+            assert registry.histogram(names.IVF_SCAN_TIME).count == 1
+            assert registry.counter(names.IVF_BATCHES_TOTAL).value == 1
+            cells = registry.histogram(names.IVF_CELLS_PROBED)
+            assert cells.count == len(queries)
+
+    def test_disabled_obs_is_silent(self):
+        from repro import obs
+
+        index, queries = make_clustered_index()
+        ivf = IVFIndex.build(index, num_cells=8)
+        ivf.search(queries, k=5)
+        assert not obs.get_obs().enabled

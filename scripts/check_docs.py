@@ -11,7 +11,10 @@ Checks, in both directions:
    plus the bench harness's ``repro.obs.bench.build_arg_parser``) appears
    in README.md's "CLI reference" section;
 5. every ``--flag`` mentioned in that section is one the parsers accept
-   (no documentation of removed flags).
+   (no documentation of removed flags);
+6. every public field of the request dataclasses (``SearchRequest``,
+   ``MutationRequest``) has a row in its ``### <ClassName>`` table of
+   ``docs/tuning.md``, and every documented row names a real field.
 
 Run from the repository root::
 
@@ -36,8 +39,11 @@ from repro.obs import names  # noqa: E402
 
 METRICS_DOC = os.path.join(_ROOT, "docs", "metrics.md")
 README_DOC = os.path.join(_ROOT, "README.md")
+TUNING_DOC = os.path.join(_ROOT, "docs", "tuning.md")
 # A catalogue table row: | `metric.name` | kind | ...
 _ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_.<>]*)`\s*\|\s*([a-z]+)\s*\|")
+# A request-dataclass table row: | `field_name` | ...
+_FIELD_ROW = re.compile(r"^\|\s*`([a-z_][a-z0-9_]*)`\s*\|", re.MULTILINE)
 # A long option anywhere in markdown text: --flag-name
 _FLAG = re.compile(r"--[a-z][a-z0-9-]*")
 #: Options argparse adds on its own; not part of the documented surface.
@@ -148,9 +154,54 @@ def check_cli(path: str = README_DOC) -> list[str]:
     return problems
 
 
+def check_request_dataclasses(path: str = TUNING_DOC) -> list[str]:
+    """Problems in tuning.md's request-dataclass tables (empty = in sync).
+
+    The unified search/mutation API is carried by two public dataclasses;
+    every field is a user-facing knob, so each must have a row in its
+    ``### <ClassName>`` table — and no table may document a field the
+    dataclass no longer has.
+    """
+    import dataclasses
+
+    from repro.retrieval import MutationRequest, SearchRequest
+
+    if not os.path.exists(path):
+        return [f"{path} does not exist"]
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    problems = []
+    for cls in (SearchRequest, MutationRequest):
+        name = cls.__name__
+        match = re.search(
+            rf"^### `?{name}`?$(.*?)(?=^#{{2,3}} |\Z)",
+            text,
+            re.MULTILINE | re.DOTALL,
+        )
+        if match is None:
+            problems.append(
+                f"docs/tuning.md has no '### {name}' section documenting "
+                "the request dataclass"
+            )
+            continue
+        documented = set(_FIELD_ROW.findall(match.group(1)))
+        actual = {field.name for field in dataclasses.fields(cls)}
+        for field in sorted(actual - documented):
+            problems.append(
+                f"{name}.{field} is missing from docs/tuning.md's "
+                f"'### {name}' table"
+            )
+        for field in sorted(documented - actual):
+            problems.append(
+                f"docs/tuning.md documents {name}.{field}, which the "
+                "dataclass does not define"
+            )
+    return problems
+
+
 def check(path: str = METRICS_DOC) -> list[str]:
     """Return a list of problems (empty means the docs are in sync)."""
-    return check_metrics(path) + check_cli()
+    return check_metrics(path) + check_cli() + check_request_dataclasses()
 
 
 def main() -> int:
@@ -160,7 +211,8 @@ def main() -> int:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1
     print(f"docs are in sync: {len(names.SPECS)} metric specs against "
-          f"docs/metrics.md, {len(cli_flags())} CLI flags against README.md")
+          f"docs/metrics.md, {len(cli_flags())} CLI flags against README.md, "
+          "request dataclasses against docs/tuning.md")
     return 0
 
 

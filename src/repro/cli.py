@@ -17,7 +17,10 @@ Commands:
   through it; prints the latency/QPS load report and any degradation or
   failover events. ``--ivf-cells`` / ``--nprobe`` swap the replicas'
   exhaustive scan for the IVF-pruned engine (one shared coarse layout,
-  trained at boot).
+  trained at boot). ``--mutable`` wraps the saved index in the segmented
+  mutable index so the daemon accepts online add/remove/compact, and
+  ``--churn`` drives seeded mutation rounds through ``daemon.mutate``
+  alongside the query traffic.
 
 The consolidated flag reference lives in README.md ("CLI reference").
 """
@@ -151,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--nprobe", type=int, default=None,
         help="cells probed per query on the IVF path (default: 8; "
         "implies --ivf-cells)",
+    )
+    serve.add_argument(
+        "--mutable", action="store_true",
+        help="wrap the saved index in the segmented mutable index so the "
+        "daemon accepts online add/remove/compact mutations",
+    )
+    serve.add_argument(
+        "--churn", type=int, default=None, metavar="ROUNDS",
+        help="drive ROUNDS seeded add/remove rounds through daemon.mutate "
+        "alongside the query traffic, compacting at the end "
+        "(implies --mutable)",
     )
     serve.add_argument(
         "--metrics-out", default=None,
@@ -293,6 +307,7 @@ def _engine_report(model, index, dataset, workers: int, shards: int | None) -> s
 
     import numpy as np
 
+    from repro.retrieval import SearchRequest
     from repro.retrieval.engine import QueryEngine
 
     queries = model.embed(dataset.query.features)
@@ -301,8 +316,9 @@ def _engine_report(model, index, dataset, workers: int, shards: int | None) -> s
     serial_elapsed = time.perf_counter() - serial_start
     with QueryEngine(index, workers=workers, num_shards=shards) as engine:
         engine.search(queries[:1], k=10)  # warm the kernel path
+        request = SearchRequest(queries=queries, k=10, engine=engine)
         engine_start = time.perf_counter()
-        ranked = index.search(queries, k=10, engine=engine)
+        ranked = index.search(request).indices
         engine_elapsed = time.perf_counter() - engine_start
         dispatch = engine.last_dispatch
         num_shards = engine.sharded.num_shards
@@ -337,6 +353,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.ivf_cells is not None and args.ivf_cells < 1:
         print("error: --ivf-cells must be at least 1", file=sys.stderr)
         return 2
+    if args.churn is not None and args.churn < 1:
+        print("error: --churn must be at least 1", file=sys.stderr)
+        return 2
+    mutable = args.mutable or args.churn is not None
     obs_handle = None
     if args.metrics_out:
         from repro import obs
@@ -344,7 +364,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs_handle = obs.enable_observability()
     index = load_index(args.index)
     engine_kwargs = None
-    if args.ivf_cells is not None or args.nprobe is not None:
+    mutable_index = None
+    if mutable:
+        # The mutable index owns its engine (rebuilt at every compaction),
+        # so the IVF layout is handed to it as a cell *count* — a prebuilt
+        # coarse layer would go stale the moment compaction reshapes the
+        # base segment.
+        from repro.retrieval import MutableIndex
+        from repro.retrieval.ivf import default_num_cells
+
+        index_engine_kwargs = None
+        if args.ivf_cells is not None or args.nprobe is not None:
+            cells = (
+                args.ivf_cells
+                if args.ivf_cells is not None
+                else default_num_cells(len(index))
+            )
+            nprobe = args.nprobe if args.nprobe is not None else 8
+            index_engine_kwargs = {"ivf": cells, "nprobe": nprobe}
+        mutable_index = MutableIndex.from_index(
+            index, engine_kwargs=index_engine_kwargs
+        )
+        ivf = mutable_index.ivf
+        if ivf is not None:
+            print(
+                f"ivf: {ivf.num_cells} cells, nprobe "
+                f"{index_engine_kwargs['nprobe']} "
+                f"(~{ivf.cell_sizes().mean():.0f} items/cell)"
+            )
+        print(
+            f"mutable: {mutable_index.n_db} rows adopted as the base "
+            f"segment (generation {mutable_index.generation})"
+        )
+    elif args.ivf_cells is not None or args.nprobe is not None:
         # One shared IVF layout for every replica: the coarse quantizer is
         # trained once here, so replicas differ only in their scan state.
         from repro.retrieval import IVFIndex
@@ -367,30 +419,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"fault plan: kill replica 0 at scan {args.kill_replica_at}")
 
+    async def churn(daemon) -> dict:
+        """Seeded add/remove rounds through ``daemon.mutate``; one final
+        compaction so the summary shows the post-merge generation."""
+        from repro.retrieval import MutationRequest
+
+        churn_rng = make_rng(args.seed + 1)
+        stats = {"added": 0, "removed": 0}
+        dim = mutable_index.dim
+        # A labelled index (train --save-index) refuses unlabelled adds;
+        # draw synthetic arrivals from the existing label vocabulary.
+        label_pool = (
+            np.unique(index.labels) if index.labels is not None else None
+        )
+        for _ in range(args.churn):
+            vectors = churn_rng.normal(size=(32, dim))
+            labels = (
+                churn_rng.choice(label_pool, size=len(vectors))
+                if label_pool is not None
+                else None
+            )
+            added = await daemon.mutate(
+                MutationRequest(op="add", vectors=vectors, labels=labels)
+            )
+            stats["added"] += added.added
+            live = mutable_index.live_ids()
+            doomed = churn_rng.choice(
+                live, size=min(8, len(live)), replace=False
+            )
+            removed = await daemon.mutate(
+                MutationRequest(op="remove", ids=doomed)
+            )
+            stats["removed"] += removed.removed
+            await asyncio.sleep(0)  # let query traffic interleave
+        compacted = await daemon.mutate(MutationRequest(op="compact"))
+        stats["result"] = compacted
+        return stats
+
     async def run():
         daemon = ServingDaemon(
-            index, num_replicas=args.replicas, faults=faults,
+            mutable_index if mutable else index,
+            num_replicas=args.replicas, faults=faults,
             engine_kwargs=engine_kwargs, on_event=print
         )
         async with daemon:
             generator = TrafficGenerator(
                 daemon, pool, k=args.k, seed=args.seed
             )
-            if args.qps is not None:
-                report = await generator.run_open(args.qps, args.requests)
-            else:
-                report = await generator.run_closed(
-                    args.requests, clients=args.clients
-                )
-        return daemon, report
+            churn_task = (
+                asyncio.create_task(churn(daemon))
+                if args.churn is not None
+                else None
+            )
+            try:
+                if args.qps is not None:
+                    report = await generator.run_open(args.qps, args.requests)
+                else:
+                    report = await generator.run_closed(
+                        args.requests, clients=args.clients
+                    )
+            finally:
+                churn_stats = await churn_task if churn_task else None
+        return daemon, report, churn_stats
 
-    daemon, report = asyncio.run(run())
+    daemon, report, churn_stats = asyncio.run(run())
     mode = f"open loop @ {args.qps:g} qps" if args.qps is not None else (
         f"closed loop, {args.clients} clients"
     )
     print(f"serve: {args.replicas} replicas, {mode}")
     for line in report.summary_lines():
         print(line)
+    if churn_stats is not None:
+        final = churn_stats["result"]
+        print(
+            f"churn: {args.churn} rounds — {churn_stats['added']} added, "
+            f"{churn_stats['removed']} removed; compacted to generation "
+            f"{final.generation} ({final.live} live rows, "
+            f"{final.segments} segment(s), {final.tombstones} tombstones)"
+        )
+    if mutable_index is not None:
+        mutable_index.close()
     interesting = (
         "retries", "hedges", "failovers", "shed", "stale_served",
         "degraded_transitions",

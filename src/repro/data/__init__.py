@@ -9,11 +9,13 @@ from repro.data.datasets import RetrievalDataset, Split
 from repro.data.loader import BalancedDataLoader, DataLoader
 from repro.data.longtail import (
     LongTailSpec,
+    StreamStep,
     class_counts,
     class_weights,
     head_tail_split,
     imbalance_factor,
     labels_from_sizes,
+    stream_arrivals,
     zipf_class_sizes,
     zipf_exponent,
 )
@@ -44,6 +46,7 @@ __all__ = [
     "SUPPORTED_IMBALANCE_FACTORS",
     "Split",
     "Standardizer",
+    "StreamStep",
     "TEXT_DATASETS",
     "add_gaussian_noise",
     "available_datasets",
@@ -57,6 +60,7 @@ __all__ = [
     "load_dataset",
     "make_feature_model",
     "sample_to_memmap",
+    "stream_arrivals",
     "zipf_class_sizes",
     "zipf_exponent",
 ]

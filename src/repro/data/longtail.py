@@ -123,6 +123,87 @@ class LongTailSpec:
         return int(self.sizes().sum())
 
 
+@dataclass(frozen=True)
+class StreamStep:
+    """One arrival batch of a streaming long-tail corpus.
+
+    Attributes
+    ----------
+    step:
+        Position in the schedule (0-based).
+    labels:
+        Class labels of the items arriving in this batch (shuffled).
+    new_classes:
+        Class ids making their first appearance in this batch.
+    """
+
+    step: int
+    labels: np.ndarray
+    new_classes: np.ndarray
+
+
+def stream_arrivals(
+    class_sizes: np.ndarray,
+    num_steps: int,
+    rng: np.random.Generator | int = 0,
+    *,
+    stagger: float = 1.0,
+    shuffle: bool = True,
+) -> list[StreamStep]:
+    """Schedule a long-tail corpus as a stream of arrival batches.
+
+    The drift scenario behind the mutable index: head classes are present
+    from the first batch, while tail classes *arrive over time* — class
+    ``c`` (rank-sorted, largest first) first appears around step
+    ``stagger · (rank_fraction · num_steps)`` and its items then spread
+    evenly over the remaining steps. Early on the corpus is head-dominated;
+    by the final step the cumulative class counts equal ``class_sizes``
+    exactly, so the stream *grows the tail* rather than replaying a static
+    mixture. ``stagger = 0`` degrades to every class trickling in from
+    step 0.
+    """
+    sizes = np.asarray(class_sizes, dtype=np.int64)
+    if sizes.size == 0 or (sizes < 0).any():
+        raise ValueError("class sizes must be non-negative and non-empty")
+    if num_steps < 1:
+        raise ValueError("num_steps must be at least 1")
+    if not 0.0 <= stagger <= 1.0:
+        raise ValueError("stagger must lie in [0, 1]")
+    rng = make_rng(rng)
+    num_classes = len(sizes)
+    # Rank fraction 0 (head) .. 1 (tail) maps to each class's first step.
+    rank_fraction = (
+        np.arange(num_classes, dtype=np.float64) / max(num_classes - 1, 1)
+    )
+    first_step = np.minimum(
+        (stagger * rank_fraction * num_steps).astype(np.int64), num_steps - 1
+    )
+    per_step = np.zeros((num_steps, num_classes), dtype=np.int64)
+    for cls in range(num_classes):
+        active = num_steps - first_step[cls]
+        base, extra = divmod(int(sizes[cls]), active)
+        counts = np.full(active, base, dtype=np.int64)
+        counts[:extra] += 1
+        per_step[first_step[cls]:, cls] = counts
+    seen = np.zeros(num_classes, dtype=bool)
+    steps: list[StreamStep] = []
+    for step in range(num_steps):
+        counts = per_step[step]
+        labels = np.repeat(np.arange(num_classes), counts)
+        if shuffle:
+            rng.shuffle(labels)
+        arriving = (counts > 0) & ~seen
+        seen |= counts > 0
+        steps.append(
+            StreamStep(
+                step=step,
+                labels=labels,
+                new_classes=np.flatnonzero(arriving),
+            )
+        )
+    return steps
+
+
 def head_tail_split(class_sizes: np.ndarray, head_fraction: float = 0.5) -> tuple[np.ndarray, np.ndarray]:
     """Class ids of head vs tail classes.
 

@@ -1,14 +1,17 @@
 """The benchmark harness: seeded per-phase timing with a stable schema.
 
 This is the baseline every performance PR is judged against. One run
-times six phases per dataset profile — **train-step** (optimisation
+times seven phases per dataset profile — **train-step** (optimisation
 steps through the real session loop), **train** (the fused-vs-reference
 training comparison), **encode** (DSQ encoding of the
 database), **index-build** (the full Fig. 3 indexing pipeline), **query**
 (ADC search, measured both one-query-at-a-time for honest latency
-percentiles and as one batch for throughput), and **serve** (closed-loop
+percentiles and as one batch for throughput), **serve** (closed-loop
 traffic through the resilient serving daemon, recording request-level
-p50/p95/p99 latency and sustained QPS) — and writes
+p50/p95/p99 latency and sustained QPS), and **stream** (the mutable
+index under a streaming long-tail drift scenario: online insert
+throughput, recall decay against a periodic full rebuild, compaction
+pause percentiles, and the quantization-drift refresh flag) — and writes
 ``BENCH_results.json`` in the versioned schema documented in
 ``docs/benchmarks.md``.
 
@@ -45,9 +48,12 @@ from repro.obs import names as metric_names
 #: v3 adds the ``serve`` phase (serving-daemon latency/QPS under closed-loop
 #: traffic); v4 adds the ``ivf`` phase (the ``ivf-large`` profile's
 #: recall@k-vs-speedup curve for the IVF-pruned engine over a memory-mapped
-#: corpus). Older files load fine — the extra phases are simply absent.
-BENCH_SCHEMA_VERSION = 4
-_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4)
+#: corpus); v5 adds the ``stream`` phase (mutable-index long-tail drift:
+#: insert throughput, recall decay vs periodic full rebuild, compaction
+#: pauses, quantization-drift flag). Older files load fine — the extra
+#: phases are simply absent.
+BENCH_SCHEMA_VERSION = 5
+_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 DEFAULT_RESULTS_PATH = "BENCH_results.json"
 #: Dataset profiles a default (no ``--profile``) run covers.
 DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
@@ -65,6 +71,21 @@ IVF_LARGE_ITEMS = 1_000_000
 IVF_LARGE_QUICK_ITEMS = 50_000
 #: Recall@10 floor the tuned ``best`` operating point must clear.
 IVF_RECALL_FLOOR = 0.95
+
+#: Streaming long-tail phase (schema v5): total items streamed into the
+#: mutable index (``--stream-items``; ``--quick`` shrinks it) and the
+#: number of arrival steps (``--stream-steps``).
+STREAM_ITEMS = 6_000
+STREAM_QUICK_ITEMS = 2_000
+STREAM_STEPS = 12
+STREAM_QUICK_STEPS = 6
+#: Compact the mutable index every this many arrival steps.
+STREAM_COMPACT_EVERY = 4
+#: Acceptance: recall@10 may trail a from-scratch rebuild (retrained
+#: codebooks) by at most this much at any compaction checkpoint.
+STREAM_RECALL_DECAY_LIMIT = 0.02
+#: Acceptance: sustained insert throughput floor (vectors/s).
+STREAM_INSERT_FLOOR = 10_000.0
 
 #: Relative tolerance for the fused-vs-reference final-loss parity bit.
 #: The two paths follow bit-identical loss values but accumulate gradients
@@ -166,15 +187,17 @@ def _bench_engine(index, queries, serial_topk, scan_hist, serial_scan_tput,
     """Time the sharded engine on the batch query and compare to serial."""
     import numpy as np
 
+    from repro.retrieval import SearchRequest
     from repro.retrieval.engine import QueryEngine
 
     with handle.span("bench.query.engine", workers=workers, shards=shards or 0):
         with QueryEngine(index, workers=workers, num_shards=shards) as engine:
             engine.search(queries[:1], k=10)  # warm the path (and any pool)
+            request = SearchRequest(queries=queries, k=10, engine=engine)
             window = _hist_window(scan_hist)
             start = time.perf_counter()
             for _ in range(_ENGINE_REPEATS):
-                engine_topk = index.search(queries, k=10, engine=engine)
+                engine_topk = index.search(request).indices
             wall = (time.perf_counter() - start) / _ENGINE_REPEATS
             engine_tput = _window_mean(scan_hist, window)
             entry = {
@@ -227,6 +250,216 @@ def _bench_serve(
         "cache_hits": int(daemon.counts["cache_hits"]),
         **report.as_dict(),
     }
+
+
+def _train_residual_codebooks(features, num_codebooks, num_codewords, rng):
+    """Residual k-means codebooks — the stream phase's (re)training step."""
+    from repro.cluster.kmeans import kmeans
+
+    residual = np.asarray(features, dtype=np.float64).copy()
+    dim = residual.shape[1]
+    codebooks = np.empty((num_codebooks, num_codewords, dim))
+    for j in range(num_codebooks):
+        result = kmeans(residual, num_codewords, rng=rng, max_iterations=10)
+        codebooks[j] = result.centroids
+        residual -= result.centroids[result.assignments]
+    return codebooks
+
+
+def _overlap_recall(approx_ids, exact_ids) -> float:
+    """Mean top-k overlap fraction (the IVF phase's recall definition)."""
+    return float(np.mean([
+        len(set(approx) & set(exact)) / len(exact)
+        for approx, exact in zip(approx_ids, exact_ids)
+    ]))
+
+
+def _bench_stream(
+    num_classes: int,
+    dim: int,
+    quick: bool,
+    seed: int,
+    handle,
+    stream_items: int | None = None,
+    stream_steps: int | None = None,
+) -> dict:
+    """The streaming long-tail drift scenario over the mutable index.
+
+    A Zipf corpus arrives over ``stream_steps`` batches
+    (:func:`repro.data.longtail.stream_arrivals`): the head is present from
+    the first batch — which also trains the codebooks — while tail classes
+    arrive late and grow. Each later batch is inserted online
+    (``MutableIndex.add``), a small seeded churn removes old rows, and the
+    index compacts every :data:`STREAM_COMPACT_EVERY` steps. At each
+    compaction checkpoint recall@10 (against the exact float oracle over
+    the live corpus) is measured three ways:
+
+    - the mutable index as it stands (segments + tombstones);
+    - a **periodic full rebuild** with the production codebooks — the ops
+      strategy the mutable index replaces. Its recall minus the mutable
+      recall is the *decay* the acceptance limit bounds (the parity
+      contract predicts exactly zero: same codes, same ranking);
+    - a rebuild with codebooks **retrained** on the live corpus — its gain
+      over the mutable recall is the *refresh headroom* a DSQ fine-tune
+      would recover, the quantity the drift gauge exists to flag. It is
+      reported, not thresholded: it measures codebook staleness, not the
+      mutable layer.
+
+    The final checkpoint also asserts bit parity between the mutable
+    search and its own rebuild through the public search path.
+    """
+    from repro.data.longtail import stream_arrivals, zipf_class_sizes
+    from repro.data.synthetic import make_feature_model
+    from repro.retrieval import MutableIndex, QuantizedIndex
+    from repro.retrieval.search import squared_distances, topk_tie_stable
+
+    n_items = stream_items if stream_items is not None else (
+        STREAM_QUICK_ITEMS if quick else STREAM_ITEMS
+    )
+    n_steps = stream_steps if stream_steps is not None else (
+        STREAM_QUICK_STEPS if quick else STREAM_STEPS
+    )
+    if n_steps < 2:
+        raise ValueError("the stream phase needs at least 2 steps")
+    num_codebooks, num_codewords = (4, 32) if quick else (4, 64)
+    k = 10
+    rng = np.random.default_rng(seed + 17)
+    model = make_feature_model(
+        num_classes, dim, separation=4.0, intra_sigma=0.8, rng=rng
+    )
+    # Calibrate the Zipf head size so the schedule totals ~n_items.
+    reference = zipf_class_sizes(num_classes, 1_000, 50.0)
+    head = max(int(round(1_000 * n_items / reference.sum())), 2)
+    sizes = zipf_class_sizes(num_classes, head, 50.0)
+    schedule = stream_arrivals(sizes, n_steps, rng=seed + 18, stagger=0.75)
+
+    query_labels = np.tile(np.arange(num_classes), 1 if quick else 2)
+    queries = model.sample(query_labels, rng)
+
+    # Row id == position in this growing store (ids are auto-assigned and
+    # never reused here), so the float oracle can gather live rows by id.
+    store = np.empty((int(sizes.sum()), dim))
+    initial = model.sample(schedule[0].labels, rng)
+    store[: len(initial)] = initial
+    with handle.span("bench.stream.train", items=len(initial)):
+        codebooks = _train_residual_codebooks(
+            initial, num_codebooks, num_codewords,
+            np.random.default_rng(seed + 19),
+        )
+        index = MutableIndex.from_index(
+            QuantizedIndex.build(codebooks, initial, labels=schedule[0].labels)
+        )
+
+    def checkpoint(step: int) -> dict:
+        live_ids = index.live_ids()
+        live = store[live_ids]
+        exact = live_ids[
+            topk_tie_stable(squared_distances(queries, live), k)[0]
+        ]
+        mutable_recall = _overlap_recall(index.search(queries, k=k), exact)
+        rebuild_rows = QuantizedIndex.build(codebooks, live).search(
+            queries, k=k
+        )
+        rebuild_recall = _overlap_recall(live_ids[rebuild_rows], exact)
+        retrained = _train_residual_codebooks(
+            live, num_codebooks, num_codewords,
+            np.random.default_rng(seed + 20 + step),
+        )
+        retrained_rows = QuantizedIndex.build(retrained, live).search(
+            queries, k=k
+        )
+        retrained_recall = _overlap_recall(live_ids[retrained_rows], exact)
+        return {
+            "step": step,
+            "live": int(len(live_ids)),
+            "recall_mutable": mutable_recall,
+            "recall_rebuild": rebuild_recall,
+            "recall_retrained": retrained_recall,
+            "decay": rebuild_recall - mutable_recall,
+            "refresh_headroom": retrained_recall - mutable_recall,
+        }
+
+    inserted = removed = 0
+    insert_wall = 0.0
+    compact_pauses: list[float] = []
+    checkpoints: list[dict] = []
+    churn_rng = np.random.default_rng(seed + 21)
+    for stream_step in schedule[1:]:
+        labels = stream_step.labels
+        if len(labels):
+            vectors = model.sample(labels, rng)
+            result = index.add(vectors, labels=labels)
+            store[
+                index.id_bound - result.added : index.id_bound
+            ] = vectors
+            inserted += result.added
+            insert_wall += result.elapsed_s
+        live_ids = index.live_ids()
+        n_churn = int(0.02 * len(live_ids))
+        if n_churn:
+            victims = churn_rng.choice(live_ids, size=n_churn, replace=False)
+            removed += index.remove(victims).removed
+        if stream_step.step % STREAM_COMPACT_EVERY == 0 or (
+            stream_step is schedule[-1]
+        ):
+            with handle.span("bench.stream.checkpoint", step=stream_step.step):
+                checkpoints.append(checkpoint(stream_step.step))
+            compact_pauses.append(index.compact().elapsed_s)
+
+    # Bit parity against the index's own from-scratch rebuild (same
+    # codebooks): the tentpole's exactness contract, asserted on the final
+    # state through the public search path.
+    rebuilt, external = index.rebuild()
+    parity = bool(
+        np.array_equal(index.search(queries, k=k), external[rebuilt.search(queries, k=k)])
+    )
+    pauses = np.asarray(compact_pauses)
+    max_decay = max(point["decay"] for point in checkpoints)
+    insert_rate = inserted / insert_wall if insert_wall > 0 else None
+    entry = {
+        "items": int(n_items),
+        "steps": int(n_steps),
+        "initial_items": int(len(initial)),
+        "inserted": int(inserted),
+        "removed": int(removed),
+        "live_final": int(len(index)),
+        "insert": {
+            "wall_time_s": insert_wall,
+            "items_per_s": insert_rate,
+            "floor_items_per_s": STREAM_INSERT_FLOOR,
+            "meets_floor": bool(
+                insert_rate is not None and insert_rate >= STREAM_INSERT_FLOOR
+            ),
+        },
+        "compactions": {
+            "count": len(compact_pauses),
+            "every_steps": STREAM_COMPACT_EVERY,
+            "pause_s": {
+                "p50": float(np.percentile(pauses, 50)),
+                "p95": float(np.percentile(pauses, 95)),
+                "p99": float(np.percentile(pauses, 99)),
+                "max": float(pauses.max()),
+            },
+        },
+        "recall": {
+            "k": k,
+            "checkpoints": checkpoints,
+            "max_decay": float(max_decay),
+            "decay_limit": STREAM_RECALL_DECAY_LIMIT,
+            "within_limit": bool(max_decay <= STREAM_RECALL_DECAY_LIMIT),
+            "max_refresh_headroom": float(
+                max(point["refresh_headroom"] for point in checkpoints)
+            ),
+        },
+        "drift": {
+            "ratio": float(index.drift_ratio),
+            "threshold": index.drift_threshold,
+            "refresh_flagged": bool(index.refresh_recommended),
+        },
+        "parity_with_rebuild": parity,
+    }
+    index.close()
+    return entry
 
 
 def _build_ivf_corpus(n_items: int, quick: bool, seed: int, tmpdir: str):
@@ -311,7 +544,7 @@ def bench_ivf_profile(
     import shutil
     import tempfile
 
-    from repro.retrieval import IVFIndex, default_num_cells
+    from repro.retrieval import IVFIndex, SearchRequest, default_num_cells
     from repro.retrieval.engine import QueryEngine
 
     nprobes = tuple(sorted(set(nprobes or DEFAULT_NPROBES)))
@@ -355,8 +588,11 @@ def bench_ivf_profile(
                     cells_window = _hist_window(cells_hist)
                     cand_window = _hist_window(cand_hist)
                     with handle.span("bench.ivf.sweep", nprobe=nprobe):
+                        request = SearchRequest(
+                            queries=queries, k=10, nprobe=nprobe
+                        )
                         start = time.perf_counter()
-                        topk = ivf.search(queries, k=10, nprobe=nprobe)
+                        topk = ivf.search(request).indices
                         wall = time.perf_counter() - start
                     overlap = [
                         len(set(approx) & set(exact)) / len(exact)
@@ -437,6 +673,8 @@ def bench_profile(
     seed: int = 0,
     workers: int | None = None,
     shards: int | None = None,
+    stream_items: int | None = None,
+    stream_steps: int | None = None,
 ) -> dict:
     """Run every phase for one profile; returns its result subtree.
 
@@ -545,7 +783,13 @@ def bench_profile(
                 serve_entry = _bench_serve(
                     index, queries, seed=seed, n_requests=n_serve
                 )
+            with handle.span("bench.stream"):
+                stream_entry = _bench_stream(
+                    dataset.num_classes, dataset.dim, quick, seed, handle,
+                    stream_items=stream_items, stream_steps=stream_steps,
+                )
         steps = reference_steps
+        stream_wall = _span_duration(tracer, "bench.stream")
         serve_wall = _span_duration(tracer, "bench.serve")
         train_wall = _span_duration(tracer, "bench.train_step")
         fused_wall = _span_duration(tracer, "bench.train_fused")
@@ -643,6 +887,10 @@ def bench_profile(
                     "wall_time_s": serve_wall,
                     **serve_entry,
                 },
+                "stream": {
+                    "wall_time_s": stream_wall,
+                    **stream_entry,
+                },
             },
             "metrics": registry.snapshot(),
             "spans": tracer.records(),
@@ -659,11 +907,14 @@ def run_bench(
     ivf_items: int | None = None,
     ivf_cells: int | None = None,
     ivf_lut: str = "float32",
+    stream_items: int | None = None,
+    stream_steps: int | None = None,
 ) -> dict:
     """Run the harness over ``profiles``; returns the full result tree.
 
-    The ``ivf_*``/``nprobes`` knobs shape the ``ivf-large`` profile only;
-    they are ignored for the regular six-phase profiles.
+    The ``ivf_*``/``nprobes`` knobs shape the ``ivf-large`` profile only,
+    and the ``stream_*`` knobs the regular profiles' ``stream`` phase;
+    each is ignored by the other kind of profile.
     """
     results = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -687,7 +938,9 @@ def run_bench(
             )
         else:
             results["profiles"][profile] = bench_profile(
-                profile, quick=quick, seed=seed, workers=workers, shards=shards
+                profile, quick=quick, seed=seed, workers=workers,
+                shards=shards, stream_items=stream_items,
+                stream_steps=stream_steps,
             )
     return results
 
@@ -795,6 +1048,20 @@ def format_summary(results: dict) -> str:
                 f"{p50:>9} {p95:>9} {p99:>9} "
                 f"({serve['replicas']}r/{serve['clients']}c, "
                 f"ok {serve['ok']}/{serve['requests']})"
+            )
+        stream = phases.get("stream")
+        if stream:
+            rate = stream["insert"].get("items_per_s")
+            rate_text = f"{rate:,.0f} items/s" if rate else "-"
+            recall = stream["recall"]
+            pause = stream["compactions"]["pause_s"]
+            decay_flag = "ok" if recall["within_limit"] else "OVER LIMIT"
+            parity = "ok" if stream.get("parity_with_rebuild") else "MISMATCH"
+            lines.append(
+                f"{profile:<16} {'stream':<12} "
+                f"{stream['wall_time_s']:>9.3f} {rate_text:>18} "
+                f"decay {recall['max_decay']:+.3f} ({decay_flag}), "
+                f"compact p95 {pause['p95'] * 1e3:.1f}ms, parity {parity}"
             )
         ivf = phases.get("ivf")
         if ivf:
@@ -913,6 +1180,27 @@ def compare_results(old: dict, new: dict) -> str:
                     f"{profile:<16} {'serve p99 ms':<12} {old_p99:>9.3f} "
                     f"{new_p99:>9.3f} {delta:>+7.1f}%"
                 )
+        # Stream rows (schema v5): insert throughput ratio and recall-decay
+        # delta at the compaction checkpoints.
+        old_stream = old_phases.get("stream")
+        new_stream = new_phases.get("stream")
+        if old_stream and new_stream:
+            old_rate = old_stream["insert"].get("items_per_s")
+            new_rate = new_stream["insert"].get("items_per_s")
+            if old_rate and new_rate:
+                ratio = new_rate / old_rate
+                lines.append(
+                    f"{profile:<16} {'insert items/s':<12} {old_rate:>9.0f} "
+                    f"{new_rate:>9.0f} {'x' + format(ratio, '.2f'):>8}"
+                )
+            old_decay = old_stream["recall"].get("max_decay")
+            new_decay = new_stream["recall"].get("max_decay")
+            if old_decay is not None and new_decay is not None:
+                lines.append(
+                    f"{profile:<16} {'stream decay':<12} {old_decay:>9.3f} "
+                    f"{new_decay:>9.3f} "
+                    f"(limit {new_stream['recall']['decay_limit']:.2f})"
+                )
         # IVF rows (schema v4): tuned-best speedup and its recall@10.
         old_best = (old_phases.get("ivf") or {}).get("best")
         new_best = (new_phases.get("ivf") or {}).get("best")
@@ -974,6 +1262,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "tables, 4x smaller scan working set)",
     )
     parser.add_argument(
+        "--stream-items", type=int, default=None,
+        help="total items streamed through the mutable index in the stream "
+        f"phase (default: {STREAM_ITEMS:,}; --quick: {STREAM_QUICK_ITEMS:,})",
+    )
+    parser.add_argument(
+        "--stream-steps", type=int, default=None,
+        help="arrival steps of the stream phase (default: "
+        f"{STREAM_STEPS}; --quick: {STREAM_QUICK_STEPS})",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_RESULTS_PATH,
         help=f"result file (default: {DEFAULT_RESULTS_PATH})",
     )
@@ -1000,6 +1298,7 @@ def main(argv: list[str] | None = None) -> int:
         nprobes=tuple(args.nprobe) if args.nprobe else None,
         ivf_items=args.ivf_items, ivf_cells=args.ivf_cells,
         ivf_lut=args.ivf_lut,
+        stream_items=args.stream_items, stream_steps=args.stream_steps,
     )
     path = write_results(results, args.out)
     print(format_summary(results))

@@ -84,6 +84,17 @@ QUERY_BATCHES_TOTAL = "query.batches.total"
 QUERY_ITEMS_TOTAL = "query.items.total"
 SEARCH_EXHAUSTIVE_TIME = "search.exhaustive.time_s"
 
+# --- mutable index (repro.retrieval.mutable) --------------------------------
+MUTABLE_ADD_TIME = "mutable.add.time_s"
+MUTABLE_ADDS_TOTAL = "mutable.adds.total"
+MUTABLE_REMOVES_TOTAL = "mutable.removes.total"
+MUTABLE_COMPACT_TIME = "mutable.compact.time_s"
+MUTABLE_COMPACTIONS_TOTAL = "mutable.compactions.total"
+MUTABLE_SEGMENTS_LIVE = "mutable.segments.live"
+MUTABLE_TOMBSTONES_LIVE = "mutable.tombstones.live"
+MUTABLE_DRIFT_RATIO = "mutable.drift.ratio"
+MUTABLE_REFRESH_FLAGGED = "mutable.refresh.flagged"
+
 # --- serving daemon (repro.serving.daemon / .batcher / .replica) ------------
 SERVE_REQUESTS_TOTAL = "serve.requests.total"
 SERVE_REQUESTS_OK = "serve.requests.ok"
@@ -528,6 +539,78 @@ SPECS: tuple[MetricSpec, ...] = (
         "repro.retrieval.search.exhaustive_search",
         "Wall time of one exhaustive (uncompressed) search call — the "
         "reference point ADC speedups are measured against.",
+    ),
+    MetricSpec(
+        MUTABLE_ADD_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.mutable.MutableIndex.add",
+        "Wall time of one add batch: encode, norm computation, segment "
+        "seal, and the generation swap.",
+    ),
+    MetricSpec(
+        MUTABLE_ADDS_TOTAL,
+        COUNTER,
+        "items",
+        "repro.retrieval.mutable.MutableIndex.add",
+        "Vectors appended across all add batches.",
+    ),
+    MetricSpec(
+        MUTABLE_REMOVES_TOTAL,
+        COUNTER,
+        "items",
+        "repro.retrieval.mutable.MutableIndex.remove",
+        "Rows tombstoned across all remove calls.",
+    ),
+    MetricSpec(
+        MUTABLE_COMPACT_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.retrieval.mutable.MutableIndex.compact",
+        "Wall time of one compaction: merging live rows of every segment "
+        "into a fresh base, rebuilding the attached engine/IVF layout, and "
+        "swapping the generation. The bench's compaction pause "
+        "percentiles read this distribution.",
+    ),
+    MetricSpec(
+        MUTABLE_COMPACTIONS_TOTAL,
+        COUNTER,
+        "compactions",
+        "repro.retrieval.mutable.MutableIndex.compact",
+        "Completed compactions.",
+    ),
+    MetricSpec(
+        MUTABLE_SEGMENTS_LIVE,
+        GAUGE,
+        "segments",
+        "repro.retrieval.mutable.MutableIndex",
+        "Sealed segments (base included) in the current generation.",
+    ),
+    MetricSpec(
+        MUTABLE_TOMBSTONES_LIVE,
+        GAUGE,
+        "items",
+        "repro.retrieval.mutable.MutableIndex",
+        "Tombstoned rows awaiting compaction in the current generation.",
+    ),
+    MetricSpec(
+        MUTABLE_DRIFT_RATIO,
+        GAUGE,
+        "ratio",
+        "repro.retrieval.mutable.MutableIndex.add",
+        "Mean quantization error of the latest add batch relative to the "
+        "drift baseline (first batch unless set explicitly) — rises as "
+        "the arriving distribution drifts away from what the codebooks "
+        "were trained on.",
+    ),
+    MetricSpec(
+        MUTABLE_REFRESH_FLAGGED,
+        COUNTER,
+        "flags",
+        "repro.retrieval.mutable.MutableIndex.add",
+        "Times the drift ratio crossed the refresh threshold from below — "
+        "each crossing is a signal to fine-tune/refresh the DSQ codebooks "
+        "and rebuild.",
     ),
 )
 

@@ -26,6 +26,12 @@ from repro.retrieval.engine import (
 )
 from repro.retrieval.index import QuantizedIndex
 from repro.retrieval.ivf import IVFIndex, default_num_cells, quantize_lut
+from repro.retrieval.mutable import (
+    MutableIndex,
+    MutationRequest,
+    MutationResult,
+    Segment,
+)
 from repro.retrieval.metrics import (
     average_precision,
     mean_average_precision,
@@ -34,6 +40,8 @@ from repro.retrieval.metrics import (
     recall_at_k,
 )
 from repro.retrieval.search import (
+    SearchRequest,
+    SearchResult,
     exhaustive_search,
     hamming_distances,
     rank_by_distance,
@@ -43,8 +51,14 @@ from repro.retrieval.search import (
 __all__ = [
     "EfficiencyMeasurement",
     "IVFIndex",
+    "MutableIndex",
+    "MutationRequest",
+    "MutationResult",
     "QuantizedIndex",
     "QueryEngine",
+    "SearchRequest",
+    "SearchResult",
+    "Segment",
     "ShardedIndex",
     "StorageCost",
     "compact_code_dtype",

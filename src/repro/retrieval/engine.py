@@ -51,7 +51,12 @@ import numpy as np
 from repro.obs import get_obs
 from repro.obs import names as metric_names
 from repro.retrieval.index import QuantizedIndex
-from repro.retrieval.search import topk_tie_stable
+from repro.retrieval.search import (
+    SearchRequest,
+    SearchResult,
+    topk_tie_stable,
+    warn_legacy_search_kwargs,
+)
 
 __all__ = [
     "QueryEngine",
@@ -386,6 +391,15 @@ class QueryEngine:
     def num_shards(self) -> int:
         return self.sharded.num_shards
 
+    @property
+    def n_db(self) -> int:
+        """Database rows this engine serves."""
+        return len(self.sharded)
+
+    @property
+    def dim(self) -> int:
+        return self.sharded.dim
+
     def effective_workers(self) -> int:
         """Pool size the dispatcher would use: capped by cores and shards."""
         cores = os.cpu_count() or 1
@@ -471,13 +485,20 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def search(
         self,
-        queries: np.ndarray,
+        queries: "np.ndarray | SearchRequest",
         k: int | None = None,
         *,
         rerank: bool | None = None,
         nprobe: int | None = None,
-    ) -> np.ndarray:
+    ) -> "np.ndarray | SearchResult":
         """Ranked database indices per query, shaped like the serial path.
+
+        The canonical form takes a
+        :class:`~repro.retrieval.search.SearchRequest` and returns a
+        :class:`~repro.retrieval.search.SearchResult`; the legacy array
+        form returns bare indices, with its ``rerank=``/``nprobe=`` kwargs
+        deprecated in favour of request hints (they still work, emitting
+        ``DeprecationWarning``).
 
         ``k=None`` returns the full ranking; otherwise ``(n_q, min(k,
         n_db))``. Rankings are tie-stable on (distance, index) — the order
@@ -487,12 +508,43 @@ class QueryEngine:
         and serve raw float32 rankings cheaply. With an IVF layer attached
         (``ivf=``), ``nprobe`` overrides the probe width for this call;
         ``nprobe=0`` bypasses the layer and serves the exact exhaustive
-        scan.
+        scan. Without an IVF layer any ``nprobe`` raises ``ValueError``.
         """
+        if isinstance(queries, SearchRequest):
+            if k is not None or rerank is not None or nprobe is not None:
+                raise TypeError(
+                    "pass search parameters inside the SearchRequest, not "
+                    "alongside it"
+                )
+            return self.serve(queries)
+        warn_legacy_search_kwargs(
+            "QueryEngine.search", rerank=rerank, nprobe=nprobe
+        )
         indices, _ = self.search_with_distances(
             queries, k=k, rerank=rerank, nprobe=nprobe
         )
         return indices
+
+    def serve(self, request: SearchRequest) -> SearchResult:
+        """Serve one :class:`SearchRequest` through this engine."""
+        if request.engine is not None and request.engine is not self:
+            raise ValueError(
+                "request carries an engine hint for a different engine"
+            )
+        start = time.perf_counter()
+        indices, distances = self.search_with_distances(
+            request.queries,
+            k=request.k,
+            rerank=request.rerank,
+            nprobe=request.nprobe,
+        )
+        return SearchResult(
+            indices=indices,
+            distances=distances,
+            k=request.k,
+            source=self.last_dispatch or "in-process",
+            elapsed_s=time.perf_counter() - start,
+        )
 
     def search_with_distances(
         self,

@@ -21,7 +21,12 @@ import numpy as np
 from repro.obs import get_obs
 from repro.obs import names as metric_names
 from repro.retrieval.adc import adc_distances, encode_nearest, reconstruct, validate_codes
-from repro.retrieval.search import rank_by_distance
+from repro.retrieval.search import (
+    SearchRequest,
+    SearchResult,
+    rank_by_distance,
+    warn_legacy_search_kwargs,
+)
 
 
 @dataclass
@@ -132,51 +137,86 @@ class QuantizedIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        queries: np.ndarray,
+        queries: "np.ndarray | SearchRequest",
         k: int | None = None,
         engine: "object | None" = None,
         nprobe: int | None = None,
-    ) -> np.ndarray:
+    ) -> "np.ndarray | SearchResult":
         """Ranked database indices for each query via ADC lookups.
 
-        ``engine`` delegates the scan to a
+        The canonical form takes a
+        :class:`~repro.retrieval.search.SearchRequest` and returns a
+        :class:`~repro.retrieval.search.SearchResult` (indices *and*
+        distances). The legacy form — a raw query array plus ``k`` —
+        still returns a bare index array; its ``engine=``/``nprobe=``
+        kwargs keep working through a shim that emits
+        ``DeprecationWarning`` (use ``SearchRequest`` hints instead).
+
+        A request's ``engine`` hint delegates the scan to a
         :class:`repro.retrieval.engine.QueryEngine` built over this index —
         the sharded (optionally multi-worker) fast path — or to an
         :class:`repro.retrieval.ivf.IVFIndex` (the pruned approximate
         path), while keeping this method's metrics contract. The engine
         must have been built from an index with this one's geometry.
-        ``nprobe`` is forwarded to engines with an IVF layer (it is an
-        error for engines without one).
+        ``nprobe`` requires an engine with an IVF layer; without one it
+        raises ``ValueError`` — never a silent exhaustive fallback.
 
         With observability enabled the call records per-query latency into
         ``query.latency_s`` — the batch's wall time spread evenly over its
         queries, so single-query calls (the serving pattern the benchmark
         harness times) yield exact per-query percentiles.
         """
+        if isinstance(queries, SearchRequest):
+            if k is not None or engine is not None or nprobe is not None:
+                raise TypeError(
+                    "pass search parameters inside the SearchRequest, not "
+                    "alongside it"
+                )
+            return self.serve(queries)
+        warn_legacy_search_kwargs(
+            "QuantizedIndex.search", engine=engine, nprobe=nprobe
+        )
+        request = SearchRequest(queries, k=k, nprobe=nprobe, engine=engine)
+        return self.serve(request).indices
+
+    def serve(self, request: SearchRequest) -> SearchResult:
+        """Serve one :class:`SearchRequest` (the core of :meth:`search`)."""
         obs = get_obs()
-        start = time.perf_counter() if obs.enabled else 0.0
+        start = time.perf_counter()
+        queries = request.queries
+        engine = request.engine
         if engine is not None:
             if not engine.matches(self):
                 raise ValueError(
                     "engine was built over an index with different geometry "
                     "than this one"
                 )
-            if nprobe is not None:
-                ranked = engine.search(queries, k=k, nprobe=nprobe)
-            else:
-                ranked = engine.search(queries, k=k)
-        elif nprobe is not None:
+            hints: dict = {}
+            if request.nprobe is not None:
+                hints["nprobe"] = request.nprobe
+            if request.rerank is not None:
+                hints["rerank"] = request.rerank
+            indices, distances = engine.search_with_distances(
+                queries, k=request.k, **hints
+            )
+            source = getattr(engine, "last_dispatch", None) or "engine"
+        elif request.nprobe is not None:
             raise ValueError(
-                "nprobe requires an engine with an IVF layer (pass engine=)"
+                "nprobe requires an engine with an IVF layer attached "
+                "(pass a QueryEngine built with ivf=..., or an IVFIndex, "
+                "as the request's engine hint)"
             )
         else:
-            distances = adc_distances(
+            distance_matrix = adc_distances(
                 queries, self.codes, self.codebooks, db_sq_norms=self.db_sq_norms
             )
-            ranked = rank_by_distance(distances, k=k)
+            indices = rank_by_distance(distance_matrix, k=request.k)
+            rows = np.arange(len(indices))[:, None]
+            distances = distance_matrix[rows, indices]
+            source = "serial-adc"
+        elapsed = time.perf_counter() - start
         if obs.enabled:
-            n_queries = len(np.asarray(queries))
-            elapsed = time.perf_counter() - start
+            n_queries = request.n_queries
             registry = obs.registry
             registry.counter(metric_names.QUERY_BATCHES_TOTAL).inc()
             if n_queries:
@@ -184,11 +224,17 @@ class QuantizedIndex:
                 registry.histogram(metric_names.QUERY_LATENCY).observe_many(
                     elapsed / n_queries, n_queries
                 )
-        return ranked
+        return SearchResult(
+            indices=indices,
+            distances=np.asarray(distances, dtype=np.float64),
+            k=request.k,
+            source=source,
+            elapsed_s=elapsed,
+        )
 
     def search_labels(
         self,
-        queries: np.ndarray,
+        queries: "np.ndarray | SearchRequest",
         k: int | None = None,
         engine: "object | None" = None,
         nprobe: int | None = None,
@@ -196,4 +242,6 @@ class QuantizedIndex:
         """Ranked database *labels*, ready for MAP evaluation."""
         if self.labels is None:
             raise RuntimeError("index was built without labels")
+        if isinstance(queries, SearchRequest):
+            return self.labels[self.serve(queries).indices]
         return self.labels[self.search(queries, k=k, engine=engine, nprobe=nprobe)]

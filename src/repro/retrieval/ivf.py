@@ -52,6 +52,11 @@ from repro.cluster.kmeans import assign_to_centroids, kmeans
 from repro.obs import get_obs
 from repro.obs import names as metric_names
 from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.search import (
+    SearchRequest,
+    SearchResult,
+    warn_legacy_search_kwargs,
+)
 
 __all__ = [
     "IVFIndex",
@@ -309,13 +314,19 @@ class IVFIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        queries: np.ndarray,
+        queries: "np.ndarray | SearchRequest",
         k: int | None = None,
         *,
         nprobe: int | None = None,
         rerank: bool | None = None,
-    ) -> np.ndarray:
+    ) -> "np.ndarray | SearchResult":
         """Ranked database indices per query over the probed cells.
+
+        The canonical form takes a
+        :class:`~repro.retrieval.search.SearchRequest` and returns a
+        :class:`~repro.retrieval.search.SearchResult`; the legacy array
+        form returns bare indices, its ``nprobe=``/``rerank=`` kwargs kept
+        as deprecated shims (``DeprecationWarning``).
 
         Shapes and tie-breaking match the exhaustive paths — ``(n_q,
         min(k, n_db))``, ordered by (distance, global index) — but only
@@ -326,10 +337,41 @@ class IVFIndex:
         contract always holds. ``k=None`` (the exhaustive paths' full
         ranking) is not served by a pruned index; pass an explicit ``k``.
         """
+        if isinstance(queries, SearchRequest):
+            if k is not None or nprobe is not None or rerank is not None:
+                raise TypeError(
+                    "pass search parameters inside the SearchRequest, not "
+                    "alongside it"
+                )
+            return self.serve(queries)
+        warn_legacy_search_kwargs(
+            "IVFIndex.search", nprobe=nprobe, rerank=rerank
+        )
         indices, _ = self.search_with_distances(
             queries, k=k, nprobe=nprobe, rerank=rerank
         )
         return indices
+
+    def serve(self, request: SearchRequest) -> SearchResult:
+        """Serve one :class:`SearchRequest` through the pruned path."""
+        if request.engine is not None and request.engine is not self:
+            raise ValueError(
+                "request carries an engine hint for a different engine"
+            )
+        start = time.perf_counter()
+        indices, distances = self.search_with_distances(
+            request.queries,
+            k=request.k,
+            nprobe=request.nprobe,
+            rerank=request.rerank,
+        )
+        return SearchResult(
+            indices=indices,
+            distances=distances,
+            k=request.k,
+            source="ivf",
+            elapsed_s=time.perf_counter() - start,
+        )
 
     def search_with_distances(
         self,

@@ -27,8 +27,10 @@ from repro.resilience.errors import CorruptArtifactError, IncompatibleStateError
 from repro.retrieval.index import QuantizedIndex
 
 _FORMAT_VERSION = 1
+_MUTABLE_FORMAT_VERSION = 1
 
 INDEX_KIND = "quantized-index"
+MUTABLE_INDEX_KIND = "mutable-index"
 
 
 def save_index(index: QuantizedIndex, path: str) -> None:
@@ -125,6 +127,171 @@ def load_index(path: str) -> QuantizedIndex:
         db_sq_norms=arrays["db_sq_norms"].astype(np.float64),
         labels=arrays["labels"] if "labels" in arrays else None,
     )
+
+
+def save_mutable_index(index, path: str) -> None:
+    """Write a :class:`~repro.retrieval.mutable.MutableIndex` to ``path``.
+
+    Unlike :func:`save_index` (which narrows to float32, matching the §IV
+    serving budget), mutable archives keep codebooks and norms at float64:
+    the mutable index's contract is *bit-identical* parity with a
+    from-scratch rebuild, and that survives a round trip only if the scan
+    inputs do. Segments are stored as-is — ``segment{i}_codes/norms/ids/
+    dead`` (+ optional labels) — so a load resumes mid-lifecycle with
+    tombstones and pending compaction intact.
+    """
+    # Imported here (not at module top) to keep the immutable-index path
+    # free of the mutable module and its engine dependencies.
+    from repro.retrieval.mutable import MutableIndex
+
+    if not isinstance(index, MutableIndex):
+        raise TypeError("save_mutable_index requires a MutableIndex")
+    gen = index._gen
+    baseline = index._drift_baseline
+    payload: dict[str, np.ndarray] = {
+        "version": np.array([_MUTABLE_FORMAT_VERSION]),
+        "codebooks": index.codebooks,
+        "state": np.array(
+            [gen.number, index._next_id, int(index._refresh_flagged)],
+            dtype=np.int64,
+        ),
+        "drift": np.array(
+            [np.nan if baseline is None else baseline, index._drift_ratio],
+            dtype=np.float64,
+        ),
+    }
+    for i, segment in enumerate(gen.segments):
+        payload[f"segment{i}_codes"] = segment.codes
+        payload[f"segment{i}_norms"] = segment.norms
+        payload[f"segment{i}_ids"] = segment.ids
+        payload[f"segment{i}_dead"] = segment.dead
+        if segment.labels is not None:
+            payload[f"segment{i}_labels"] = segment.labels
+    write_archive(
+        path,
+        payload,
+        kind=MUTABLE_INDEX_KIND,
+        meta={
+            "num_segments": len(gen.segments),
+            "live": gen.live_count,
+            "tombstones": gen.dead_count,
+            "generation": gen.number,
+            "dim": index.dim,
+        },
+    )
+
+
+def load_mutable_index(path: str, *, engine_kwargs: dict | None = None):
+    """Load an archive produced by :func:`save_mutable_index`.
+
+    ``engine_kwargs`` is a runtime concern (process pools, IVF cells) and
+    is not persisted; pass it here to attach an engine to the restored
+    base segment.
+    """
+    from repro.retrieval.mutable import MutableIndex, Segment, _Generation
+
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    arrays, meta, _ = read_archive(path, kind=MUTABLE_INDEX_KIND)
+    meta = meta or {}
+    for key in ("version", "codebooks", "state", "drift"):
+        if key not in arrays:
+            raise CorruptArtifactError(
+                f"mutable-index archive {path!r} is missing {key!r}"
+            )
+    version = int(np.asarray(arrays["version"]).reshape(-1)[0])
+    if version != _MUTABLE_FORMAT_VERSION:
+        raise IncompatibleStateError(
+            f"unsupported mutable-index format version {version} "
+            f"(expected {_MUTABLE_FORMAT_VERSION})"
+        )
+    num_segments = int(meta.get("num_segments", 0))
+    if num_segments < 1:
+        raise CorruptArtifactError(
+            f"mutable-index archive {path!r} declares no segments"
+        )
+    codebooks = np.asarray(arrays["codebooks"], dtype=np.float64)
+    if codebooks.ndim != 3:
+        raise CorruptArtifactError(
+            f"mutable-index archive {path!r}: codebooks must be (M, K, d), "
+            f"got shape {codebooks.shape}"
+        )
+    m, k, _ = codebooks.shape
+    segments = []
+    for i in range(num_segments):
+        members = {}
+        for member in ("codes", "norms", "ids", "dead"):
+            key = f"segment{i}_{member}"
+            if key not in arrays:
+                raise CorruptArtifactError(
+                    f"mutable-index archive {path!r} is missing {key!r}"
+                )
+            members[member] = arrays[key]
+        codes = np.asarray(members["codes"], dtype=np.int64)
+        n = len(codes)
+        if codes.ndim != 2 or codes.shape[1] != m:
+            raise CorruptArtifactError(
+                f"mutable-index archive {path!r}: segment {i} codes shape "
+                f"{codes.shape} disagrees with {m} codebooks"
+            )
+        if codes.size and (codes.min() < 0 or codes.max() >= k):
+            raise CorruptArtifactError(
+                f"mutable-index archive {path!r}: segment {i} codes reference "
+                f"codewords outside [0, {k})"
+            )
+        for member in ("norms", "ids", "dead"):
+            if len(members[member]) != n:
+                raise CorruptArtifactError(
+                    f"mutable-index archive {path!r}: segment {i} {member} "
+                    f"disagrees with {n} coded rows"
+                )
+        labels = arrays.get(f"segment{i}_labels")
+        if labels is not None and len(labels) != n:
+            raise CorruptArtifactError(
+                f"mutable-index archive {path!r}: segment {i} labels "
+                f"disagree with {n} coded rows"
+            )
+        segments.append(
+            Segment.seal(
+                codes,
+                np.asarray(members["norms"], dtype=np.float64),
+                np.asarray(members["ids"], dtype=np.int64),
+                labels=labels,
+                dead=np.asarray(members["dead"], dtype=bool),
+            )
+        )
+    state = np.asarray(arrays["state"], dtype=np.int64).reshape(-1)
+    drift = np.asarray(arrays["drift"], dtype=np.float64).reshape(-1)
+    if len(state) != 3 or len(drift) != 2:
+        raise CorruptArtifactError(
+            f"mutable-index archive {path!r}: malformed state/drift members"
+        )
+    locations: dict[int, tuple[int, int]] = {}
+    for position, segment in enumerate(segments):
+        for row, ext in enumerate(segment.ids):
+            if not segment.dead[row]:
+                if int(ext) in locations:
+                    raise CorruptArtifactError(
+                        f"mutable-index archive {path!r}: id {int(ext)} is "
+                        f"live in two segments"
+                    )
+                locations[int(ext)] = (position, row)
+    index = MutableIndex(
+        codebooks,
+        engine_kwargs=engine_kwargs,
+        labels_required=segments[0].labels is not None,
+    )
+    with index._lock:
+        index._install_generation(
+            _Generation(number=int(state[0]), segments=tuple(segments)),
+            rebuild_engine=True,
+        )
+        index._locations = locations
+        index._next_id = int(state[1])
+        index._refresh_flagged = bool(state[2])
+        index._drift_baseline = None if np.isnan(drift[0]) else float(drift[0])
+        index._drift_ratio = float(drift[1])
+    return index
 
 
 def index_file_size(path: str) -> int:

@@ -1,21 +1,135 @@
-"""Exhaustive nearest-neighbour search over continuous representations.
+"""Search primitives and the unified search request/result types.
 
-This is the uncompressed reference point every quantizer is compared
-against: it defines both the accuracy ceiling and the inference-cost
-baseline (``O(n_db · d)`` per query, §IV-B). With observability enabled
-(:mod:`repro.obs`), :func:`exhaustive_search` times each call
-(``search.exhaustive.time_s``) so ADC speedups can be read straight off a
-metrics export instead of re-deriving them.
+Two things live here:
+
+1. Exhaustive nearest-neighbour search over continuous representations —
+   the uncompressed reference point every quantizer is compared against:
+   it defines both the accuracy ceiling and the inference-cost baseline
+   (``O(n_db · d)`` per query, §IV-B). With observability enabled
+   (:mod:`repro.obs`), :func:`exhaustive_search` times each call
+   (``search.exhaustive.time_s``) so ADC speedups can be read straight off
+   a metrics export instead of re-deriving them.
+2. :class:`SearchRequest` / :class:`SearchResult` — the one request shape
+   every search surface accepts (:meth:`QuantizedIndex.search`,
+   :meth:`QueryEngine.search`, :meth:`IVFIndex.search`,
+   :meth:`MutableIndex.search`, and the serving daemon), replacing the
+   per-method kwarg sprawl (``engine=``, ``nprobe=``, ``rerank=``) those
+   methods accreted. The legacy kwargs still work through thin shims that
+   emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.obs import get_obs
 from repro.obs import names as metric_names
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One search call, as data: the canonical way to ask for neighbours.
+
+    Every search surface accepts a ``SearchRequest`` as its first argument
+    and then returns a :class:`SearchResult`. Hints a given surface cannot
+    honour are errors, not silent no-ops: ``nprobe`` without an IVF layer
+    raises ``ValueError`` everywhere.
+
+    Attributes
+    ----------
+    queries:
+        ``(n_q, d)`` query batch; a single ``(d,)`` vector is promoted to a
+        one-row batch.
+    k:
+        Neighbours per query; ``None`` asks for the full ranking (refused
+        by pruned IVF paths, which cannot produce it).
+    nprobe:
+        IVF cells probed per query. Only valid when the serving surface has
+        an IVF layer attached; ``0`` bypasses the layer for an exact scan.
+    rerank:
+        Override the engine's float64 rerank setting for this call
+        (``None`` keeps the surface's default).
+    deadline_s:
+        End-to-end budget hint in seconds. Honoured by the serving daemon
+        (it replaces the configured request timeout); synchronous in-process
+        scans ignore it.
+    engine:
+        Engine hint for :meth:`QuantizedIndex.search`: a ``QueryEngine`` or
+        ``IVFIndex`` built over the same index to delegate the scan to.
+    """
+
+    queries: np.ndarray
+    k: int | None = None
+    nprobe: int | None = None
+    rerank: bool | None = None
+    deadline_s: float | None = None
+    engine: object | None = None
+
+    def __post_init__(self) -> None:
+        queries = np.asarray(self.queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be (n_q, d) or (d,), got shape {queries.shape}"
+            )
+        object.__setattr__(self, "queries", queries)
+        if self.k is not None and self.k < 0:
+            raise ValueError("k must be non-negative (or None for the full ranking)")
+        if self.nprobe is not None and self.nprobe < 0:
+            raise ValueError("nprobe must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+    @property
+    def n_queries(self) -> int:
+        return self.queries.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.queries.shape[1]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Ranked neighbours for one :class:`SearchRequest`.
+
+    ``indices``/``distances`` are ``(n_q, width)`` with ``width = min(k,
+    candidates)``; ``source`` names the path that served the scan (e.g.
+    ``"serial-adc"``, ``"in-process"``, ``"process-pool"``, ``"ivf"``,
+    ``"mutable"``).
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    k: int | None = None
+    source: str = ""
+    elapsed_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def width(self) -> int:
+        """Neighbours actually returned per query."""
+        return self.indices.shape[1]
+
+
+def warn_legacy_search_kwargs(method: str, **kwargs) -> None:
+    """Emit the deprecation shim warning for non-``None`` legacy kwargs."""
+    used = [name for name, value in kwargs.items() if value is not None]
+    if used:
+        warnings.warn(
+            f"{method}({', '.join(f'{name}=' for name in used)}) is "
+            "deprecated; pass a repro.retrieval.SearchRequest instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 def squared_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:

@@ -90,6 +90,10 @@ class ResultCache:
         self._entries.move_to_end(key)
         return entry, fresh
 
+    def clear(self) -> None:
+        """Drop every entry — a mutation just invalidated all answers."""
+        self._entries.clear()
+
     def put(
         self, key: str, indices: np.ndarray, distances: np.ndarray, now: float
     ) -> None:

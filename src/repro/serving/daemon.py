@@ -43,6 +43,8 @@ import numpy as np
 from repro.obs import get_obs
 from repro.obs import names as metric_names
 from repro.retrieval.engine import QueryEngine, ShardedIndex
+from repro.retrieval.mutable import MutationRequest, MutationResult
+from repro.retrieval.search import SearchRequest
 from repro.rng import make_rng
 from repro.serving.batcher import MicroBatcher, PendingRequest
 from repro.serving.breaker import CircuitBreaker
@@ -148,7 +150,11 @@ class ServingDaemon:
     Parameters
     ----------
     index:
-        The :class:`~repro.retrieval.index.QuantizedIndex` to serve.
+        The :class:`~repro.retrieval.index.QuantizedIndex` to serve, or a
+        :class:`~repro.retrieval.mutable.MutableIndex` — then every
+        replica scans the same mutable index (generation snapshots make
+        that safe), :meth:`mutate` routes add/remove/compact through it,
+        and ``engine_kwargs`` must be configured on the index itself.
     num_replicas:
         Replica engines to spread scans (and failures) over. By default
         all replicas share one :class:`ShardedIndex` — the database is
@@ -180,7 +186,20 @@ class ServingDaemon:
             raise ValueError("num_replicas must be at least 1")
         self.config = config or ServingConfig()
         cfg = self.config
-        if engine_kwargs:
+        self._index = index
+        self._mutable = bool(getattr(index, "is_mutable", False))
+        if self._mutable:
+            if engine_kwargs:
+                raise ValueError(
+                    "a MutableIndex owns its engine configuration (pass "
+                    "engine_kwargs when constructing the index); the daemon "
+                    "does not accept engine_kwargs for mutable indexes"
+                )
+            # Every replica serves the same mutable index: its generation
+            # snapshots make concurrent scans safe, and routing mutations
+            # through one object keeps all replicas at the same generation.
+            engines = [index for _ in range(num_replicas)]
+        elif engine_kwargs:
             engines = [
                 QueryEngine(index, **engine_kwargs) for _ in range(num_replicas)
             ]
@@ -209,8 +228,6 @@ class ServingDaemon:
             max_delay_s=cfg.batch_delay_s,
             max_queue=cfg.max_queue,
         )
-        self.dim = replicas[0].dim
-        self.n_db = replicas[0].n_db
         self._min_healthy = (
             cfg.degrade_min_healthy
             if cfg.degrade_min_healthy is not None
@@ -269,6 +286,20 @@ class ServingDaemon:
         await self.stop(drain=True)
 
     @property
+    def dim(self) -> int:
+        return self.replica_set.replicas[0].dim
+
+    @property
+    def n_db(self) -> int:
+        """Searchable rows right now (moves under mutations)."""
+        return self.replica_set.replicas[0].n_db
+
+    @property
+    def mutable(self) -> bool:
+        """True when the served index accepts :meth:`mutate`."""
+        return self._mutable
+
+    @property
     def degraded(self) -> bool:
         return bool(self._degraded_reasons)
 
@@ -279,8 +310,50 @@ class ServingDaemon:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    async def submit(self, query: np.ndarray, k: int | None = None) -> ServeResult:
-        """Serve one query; resolves when an answer (or failure) is final."""
+    async def submit(
+        self,
+        query: "np.ndarray | SearchRequest",
+        k: int | None = None,
+    ) -> ServeResult:
+        """Serve one query; resolves when an answer (or failure) is final.
+
+        Takes either a raw ``(dim,)`` vector plus ``k``, or a
+        :class:`~repro.retrieval.search.SearchRequest` carrying exactly one
+        query row — its ``k``, ``rerank``, and ``deadline_s`` fields are
+        honoured (``deadline_s`` overrides the config request timeout; an
+        explicit ``rerank`` bypasses the result cache, since cached answers
+        are keyed only on query and ``k``). ``nprobe`` and ``engine`` hints
+        are rejected: the daemon owns its engines, none of which route
+        through IVF.
+        """
+        rerank_hint: bool | None = None
+        deadline_s: float | None = None
+        if isinstance(query, SearchRequest):
+            if k is not None:
+                raise TypeError(
+                    "pass search parameters inside the SearchRequest, not "
+                    "alongside it"
+                )
+            request_obj = query
+            if request_obj.n_queries != 1:
+                raise ValueError(
+                    "the daemon serves one query per submit; send one "
+                    "request per row (the batcher coalesces them)"
+                )
+            if request_obj.nprobe is not None:
+                raise ValueError(
+                    "nprobe is not supported by the serving daemon: its "
+                    "replica engines have no IVF layer"
+                )
+            if request_obj.engine is not None:
+                raise ValueError(
+                    "the daemon owns its engines; requests cannot carry an "
+                    "engine hint"
+                )
+            query = request_obj.queries[0]
+            k = request_obj.k
+            rerank_hint = request_obj.rerank
+            deadline_s = request_obj.deadline_s
         if not self._accepting:
             raise RuntimeError("daemon is not accepting requests")
         cfg = self.config
@@ -302,7 +375,11 @@ class ServingDaemon:
         self._update_overload(depth)
 
         signature = query_signature(query, k)
-        hit = self.cache.get(signature, now=start, allow_stale=self.degraded)
+        hit = (
+            None
+            if rerank_hint is not None
+            else self.cache.get(signature, now=start, allow_stale=self.degraded)
+        )
         if hit is not None:
             entry, fresh = hit
             source = "cache" if fresh else "cache_stale"
@@ -327,13 +404,17 @@ class ServingDaemon:
         if obs.enabled:
             registry.counter(metric_names.SERVE_CACHE_MISSES).inc()
 
+        timeout_s = (
+            deadline_s if deadline_s is not None else cfg.request_timeout_s
+        )
         request = PendingRequest(
             query=query,
             k=k,
             future=loop.create_future(),
             enqueue_time=start,
-            deadline=start + cfg.request_timeout_s,
+            deadline=start + timeout_s,
             signature=signature,
+            rerank=rerank_hint,
         )
         if not self.batcher.try_enqueue(request):
             self.counts["shed"] += 1
@@ -357,6 +438,33 @@ class ServingDaemon:
             replica=meta.get("replica"),
             attempts=meta.get("attempts", 1),
         )
+
+    async def mutate(self, request: MutationRequest) -> MutationResult:
+        """Apply one mutation to the served index; queries keep flowing.
+
+        Only daemons over a :class:`~repro.retrieval.mutable.MutableIndex`
+        accept mutations. The mutation runs on an executor thread (the
+        index publishes a new generation atomically, so concurrent scans
+        are never interrupted), after which the result cache is cleared —
+        every cached answer may have been invalidated by the change.
+        """
+        if not self._mutable:
+            raise RuntimeError(
+                "daemon serves an immutable index; serve a MutableIndex to "
+                "accept mutations"
+            )
+        if not self._accepting:
+            raise RuntimeError("daemon is not accepting requests")
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(None, self._index.apply, request)
+        self.cache.clear()
+        self.counts["mutations"] += 1
+        if request.op == "compact":
+            self._emit(
+                f"compacted to generation {result.generation}: "
+                f"{result.live} live rows in {result.segments} segment(s)"
+            )
+        return result
 
     def _finish_ok(
         self, loop, start, *, indices, distances, source, degraded,
@@ -407,13 +515,17 @@ class ServingDaemon:
         k = group[0].k
         deadline = min(request.deadline for request in group)
         degraded = self.degraded
-        rerank: bool | None = (
-            False if (degraded and cfg.degraded_skip_rerank) else None
-        )
+        hint = group[0].rerank
+        if hint is not None:
+            rerank: bool | None = hint
+        else:
+            rerank = False if (degraded and cfg.degraded_skip_rerank) else None
         k_scan = k
         if degraded and cfg.degraded_k_cap is not None:
             k_scan = min(k, cfg.degraded_k_cap)
-        cacheable = rerank is None and k_scan == k
+        # An explicit rerank hint never lands in the cache: entries are
+        # keyed on (query, k) alone and must stay hint-independent.
+        cacheable = hint is None and rerank is None and k_scan == k
 
         attempts = 0
         tried: set[int] = set()

@@ -48,6 +48,9 @@ def validate_response(
     n_db: int,
     n_queries: int,
     k: int,
+    *,
+    id_bound: int | None = None,
+    exact_width: bool = True,
 ) -> None:
     """Reject responses that cannot have come from a correct scan.
 
@@ -56,17 +59,37 @@ def validate_response(
     :class:`ResponseValidationError`; silent in-range id swaps are
     undetectable here by design — that is what the exact-parity tests and
     the rerank oracle are for.
+
+    A mutable engine returns *external* ids and its live count moves under
+    concurrent mutations, so for those scans the caller passes the index's
+    ``id_bound`` (ids never exceed it, whatever raced) and
+    ``exact_width=False`` (the answer is as wide as the live count at
+    snapshot time, which the validator cannot re-derive — only ``k`` still
+    bounds it).
     """
+    bound = n_db if id_bound is None else id_bound
     expected = (n_queries, min(k, n_db))
-    if indices.shape != expected or distances.shape != expected:
-        raise ResponseValidationError(
-            f"response shape {indices.shape}/{distances.shape}, "
-            f"expected {expected}"
-        )
+    if exact_width:
+        if indices.shape != expected or distances.shape != expected:
+            raise ResponseValidationError(
+                f"response shape {indices.shape}/{distances.shape}, "
+                f"expected {expected}"
+            )
+    else:
+        if (
+            indices.shape != distances.shape
+            or indices.ndim != 2
+            or indices.shape[0] != n_queries
+            or indices.shape[1] > k
+        ):
+            raise ResponseValidationError(
+                f"response shape {indices.shape}/{distances.shape}, "
+                f"expected ({n_queries}, <= {k})"
+            )
     if indices.size == 0:
         return
-    if indices.min() < 0 or indices.max() >= n_db:
-        raise ResponseValidationError("response ids outside [0, n_db)")
+    if indices.min() < 0 or indices.max() >= bound:
+        raise ResponseValidationError(f"response ids outside [0, {bound})")
     if not np.isfinite(distances).all() or distances.min() < 0:
         raise ResponseValidationError("response distances non-finite or negative")
     if np.any(np.diff(distances, axis=1) < 0):
@@ -90,11 +113,16 @@ class Replica:
 
     @property
     def n_db(self) -> int:
-        return len(self.engine.sharded)
+        return self.engine.n_db
 
     @property
     def dim(self) -> int:
-        return self.engine.sharded.dim
+        return self.engine.dim
+
+    @property
+    def mutable(self) -> bool:
+        """True when the engine is a mutable index (external-id results)."""
+        return bool(getattr(self.engine, "is_mutable", False))
 
     def search(
         self, queries: np.ndarray, k: int, *, rerank: bool | None = None
@@ -112,7 +140,18 @@ class Replica:
             indices, distances = self.faults.transform_response(
                 self.replica_id, call, indices, distances
             )
-        validate_response(indices, distances, self.n_db, len(queries), k)
+        if self.mutable:
+            validate_response(
+                indices,
+                distances,
+                self.n_db,
+                len(queries),
+                k,
+                id_bound=self.engine.id_bound,
+                exact_width=False,
+            )
+        else:
+            validate_response(indices, distances, self.n_db, len(queries), k)
         return indices, distances
 
     def ping(self) -> None:

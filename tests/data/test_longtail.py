@@ -12,6 +12,7 @@ from repro.data.longtail import (
     head_tail_split,
     imbalance_factor,
     labels_from_sizes,
+    stream_arrivals,
     zipf_class_sizes,
     zipf_exponent,
 )
@@ -146,3 +147,77 @@ class TestSpecAndSplit:
         assert sizes[head].sum() >= 0.5 * sizes.sum()
         # Heads are the largest classes.
         assert sizes[head].min() >= sizes[np.setdiff1d(np.arange(20), head)].max()
+
+
+class TestStreamArrivals:
+    def test_cumulative_counts_conserve_sizes(self):
+        sizes = zipf_class_sizes(12, 60, 20)
+        schedule = stream_arrivals(sizes, num_steps=8, rng=0)
+        total = np.zeros(12, dtype=np.int64)
+        for step in schedule:
+            total += class_counts(step.labels, 12)
+        assert np.array_equal(total, sizes)
+
+    def test_head_arrives_first_tail_arrives_late(self):
+        sizes = zipf_class_sizes(10, 100, 50)
+        schedule = stream_arrivals(sizes, num_steps=10, rng=0, stagger=1.0)
+        assert 0 in schedule[0].new_classes  # head class present from step 0
+        first_seen = {}
+        for step in schedule:
+            for cls in step.new_classes:
+                first_seen[int(cls)] = step.step
+        assert set(first_seen) == set(range(10))  # every class arrives
+        # First-appearance step is monotone in class rank (head -> tail).
+        appearances = [first_seen[c] for c in range(10)]
+        assert appearances == sorted(appearances)
+        assert appearances[-1] > appearances[0]
+
+    def test_stagger_zero_means_everyone_from_step_zero(self):
+        sizes = np.array([20, 10, 5])
+        schedule = stream_arrivals(sizes, num_steps=4, rng=0, stagger=0.0)
+        assert schedule[0].new_classes.tolist() == [0, 1, 2]
+        for step in schedule[1:]:
+            assert len(step.new_classes) == 0
+
+    def test_single_step_delivers_everything(self):
+        sizes = np.array([7, 3])
+        (step,) = stream_arrivals(sizes, num_steps=1, rng=0)
+        assert np.array_equal(class_counts(step.labels, 2), sizes)
+
+    def test_deterministic_given_seed(self):
+        sizes = zipf_class_sizes(8, 40, 10)
+        a = stream_arrivals(sizes, num_steps=6, rng=3)
+        b = stream_arrivals(sizes, num_steps=6, rng=3)
+        for step_a, step_b in zip(a, b):
+            assert np.array_equal(step_a.labels, step_b.labels)
+
+    @given(
+        st.integers(2, 20),
+        st.integers(5, 200),
+        st.integers(1, 12),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_conservation_and_bounds(self, c, head, steps, stagger):
+        sizes = zipf_class_sizes(c, head, min(head, 10.0))
+        schedule = stream_arrivals(sizes, steps, rng=1, stagger=stagger)
+        assert len(schedule) == steps
+        total = np.zeros(c, dtype=np.int64)
+        seen_new = set()
+        for step in schedule:
+            total += class_counts(step.labels, c)
+            for cls in step.new_classes:
+                assert cls not in seen_new  # a class arrives exactly once
+                seen_new.add(int(cls))
+        assert np.array_equal(total, sizes)
+        assert seen_new == set(range(c))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stream_arrivals(np.array([]), 3)
+        with pytest.raises(ValueError):
+            stream_arrivals(np.array([5, -1]), 3)
+        with pytest.raises(ValueError):
+            stream_arrivals(np.array([5]), 0)
+        with pytest.raises(ValueError):
+            stream_arrivals(np.array([5]), 3, stagger=1.5)

@@ -38,6 +38,7 @@ class TestRunBench:
         phases = results["profiles"][bench.TINY_PROFILE]["phases"]
         assert set(phases) == {
             "train_step", "train", "encode", "index_build", "query", "serve",
+            "stream",
         }
         for name, phase in phases.items():
             assert phase["wall_time_s"] > 0, name
@@ -77,6 +78,42 @@ class TestRunBench:
             <= serve["latency_p95_ms"]
             <= serve["latency_p99_ms"]
         )
+
+    def test_stream_phase_schema(self, results):
+        # Schema v5: streaming long-tail drift scenario over the mutable
+        # index — insert throughput, recall decay vs rebuild, compaction
+        # pauses, drift gauge, and the bit-parity bit.
+        stream = results["profiles"][bench.TINY_PROFILE]["phases"]["stream"]
+        assert stream["inserted"] > 0
+        assert stream["live_final"] > 0
+        insert = stream["insert"]
+        assert insert["items_per_s"] > 0
+        assert insert["floor_items_per_s"] == bench.STREAM_INSERT_FLOOR
+        compactions = stream["compactions"]
+        assert compactions["count"] >= 1
+        pause = compactions["pause_s"]
+        assert 0 < pause["p50"] <= pause["p95"] <= pause["p99"] <= pause["max"]
+        recall = stream["recall"]
+        assert recall["k"] == 10
+        assert len(recall["checkpoints"]) >= 1
+        for checkpoint in recall["checkpoints"]:
+            assert 0.0 <= checkpoint["recall_mutable"] <= 1.0
+            assert checkpoint["decay"] == pytest.approx(
+                checkpoint["recall_rebuild"] - checkpoint["recall_mutable"]
+            )
+        assert recall["decay_limit"] == bench.STREAM_RECALL_DECAY_LIMIT
+        drift = stream["drift"]
+        assert drift["threshold"] > 1.0
+        assert isinstance(stream["parity_with_rebuild"], bool)
+
+    def test_stream_phase_meets_acceptance_gates(self, results):
+        # The decay contract is structural (parity ⇒ exactly zero decay),
+        # so even the quick tiny run must clear the thresholds.
+        stream = results["profiles"][bench.TINY_PROFILE]["phases"]["stream"]
+        assert stream["parity_with_rebuild"] is True
+        assert stream["recall"]["within_limit"] is True
+        assert stream["recall"]["max_decay"] <= bench.STREAM_RECALL_DECAY_LIMIT
+        assert stream["insert"]["meets_floor"] is True
 
     def test_train_step_throughput(self, results):
         train = results["profiles"][bench.TINY_PROFILE]["phases"]["train_step"]
@@ -126,6 +163,27 @@ class TestReporting:
         text = bench.compare_results(old, results)
         assert bench.TINY_PROFILE in text
         assert "serve qps" not in text
+
+    def test_compare_includes_stream_rows(self, results):
+        text = bench.compare_results(results, results)
+        assert "insert items/s" in text
+        assert "stream decay" in text
+
+    def test_compare_tolerates_pre_v5_runs(self, results):
+        # A v4-style run (no stream phase) must still compare cleanly.
+        import copy
+
+        old = copy.deepcopy(results)
+        for entry in old["profiles"].values():
+            entry["phases"].pop("stream")
+        text = bench.compare_results(old, results)
+        assert bench.TINY_PROFILE in text
+        assert "insert items/s" not in text
+
+    def test_summary_includes_stream_row(self, results):
+        text = bench.format_summary(results)
+        assert "stream" in text
+        assert "parity ok" in text
 
 
 class TestCli:

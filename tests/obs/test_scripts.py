@@ -48,6 +48,11 @@ def test_smoke_serve_passes():
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+def test_smoke_mutable_passes():
+    result = _run_script("smoke_mutable.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_check_docs_passes():
     result = _run_script("check_docs.py")
     assert result.returncode == 0, result.stdout + result.stderr

@@ -162,6 +162,49 @@ class TestServeSubcommand:
     def test_serve_validates_flags(self, index_path):
         assert main(["serve", "--index", index_path, "--replicas", "0"]) == 2
         assert main(["serve", "--index", index_path, "--requests", "0"]) == 2
+        assert main(["serve", "--index", index_path, "--churn", "0"]) == 2
+
+    def test_serve_mutable_with_churn(self, index_path, capsys):
+        code = main(
+            ["serve", "--index", index_path, "--mutable", "--churn", "2",
+             "--requests", "24", "--queries", "16", "--clients", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mutable: 120 rows adopted" in out
+        assert "failed: 0" in out
+        assert "churn: 2 rounds" in out
+        assert "compacted to generation" in out
+
+    def test_serve_churn_on_labelled_index(self, tmp_path, capsys):
+        # train --save-index produces a labelled index; churn adds must
+        # carry labels or the mutation round raises mid-flight.
+        index_path = str(tmp_path / "labelled.npz")
+        assert main(
+            ["train", "--dataset", "nc", "--fast", "--save-index", index_path]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--index", index_path, "--churn", "1",
+             "--requests", "12", "--queries", "8", "--clients", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed: 0" in out
+        assert "churn: 1 rounds" in out
+        assert "compacted to generation" in out
+
+    def test_serve_churn_implies_mutable_and_takes_ivf(self, index_path, capsys):
+        code = main(
+            ["serve", "--index", index_path, "--churn", "1",
+             "--ivf-cells", "8", "--requests", "12", "--queries", "8",
+             "--clients", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ivf: 8 cells" in out
+        assert "mutable: 120 rows adopted" in out
+        assert "churn: 1 rounds" in out
 
 
 class TestBenchSubcommand:

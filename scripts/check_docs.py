@@ -12,9 +12,11 @@ Checks, in both directions:
    in README.md's "CLI reference" section;
 5. every ``--flag`` mentioned in that section is one the parsers accept
    (no documentation of removed flags);
-6. every public field of the request dataclasses (``SearchRequest``,
-   ``MutationRequest``) has a row in its ``### <ClassName>`` table of
-   ``docs/tuning.md``, and every documented row names a real field.
+6. every public field of the request/response dataclasses
+   (``SearchRequest``, ``MutationRequest``, and the auto-tuner's
+   ``TuneRequest`` / ``Recommendation``) has a row in its
+   ``### <ClassName>`` table of ``docs/tuning.md``, and every
+   documented row names a real field.
 
 Run from the repository root::
 
@@ -157,21 +159,22 @@ def check_cli(path: str = README_DOC) -> list[str]:
 def check_request_dataclasses(path: str = TUNING_DOC) -> list[str]:
     """Problems in tuning.md's request-dataclass tables (empty = in sync).
 
-    The unified search/mutation API is carried by two public dataclasses;
-    every field is a user-facing knob, so each must have a row in its
-    ``### <ClassName>`` table — and no table may document a field the
-    dataclass no longer has.
+    The unified search/mutation API and the auto-tuner's budget/answer
+    pair are carried by public dataclasses; every field is a user-facing
+    knob, so each must have a row in its ``### <ClassName>`` table — and
+    no table may document a field the dataclass no longer has.
     """
     import dataclasses
 
     from repro.retrieval import MutationRequest, SearchRequest
+    from repro.tuning import Recommendation, TuneRequest
 
     if not os.path.exists(path):
         return [f"{path} does not exist"]
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     problems = []
-    for cls in (SearchRequest, MutationRequest):
+    for cls in (SearchRequest, MutationRequest, TuneRequest, Recommendation):
         name = cls.__name__
         match = re.search(
             rf"^### `?{name}`?$(.*?)(?=^#{{2,3}} |\Z)",

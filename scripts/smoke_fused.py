@@ -33,7 +33,7 @@ from repro.experiments.config import (
     default_model_config,
     default_training_config,
 )
-from repro.obs.bench import PARITY_RTOL, _build_tiny_dataset
+from repro.obs.bench import PARITY_RTOL, build_tiny_dataset
 
 
 def _train(dataset, fused: bool, epochs: int = 2):
@@ -52,7 +52,7 @@ def _train(dataset, fused: bool, epochs: int = 2):
 
 def main() -> int:
     start = time.perf_counter()
-    dataset = _build_tiny_dataset(seed=0)
+    dataset = build_tiny_dataset(seed=0)
 
     reference, ref_reports = _train(dataset, fused=False)
     fused, fused_reports = _train(dataset, fused=True)

@@ -12,6 +12,11 @@ Commands:
   print the rendered artifact.
 - ``bench`` — the per-phase benchmark harness (:mod:`repro.obs.bench`);
   writes ``BENCH_results.json``.
+- ``tune`` — the calibrated auto-tuner (:mod:`repro.tuning`): sweep a
+  config grid over a profile, fit the cost model to the measurements
+  (writes a schema-v6 ``TUNE_results.json``), and with ``--latency-ms`` /
+  ``--recall`` / ``--memory-mb`` recommend a concrete serving config for
+  that budget (exit 1 when no config meets it).
 - ``serve`` — boot the resilient serving daemon (:mod:`repro.serving`)
   over a saved index and drive seeded open- or closed-loop traffic
   through it; prints the latency/QPS load report and any degradation or
@@ -176,6 +181,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase benchmark harness; writes BENCH_results.json "
         "(see `python -m repro bench --help`)",
         add_help=False,
+    )
+
+    tune = commands.add_parser(
+        "tune",
+        help="sweep a config grid, calibrate the cost model, and "
+        "recommend a serving config for a latency/recall/memory budget",
+    )
+    tune.add_argument(
+        "--profile", default="tiny",
+        help="dataset profile to sweep (accepts the -lt suffix; "
+        "default: tiny)",
+    )
+    tune.add_argument(
+        "--quick", action="store_true",
+        help="use the small CI grid (default grid otherwise)",
+    )
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--k", type=int, default=10,
+        help="top-k the sweep measures recall and latency at (default: 10)",
+    )
+    tune.add_argument(
+        "--out", default="TUNE_results.json",
+        help="sweep artifact path (default: TUNE_results.json)",
+    )
+    tune.add_argument(
+        "--from-results", default=None, metavar="PATH",
+        help="recommend from an existing sweep artifact instead of "
+        "running a new sweep",
+    )
+    tune.add_argument(
+        "--no-train-axis", action="store_true",
+        help="skip the per-(M, K) fused-vs-reference training comparison",
+    )
+    tune.add_argument(
+        "--latency-ms", type=float, default=None,
+        help="budget: per-query latency ceiling in milliseconds "
+        "(amortised over the sweep's query batch)",
+    )
+    tune.add_argument(
+        "--recall", type=float, default=None,
+        help="budget: recall@k floor in (0, 1]",
+    )
+    tune.add_argument(
+        "--memory-mb", type=float, default=None,
+        help="budget: as-stored serving memory ceiling in MB",
     )
     return parser
 
@@ -516,6 +567,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.n_failed == 0 else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Run (or load) a tune sweep; optionally recommend for a budget."""
+    from repro.obs.bench import format_summary, load_results, write_results
+    from repro.tuning import TuneRequest, recommend, run_tune_sweep
+
+    budgets_given = (
+        args.latency_ms is not None
+        or args.recall is not None
+        or args.memory_mb is not None
+    )
+    if args.from_results:
+        results = load_results(args.from_results)
+        if not budgets_given:
+            print(format_summary(results))
+            return 0
+    else:
+        results = run_tune_sweep(
+            profile=args.profile,
+            quick=args.quick,
+            seed=args.seed,
+            k=args.k,
+            train_axis=not args.no_train_axis,
+        )
+        path = write_results(results, args.out)
+        print(format_summary(results))
+        print(f"[results written to {path}]")
+    if not budgets_given:
+        return 0
+    try:
+        request = TuneRequest(
+            latency_ms=args.latency_ms,
+            recall=args.recall,
+            memory_mb=args.memory_mb,
+            k=args.k,
+        )
+        recommendation = recommend(results, request)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for line in recommendation.summary_lines():
+        print(line)
+    return 0 if recommendation.feasible else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as exp
 
@@ -572,6 +667,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -50,10 +50,13 @@ from repro.obs import names as metric_names
 #: recall@k-vs-speedup curve for the IVF-pruned engine over a memory-mapped
 #: corpus); v5 adds the ``stream`` phase (mutable-index long-tail drift:
 #: insert throughput, recall decay vs periodic full rebuild, compaction
-#: pauses, quantization-drift flag). Older files load fine — the extra
-#: phases are simply absent.
-BENCH_SCHEMA_VERSION = 5
-_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+#: pauses, quantization-drift flag); v6 adds the ``tune`` phase (the
+#: ``repro tune`` config-grid sweep: recall/latency/as-stored-memory per
+#: grid point, fused-train measurements, and the fitted cost model with
+#: its residuals — see :mod:`repro.tuning`). Older files load fine — the
+#: extra phases are simply absent.
+BENCH_SCHEMA_VERSION = 6
+_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 DEFAULT_RESULTS_PATH = "BENCH_results.json"
 #: Dataset profiles a default (no ``--profile``) run covers.
 DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
@@ -115,16 +118,17 @@ def canonical_dataset(profile: str) -> str:
     return name
 
 
-def _load_profile_dataset(profile: str, seed: int):
+def load_profile_dataset(profile: str, seed: int):
+    """The dataset behind a bench profile (shared with ``repro tune``)."""
     dataset_name = canonical_dataset(profile)
     if dataset_name == TINY_PROFILE:
-        return _build_tiny_dataset(seed)
+        return build_tiny_dataset(seed)
     from repro.data.registry import load_dataset
 
     return load_dataset(dataset_name, imbalance_factor=50, scale="ci", seed=seed)
 
 
-def _build_tiny_dataset(seed: int):
+def build_tiny_dataset(seed: int):
     """A six-class micro-corpus so the smoke benchmark finishes in seconds."""
     from repro.data.datasets import RetrievalDataset, Split
     from repro.data.longtail import labels_from_sizes, zipf_class_sizes
@@ -252,8 +256,9 @@ def _bench_serve(
     }
 
 
-def _train_residual_codebooks(features, num_codebooks, num_codewords, rng):
-    """Residual k-means codebooks — the stream phase's (re)training step."""
+def train_residual_codebooks(features, num_codebooks, num_codewords, rng):
+    """Residual k-means codebooks — the serving-side (re)training step
+    shared by the stream phase and the ``repro tune`` sweep."""
     from repro.cluster.kmeans import kmeans
 
     residual = np.asarray(features, dtype=np.float64).copy()
@@ -266,7 +271,7 @@ def _train_residual_codebooks(features, num_codebooks, num_codewords, rng):
     return codebooks
 
 
-def _overlap_recall(approx_ids, exact_ids) -> float:
+def overlap_recall(approx_ids, exact_ids) -> float:
     """Mean top-k overlap fraction (the IVF phase's recall definition)."""
     return float(np.mean([
         len(set(approx) & set(exact)) / len(exact)
@@ -342,7 +347,7 @@ def _bench_stream(
     initial = model.sample(schedule[0].labels, rng)
     store[: len(initial)] = initial
     with handle.span("bench.stream.train", items=len(initial)):
-        codebooks = _train_residual_codebooks(
+        codebooks = train_residual_codebooks(
             initial, num_codebooks, num_codewords,
             np.random.default_rng(seed + 19),
         )
@@ -356,19 +361,19 @@ def _bench_stream(
         exact = live_ids[
             topk_tie_stable(squared_distances(queries, live), k)[0]
         ]
-        mutable_recall = _overlap_recall(index.search(queries, k=k), exact)
+        mutable_recall = overlap_recall(index.search(queries, k=k), exact)
         rebuild_rows = QuantizedIndex.build(codebooks, live).search(
             queries, k=k
         )
-        rebuild_recall = _overlap_recall(live_ids[rebuild_rows], exact)
-        retrained = _train_residual_codebooks(
+        rebuild_recall = overlap_recall(live_ids[rebuild_rows], exact)
+        retrained = train_residual_codebooks(
             live, num_codebooks, num_codewords,
             np.random.default_rng(seed + 20 + step),
         )
         retrained_rows = QuantizedIndex.build(retrained, live).search(
             queries, k=k
         )
-        retrained_recall = _overlap_recall(live_ids[retrained_rows], exact)
+        retrained_recall = overlap_recall(live_ids[retrained_rows], exact)
         return {
             "step": step,
             "live": int(len(live_ids)),
@@ -701,7 +706,7 @@ def bench_profile(
         default_training_config,
     )
 
-    dataset = _load_profile_dataset(profile, seed)
+    dataset = load_profile_dataset(profile, seed)
     epochs = 1 if quick else 3
     model_config = default_model_config(dataset)
     loss_config = default_loss_config(dataset)
@@ -1063,6 +1068,26 @@ def format_summary(results: dict) -> str:
                 f"decay {recall['max_decay']:+.3f} ({decay_flag}), "
                 f"compact p95 {pause['p95'] * 1e3:.1f}ms, parity {parity}"
             )
+        tune = phases.get("tune")
+        if tune:
+            model = tune.get("model", {})
+            holdout = model.get("holdout") or {}
+            fit_text = (
+                f"fit err mean {model.get('mean_rel_error', 0.0) * 100:.1f}% "
+                f"/ max {model.get('max_rel_error', 0.0) * 100:.1f}%"
+            )
+            if holdout.get("n"):
+                fit_text += (
+                    f" (holdout mean "
+                    f"{holdout.get('mean_rel_error', 0.0) * 100:.1f}%, "
+                    f"n={holdout['n']})"
+                )
+            lines.append(
+                f"{profile:<16} {'tune':<12} "
+                f"{tune.get('wall_time_s', 0.0):>9.3f} "
+                f"{str(tune.get('grid_points', len(tune.get('points', ())))) + ' pts':>18} "
+                f"{fit_text}"
+            )
         ivf = phases.get("ivf")
         if ivf:
             build = ivf["build"]
@@ -1109,22 +1134,42 @@ def compare_results(old: dict, new: dict) -> str:
     engine entry borrows the *other* run's measured serial baseline (the
     engine entry records both sides in one process), so a plain run vs a
     ``--workers`` run reads as a serial-vs-engine before/after.
+
+    The two files may come from different schema versions (an old baseline
+    vs a fresh run is the normal case). Phases present on only one side are
+    skipped with a trailing note naming the phase and both schema versions
+    — never a ``KeyError``.
     """
     lines = [f"{'profile':<16} {'phase':<12} {'old_s':>9} {'new_s':>9} {'delta':>8}"]
-    shared = [p for p in old["profiles"] if p in new["profiles"]]
+    old_profiles = old.get("profiles") or {}
+    new_profiles = new.get("profiles") or {}
+    shared = [p for p in old_profiles if p in new_profiles]
     if not shared:
         return "no profiles in common between the two runs"
+    old_version = old.get("schema_version", "?")
+    new_version = new.get("schema_version", "?")
+    notes: list[str] = []
 
     for profile in shared:
-        old_phases = old["profiles"][profile]["phases"]
-        new_phases = new["profiles"][profile]["phases"]
+        old_phases = old_profiles[profile].get("phases") or {}
+        new_phases = new_profiles[profile].get("phases") or {}
+        for phase in sorted(set(old_phases) | set(new_phases)):
+            if phase in old_phases and phase in new_phases:
+                continue
+            side = "old" if phase in old_phases else "new"
+            notes.append(
+                f"note: {profile}: phase {phase!r} only in the {side} run "
+                f"(schema v{old_version} vs v{new_version}); skipped"
+            )
         for phase in _PHASES:
             # An ivf-large profile carries only the ``ivf`` phase; skip the
             # regular rows it never ran.
             if phase not in old_phases or phase not in new_phases:
                 continue
-            old_wall = old_phases[phase]["wall_time_s"]
-            new_wall = new_phases[phase]["wall_time_s"]
+            old_wall = old_phases[phase].get("wall_time_s")
+            new_wall = new_phases[phase].get("wall_time_s")
+            if old_wall is None or new_wall is None:
+                continue
             delta = (new_wall - old_wall) / old_wall * 100 if old_wall else float("nan")
             lines.append(
                 f"{profile:<16} {phase:<12} {old_wall:>9.3f} {new_wall:>9.3f} "
@@ -1133,13 +1178,12 @@ def compare_results(old: dict, new: dict) -> str:
         # Train throughput: prefer the fused figure of the v2 ``train``
         # phase; a v1 run (or one without it) falls back to the reference
         # loop's steps/s, which every schema records.
-        def _train_sps(run: dict) -> float | None:
-            phases = run["profiles"][profile]["phases"]
-            fused = phases.get("train", {}).get("fused", {})
-            step = phases.get("train_step", {})
+        def _train_sps(phases: dict) -> float | None:
+            fused = (phases.get("train") or {}).get("fused") or {}
+            step = phases.get("train_step") or {}
             return fused.get("steps_per_s") or step.get("steps_per_s")
 
-        old_sps, new_sps = _train_sps(old), _train_sps(new)
+        old_sps, new_sps = _train_sps(old_phases), _train_sps(new_phases)
         if old_sps and new_sps:
             ratio = new_sps / old_sps
             lines.append(
@@ -1185,21 +1229,22 @@ def compare_results(old: dict, new: dict) -> str:
         old_stream = old_phases.get("stream")
         new_stream = new_phases.get("stream")
         if old_stream and new_stream:
-            old_rate = old_stream["insert"].get("items_per_s")
-            new_rate = new_stream["insert"].get("items_per_s")
+            old_rate = (old_stream.get("insert") or {}).get("items_per_s")
+            new_rate = (new_stream.get("insert") or {}).get("items_per_s")
             if old_rate and new_rate:
                 ratio = new_rate / old_rate
                 lines.append(
                     f"{profile:<16} {'insert items/s':<12} {old_rate:>9.0f} "
                     f"{new_rate:>9.0f} {'x' + format(ratio, '.2f'):>8}"
                 )
-            old_decay = old_stream["recall"].get("max_decay")
-            new_decay = new_stream["recall"].get("max_decay")
+            old_decay = (old_stream.get("recall") or {}).get("max_decay")
+            new_recall = new_stream.get("recall") or {}
+            new_decay = new_recall.get("max_decay")
             if old_decay is not None and new_decay is not None:
                 lines.append(
                     f"{profile:<16} {'stream decay':<12} {old_decay:>9.3f} "
                     f"{new_decay:>9.3f} "
-                    f"(limit {new_stream['recall']['decay_limit']:.2f})"
+                    f"(limit {new_recall.get('decay_limit', 0.0):.2f})"
                 )
         # IVF rows (schema v4): tuned-best speedup and its recall@10.
         old_best = (old_phases.get("ivf") or {}).get("best")
@@ -1212,6 +1257,24 @@ def compare_results(old: dict, new: dict) -> str:
                 f"(recall@10 {old_best['recall_at_10']:.3f} -> "
                 f"{new_best['recall_at_10']:.3f})"
             )
+        # Tune rows (schema v6): grid size and cost-model fit quality.
+        old_tune = old_phases.get("tune")
+        new_tune = new_phases.get("tune")
+        if old_tune and new_tune:
+            old_model = old_tune.get("model") or {}
+            new_model = new_tune.get("model") or {}
+            old_err = old_model.get("mean_rel_error")
+            new_err = new_model.get("mean_rel_error")
+            if old_err is not None and new_err is not None:
+                old_pts = old_tune.get("grid_points", old_model.get("n_points"))
+                new_pts = new_tune.get("grid_points", new_model.get("n_points"))
+                lines.append(
+                    f"{profile:<16} {'tune fit err':<12} "
+                    f"{format(old_err * 100, '.1f') + '%':>9} "
+                    f"{format(new_err * 100, '.1f') + '%':>9} "
+                    f"({old_pts} -> {new_pts} grid points)"
+                )
+    lines.extend(notes)
     return "\n".join(lines)
 
 

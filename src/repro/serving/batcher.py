@@ -3,8 +3,8 @@
 Concurrent ``submit`` calls land individual single-query requests on an
 asyncio queue; the batcher's collector loop pops the first, waits at most
 ``max_delay_s`` for company (up to ``max_batch_size``), groups what
-arrived by ``(k, rerank hint)``, and hands each group to the daemon's
-dispatch coroutine
+arrived by ``(k, rerank hint, nprobe)``, and hands each group to the
+daemon's dispatch coroutine
 as **one** scan. That amortises the per-batch costs the bench already
 measures (LUT build, dispatch, merge) across every rider — the asyncio
 version of the batch-vs-single gap in ``phases.query``.
@@ -45,11 +45,13 @@ class PendingRequest:
     signature: str
     #: Explicit rerank hint from a SearchRequest (None: daemon decides).
     rerank: bool | None = None
+    #: Per-request IVF probe width (None: the replica engine's default).
+    nprobe: int | None = None
     meta: dict = field(default_factory=dict)
 
 
 class MicroBatcher:
-    """Collects concurrent requests into per-``(k, rerank)`` scan groups."""
+    """Collects concurrent requests into ``(k, rerank, nprobe)`` scan groups."""
 
     def __init__(
         self,
@@ -173,13 +175,14 @@ class MicroBatcher:
                             RuntimeError("serving daemon stopped")
                         )
                 raise
-            # One scan per (k, rerank hint): requests with an explicit
-            # rerank choice cannot ride a scan that made the other one.
+            # One scan per (k, rerank hint, nprobe): a request with an
+            # explicit search configuration cannot ride a scan that made a
+            # different one — the answers differ.
             groups: dict[tuple, list[PendingRequest]] = {}
             for request in batch:
-                groups.setdefault((request.k, request.rerank), []).append(
-                    request
-                )
+                groups.setdefault(
+                    (request.k, request.rerank, request.nprobe), []
+                ).append(request)
             obs = get_obs()
             for group in groups.values():
                 if obs.enabled:

@@ -2,8 +2,13 @@
 
 The daemon caches the exact answer of every healthy (non-degraded) scan
 under a :func:`query_signature` — a digest of the canonical float64 query
-bytes plus ``k``, so two requests hit the same entry only when they would
-produce byte-identical answers. Entries age out after ``ttl_s`` but are
+bytes plus the *effective search configuration* (``k``, ``nprobe``,
+``rerank``), so two requests hit the same entry only when they would
+produce byte-identical answers. Keying on ``(query, k)`` alone would let
+an ``nprobe=1`` pruned answer be served to an exact-scan request (or a
+skip-rerank answer to a rerank one) the moment per-request knobs exist —
+the cache-correctness bug this digest closes. Entries age out after
+``ttl_s`` but are
 *kept* until LRU eviction: an expired entry is invisible to normal lookups
 yet can still be served with ``allow_stale=True``, which is exactly the
 degraded mode's stale-while-degraded contract. A fresh ``put`` on the same
@@ -24,17 +29,34 @@ import numpy as np
 __all__ = ["CacheEntry", "ResultCache", "query_signature"]
 
 
-def query_signature(query: np.ndarray, k: int) -> str:
-    """Stable digest identifying ``(query, k)`` across processes.
+def query_signature(
+    query: np.ndarray,
+    k: int,
+    nprobe: int | None = None,
+    rerank: bool | None = None,
+) -> str:
+    """Stable digest identifying ``(query, k, nprobe, rerank)``.
 
     The query is canonicalised to contiguous float64 first, so the same
     vector arriving as float32 or as a non-contiguous slice maps to the
-    same entry.
+    same entry. ``nprobe`` and ``rerank`` are part of the key because
+    they change the answer: a pruned (``nprobe``) or raw-float32
+    (``rerank=False``) scan is not interchangeable with the exact
+    default, so each effective configuration gets its own entry.
+    ``None`` (surface default) hashes distinctly from any explicit value.
     """
     canonical = np.ascontiguousarray(query, dtype=np.float64)
     digest = hashlib.blake2b(digest_size=16)
     digest.update(canonical.tobytes())
     digest.update(int(k).to_bytes(8, "little", signed=True))
+    digest.update(
+        int(-1 if nprobe is None else nprobe).to_bytes(8, "little", signed=True)
+    )
+    digest.update(
+        int(-1 if rerank is None else bool(rerank)).to_bytes(
+            8, "little", signed=True
+        )
+    )
     digest.update(int(canonical.size).to_bytes(8, "little"))
     return digest.hexdigest()
 

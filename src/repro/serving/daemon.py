@@ -15,8 +15,10 @@ request loop and owns every recovery decision between a client's
   (first answer wins).
 - **Circuit breakers** — per replica (:mod:`repro.serving.breaker`), so a
   failing replica is quarantined instead of re-timed-out per request.
-- **Result cache** — LRU/TTL keyed on query signature
-  (:mod:`repro.serving.cache`); fresh hits skip the engine entirely.
+- **Result cache** — LRU/TTL keyed on query signature — the query bytes
+  plus the effective ``(k, nprobe, rerank)`` search configuration
+  (:mod:`repro.serving.cache`); fresh hits skip the engine entirely, and
+  an entry is never served to a request with a different configuration.
 - **Graceful degradation** — under overload (queue depth) or replica loss
   the daemon enters an explicit degraded mode: expired cache entries are
   served stale, scans skip the float64 rerank (and optionally cap ``k``),
@@ -299,6 +301,14 @@ class ServingDaemon:
         """True when the served index accepts :meth:`mutate`."""
         return self._mutable
 
+    def _has_ivf(self) -> bool:
+        """True when replicas can honour a per-request ``nprobe``.
+
+        Replicas are configured identically (same ``engine_kwargs`` or the
+        same mutable index), so the first one answers for all.
+        """
+        return self.replica_set.replicas[0].has_ivf
+
     @property
     def degraded(self) -> bool:
         return bool(self._degraded_reasons)
@@ -319,14 +329,17 @@ class ServingDaemon:
 
         Takes either a raw ``(dim,)`` vector plus ``k``, or a
         :class:`~repro.retrieval.search.SearchRequest` carrying exactly one
-        query row — its ``k``, ``rerank``, and ``deadline_s`` fields are
-        honoured (``deadline_s`` overrides the config request timeout; an
-        explicit ``rerank`` bypasses the result cache, since cached answers
-        are keyed only on query and ``k``). ``nprobe`` and ``engine`` hints
-        are rejected: the daemon owns its engines, none of which route
-        through IVF.
+        query row — its ``k``, ``nprobe``, ``rerank``, and ``deadline_s``
+        fields are honoured (``deadline_s`` overrides the config request
+        timeout). ``nprobe`` requires IVF-configured replicas (``repro
+        serve --ivf-cells``, ``engine_kwargs={"ivf": ...}``, or a
+        MutableIndex built with them) and is forwarded to the scan;
+        requests with different search configurations never share a scan
+        batch or a cache entry. ``engine`` hints are rejected: the daemon
+        owns its engines.
         """
         rerank_hint: bool | None = None
+        nprobe: int | None = None
         deadline_s: float | None = None
         if isinstance(query, SearchRequest):
             if k is not None:
@@ -340,10 +353,11 @@ class ServingDaemon:
                     "the daemon serves one query per submit; send one "
                     "request per row (the batcher coalesces them)"
                 )
-            if request_obj.nprobe is not None:
+            if request_obj.nprobe is not None and not self._has_ivf():
                 raise ValueError(
-                    "nprobe is not supported by the serving daemon: its "
-                    "replica engines have no IVF layer"
+                    "nprobe was given but the daemon's replica engines have "
+                    "no IVF layer; serve with --ivf-cells / "
+                    "engine_kwargs={'ivf': ...} to accept per-request nprobe"
                 )
             if request_obj.engine is not None:
                 raise ValueError(
@@ -352,6 +366,7 @@ class ServingDaemon:
                 )
             query = request_obj.queries[0]
             k = request_obj.k
+            nprobe = request_obj.nprobe
             rerank_hint = request_obj.rerank
             deadline_s = request_obj.deadline_s
         if not self._accepting:
@@ -374,12 +389,8 @@ class ServingDaemon:
             registry.histogram(metric_names.SERVE_QUEUE_DEPTH).observe(depth)
         self._update_overload(depth)
 
-        signature = query_signature(query, k)
-        hit = (
-            None
-            if rerank_hint is not None
-            else self.cache.get(signature, now=start, allow_stale=self.degraded)
-        )
+        signature = query_signature(query, k, nprobe=nprobe, rerank=rerank_hint)
+        hit = self.cache.get(signature, now=start, allow_stale=self.degraded)
         if hit is not None:
             entry, fresh = hit
             source = "cache" if fresh else "cache_stale"
@@ -415,6 +426,7 @@ class ServingDaemon:
             deadline=start + timeout_s,
             signature=signature,
             rerank=rerank_hint,
+            nprobe=nprobe,
         )
         if not self.batcher.try_enqueue(request):
             self.counts["shed"] += 1
@@ -516,6 +528,7 @@ class ServingDaemon:
         deadline = min(request.deadline for request in group)
         degraded = self.degraded
         hint = group[0].rerank
+        nprobe = group[0].nprobe
         if hint is not None:
             rerank: bool | None = hint
         else:
@@ -523,9 +536,11 @@ class ServingDaemon:
         k_scan = k
         if degraded and cfg.degraded_k_cap is not None:
             k_scan = min(k, cfg.degraded_k_cap)
-        # An explicit rerank hint never lands in the cache: entries are
-        # keyed on (query, k) alone and must stay hint-independent.
-        cacheable = hint is None and rerank is None and k_scan == k
+        # Cacheable iff the scan computes exactly what the group's
+        # signature (query, k, nprobe, rerank hint) describes: a degraded
+        # scan that silently flipped rerank off (hint None, rerank False)
+        # or capped k must not land under the healthy key.
+        cacheable = rerank == hint and k_scan == k
 
         attempts = 0
         tried: set[int] = set()
@@ -565,6 +580,7 @@ class ServingDaemon:
                     budget,
                     tried,
                     allow_hedge=not degraded,
+                    nprobe=nprobe,
                 )
             except Exception as exc:
                 last_error = exc
@@ -604,6 +620,7 @@ class ServingDaemon:
         budget_s: float,
         tried: set[int],
         allow_hedge: bool,
+        nprobe: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """One scan attempt, hedged once if it straggles.
 
@@ -616,7 +633,7 @@ class ServingDaemon:
         cfg = self.config
         attempt_deadline = loop.time() + budget_s
         running: dict[asyncio.Task, Replica] = {
-            self._scan_task(replica, queries, k, rerank): replica
+            self._scan_task(replica, queries, k, rerank, nprobe): replica
         }
         hedge_wait = (
             cfg.hedge_after_s
@@ -648,7 +665,9 @@ class ServingDaemon:
                     if hedge_replica is not None:
                         self._count("hedges", metric_names.SERVE_HEDGES_TOTAL)
                         running[
-                            self._scan_task(hedge_replica, queries, k, rerank)
+                            self._scan_task(
+                                hedge_replica, queries, k, rerank, nprobe
+                            )
                         ] = hedge_replica
                     continue
                 break
@@ -684,13 +703,14 @@ class ServingDaemon:
 
     def _scan_task(
         self, replica: Replica, queries: np.ndarray, k: int,
-        rerank: bool | None,
+        rerank: bool | None, nprobe: int | None = None,
     ) -> asyncio.Task:
         loop = asyncio.get_running_loop()
 
         async def scan():
             return await loop.run_in_executor(
-                None, lambda: replica.search(queries, k, rerank=rerank)
+                None,
+                lambda: replica.search(queries, k, rerank=rerank, nprobe=nprobe),
             )
 
         return asyncio.create_task(scan())

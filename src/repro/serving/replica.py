@@ -124,8 +124,18 @@ class Replica:
         """True when the engine is a mutable index (external-id results)."""
         return bool(getattr(self.engine, "is_mutable", False))
 
+    @property
+    def has_ivf(self) -> bool:
+        """True when the engine can honour a per-request ``nprobe``."""
+        return getattr(self.engine, "ivf", None) is not None
+
     def search(
-        self, queries: np.ndarray, k: int, *, rerank: bool | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        rerank: bool | None = None,
+        nprobe: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One validated scan; raises on injected or detected failure."""
         with self._lock:
@@ -133,8 +143,14 @@ class Replica:
             call = self.calls
         if self.faults is not None:
             self.faults.before_scan(self.replica_id, call)
+        hints: dict = {"rerank": rerank}
+        if nprobe is not None:
+            # Passed through only when set: non-IVF engines reject the
+            # kwarg with a clear error, and the daemon screens for that at
+            # admission so it never reaches a scan.
+            hints["nprobe"] = nprobe
         indices, distances = self.engine.search_with_distances(
-            queries, k=k, rerank=rerank
+            queries, k=k, **hints
         )
         if self.faults is not None:
             indices, distances = self.faults.transform_response(

@@ -1,0 +1,28 @@
+"""``repro.tuning`` — the calibrated cost-model auto-tuner.
+
+Sweep a config grid over a dataset profile (:func:`run_tune_sweep`),
+calibrate the analytic cost model of :mod:`repro.retrieval.costs` to the
+measurements, and recommend a concrete serving configuration for a stated
+latency/recall/memory budget (:func:`recommend`). The CLI surface is
+``repro tune`` (see ``docs/tuning.md``).
+"""
+
+from repro.tuning.grid import GridPoint, default_grid, tiny_grid
+from repro.tuning.recommend import (
+    Recommendation,
+    TuneRequest,
+    model_from_report,
+    recommend,
+)
+from repro.tuning.sweep import run_tune_sweep
+
+__all__ = [
+    "GridPoint",
+    "Recommendation",
+    "TuneRequest",
+    "default_grid",
+    "model_from_report",
+    "recommend",
+    "run_tune_sweep",
+    "tiny_grid",
+]

@@ -185,6 +185,59 @@ class TestReporting:
         assert "stream" in text
         assert "parity ok" in text
 
+    def test_compare_notes_one_sided_phases_instead_of_raising(self, results):
+        # A phase present on only one side is skipped with a note naming
+        # the side and both schema versions — never a KeyError.
+        import copy
+
+        old = copy.deepcopy(results)
+        old["schema_version"] = 2
+        for entry in old["profiles"].values():
+            entry["phases"].pop("serve")
+            entry["phases"].pop("stream")
+        text = bench.compare_results(old, results)
+        assert "phase 'serve' only in the new run" in text
+        assert "phase 'stream' only in the new run" in text
+        assert "schema v2 vs v6" in text
+
+    def test_compare_tolerates_sparse_phase_entries(self, results):
+        # Nested keys a different schema never wrote must not raise.
+        import copy
+
+        old = copy.deepcopy(results)
+        for entry in old["profiles"].values():
+            entry["phases"]["stream"] = {"wall_time_s": 1.0}
+            entry["phases"]["serve"] = {"wall_time_s": 1.0}
+        text = bench.compare_results(old, results)
+        assert bench.TINY_PROFILE in text
+
+    def test_compare_and_summary_include_tune_rows(self, results):
+        import copy
+
+        run = copy.deepcopy(results)
+        for entry in run["profiles"].values():
+            entry["phases"]["tune"] = {
+                "wall_time_s": 0.5,
+                "k": 5,
+                "grid_points": 18,
+                "points": [],
+                "train": [],
+                "model": {
+                    "coefficients": {},
+                    "n_points": 18,
+                    "mean_rel_error": 0.08,
+                    "max_rel_error": 0.2,
+                    "holdout": {"n": 4, "mean_rel_error": 0.1,
+                                "max_rel_error": 0.3},
+                },
+            }
+        summary = bench.format_summary(run)
+        assert "tune" in summary
+        assert "fit err mean 8.0%" in summary
+        compare = bench.compare_results(run, run)
+        assert "tune fit err" in compare
+        assert "18 -> 18 grid points" in compare
+
 
 class TestCli:
     def test_main_writes_results_file(self, tmp_path):

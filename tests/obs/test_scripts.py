@@ -53,6 +53,11 @@ def test_smoke_mutable_passes():
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+def test_smoke_tune_passes():
+    result = _run_script("smoke_tune.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_check_docs_passes():
     result = _run_script("check_docs.py")
     assert result.returncode == 0, result.stdout + result.stderr

@@ -26,6 +26,25 @@ class TestQuerySignature:
         b[3] += 1e-9
         assert query_signature(a, 5) != query_signature(b, 5)
 
+    def test_search_config_discriminates(self):
+        """The cache-correctness fix: every effective (nprobe, rerank)
+        combination keys its own entry — a pruned or raw-float32 answer
+        must never be served to a request that asked for a different
+        configuration."""
+        query = np.arange(8, dtype=np.float64)
+        signatures = [
+            query_signature(query, 5, nprobe=nprobe, rerank=rerank)
+            for nprobe in (None, 0, 1, 4, 8)
+            for rerank in (None, True, False)
+        ]
+        assert len(set(signatures)) == len(signatures)
+
+    def test_none_defaults_match_positional_call(self):
+        query = np.arange(8, dtype=np.float64)
+        assert query_signature(query, 5) == query_signature(
+            query, 5, nprobe=None, rerank=None
+        )
+
 
 class TestResultCache:
     def _put(self, cache, key, now, tag=0.0):

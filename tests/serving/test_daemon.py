@@ -487,3 +487,127 @@ class TestShutdown:
 
         results = asyncio.run(run())
         assert any(isinstance(r, Exception) for r in results)
+
+
+class TestPerRequestNprobe:
+    """Per-request IVF probe width, and the cache keyed on search config."""
+
+    def _ivf_daemon(self, index, **config_overrides):
+        from repro.retrieval.ivf import IVFIndex
+
+        ivf = IVFIndex.build(index, num_cells=8, seed=0)
+        daemon = ServingDaemon(
+            index,
+            num_replicas=2,
+            engine_kwargs={"ivf": ivf, "nprobe": 4},
+            config=quiet_config(**config_overrides),
+        )
+        return daemon, ivf
+
+    def _truths(self, index, ivf, query, k, nprobes):
+        """Expected (indices, distances) per nprobe from a direct engine."""
+        truths = {}
+        with QueryEngine(index, ivf=ivf, nprobe=4) as engine:
+            for nprobe in nprobes:
+                truths[nprobe] = engine.search_with_distances(
+                    query[None, :], k=k, nprobe=nprobe
+                )
+        return truths
+
+    def test_nprobe_forwarded_to_ivf_replicas(self, served_index):
+        from repro.retrieval.search import SearchRequest
+
+        index, pool = served_index
+        daemon, ivf = self._ivf_daemon(index)
+        truths = self._truths(index, ivf, pool[0], 5, (1, 0))
+
+        async def run():
+            async with daemon:
+                pruned = await daemon.submit(
+                    SearchRequest(queries=pool[:1], k=5, nprobe=1)
+                )
+                exact = await daemon.submit(
+                    SearchRequest(queries=pool[:1], k=5, nprobe=0)
+                )
+            return pruned, exact
+
+        pruned, exact = asyncio.run(run())
+        assert np.array_equal(pruned.indices, truths[1][0][0])
+        assert np.array_equal(exact.indices, truths[0][0][0])
+
+    def test_nprobe_rejected_without_ivf(self, served_index):
+        from repro.retrieval.search import SearchRequest
+
+        index, pool = served_index
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=1, config=quiet_config()
+            ) as daemon:
+                with pytest.raises(ValueError, match="no IVF layer"):
+                    await daemon.submit(
+                        SearchRequest(queries=pool[:1], k=5, nprobe=2)
+                    )
+
+        asyncio.run(run())
+
+    def test_cache_never_crosses_search_configs(self, served_index):
+        """Regression: an answer computed under one (nprobe, rerank) must
+        never be returned for a request that asked for another — each
+        config hits its own cache entry and matches its own engine truth.
+        """
+        from repro.retrieval.search import SearchRequest
+
+        index, pool = served_index
+        daemon, ivf = self._ivf_daemon(index)
+        truths = self._truths(index, ivf, pool[0], 5, (1, 2, 0))
+
+        def request(nprobe):
+            return SearchRequest(queries=pool[:1], k=5, nprobe=nprobe)
+
+        async def run():
+            async with daemon:
+                first = {
+                    nprobe: await daemon.submit(request(nprobe))
+                    for nprobe in (1, 2, 0)
+                }
+                misses = daemon.counts["cache_misses"]
+                hits_before = daemon.counts["cache_hits"]
+                second = {
+                    nprobe: await daemon.submit(request(nprobe))
+                    for nprobe in (1, 2, 0)
+                }
+                hits = daemon.counts["cache_hits"] - hits_before
+            return first, misses, second, hits
+
+        first, misses, second, hits = asyncio.run(run())
+        assert misses == 3  # one entry per search config, no sharing
+        assert hits == 3  # and each repeat hit its own entry
+        for nprobe in (1, 2, 0):
+            want_i, want_d = truths[nprobe]
+            for result in (first[nprobe], second[nprobe]):
+                assert np.array_equal(result.indices, want_i[0])
+                assert np.allclose(result.distances, want_d[0])
+
+    def test_rerank_hint_keys_its_own_cache_entry(self, served_index):
+        from repro.retrieval.search import SearchRequest
+
+        index, pool = served_index
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=1, config=quiet_config()
+            ) as daemon:
+                await daemon.submit(SearchRequest(queries=pool[:1], k=5))
+                misses = daemon.counts["cache_misses"]
+                await daemon.submit(
+                    SearchRequest(queries=pool[:1], k=5, rerank=False)
+                )
+                await daemon.submit(
+                    SearchRequest(queries=pool[:1], k=5, rerank=True)
+                )
+                return misses, daemon.counts["cache_misses"]
+
+        misses_after_first, misses_total = asyncio.run(run())
+        assert misses_after_first == 1
+        assert misses_total == 3  # each rerank hint is its own entry

@@ -224,3 +224,44 @@ class TestBenchSubcommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         assert "bench" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_sweep_then_recommend_from_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "TUNE_results.json")
+        code = main([
+            "tune", "--profile", "tiny", "--quick", "--seed", "0",
+            "--k", "5", "--no-train-axis", "--out", out,
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "tune" in stdout
+        assert "fit err mean" in stdout
+
+        # A generous budget against the saved artifact is feasible (exit 0)
+        code = main([
+            "tune", "--from-results", out, "--k", "5",
+            "--latency-ms", "1e6", "--memory-mb", "1e6",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "recommended:" in stdout
+        assert "INFEASIBLE" not in stdout
+
+        # An impossible recall floor exits 1 and says so.
+        code = main([
+            "tune", "--from-results", out, "--k", "5", "--recall", "0.999",
+        ])
+        assert code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_budget_k_mismatch_is_a_usage_error(self, tmp_path, capsys):
+        out = str(tmp_path / "TUNE_results.json")
+        assert main([
+            "tune", "--profile", "tiny", "--quick", "--k", "5",
+            "--no-train-axis", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        code = main(["tune", "--from-results", out, "--recall", "0.5"])
+        assert code == 2
+        assert "re-run the sweep" in capsys.readouterr().err

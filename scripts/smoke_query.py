@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI smoke test for the asymmetric query fast path.
+
+Exercises the whole distilled-encoder pipeline end to end on the tiny
+profile: train a teacher, distil a linear :class:`LightQueryEncoder`,
+and assert the asymmetric-serving contract:
+
+- the light encoder's batched encode beats the full backbone+DSQ stack,
+- recall@10 through the light path stays within a loose smoke floor of
+  the full path (the strict <= 0.02 delta gate runs on the nightly
+  bench, where a regression fails the build instead of per-PR CI),
+- a :class:`ServingDaemon` given ``query_encoders`` serves raw-feature
+  ``SearchRequest(encoder="light")`` traffic with zero failures, and the
+  answers match the index searched over the student's own embeddings,
+- cross-query LUT reuse is bit-exact: re-scanning a batch through a
+  cache-enabled engine is all hits and returns identical distances.
+
+Budget: well under 10 seconds. Run from the repository root::
+
+    python scripts/smoke_query.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro.core.trainer import Trainer
+from repro.encoding import distill_query_encoder
+from repro.experiments import (
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.obs.bench import load_profile_dataset, overlap_recall
+from repro.retrieval.search import SearchRequest, squared_distances
+from repro.serving import ServingConfig, ServingDaemon
+
+SEED = 0
+RECALL_FLOOR = 0.25
+DELTA_LIMIT = 0.05
+
+
+def main() -> int:
+    start = time.perf_counter()
+    dataset = load_profile_dataset("tiny", SEED)
+    trainer = Trainer(
+        default_model_config(dataset),
+        default_loss_config(dataset),
+        default_training_config(dataset, fast=True),
+        seed=SEED,
+    )
+    teacher, _, _ = trainer.fit(dataset)
+    teacher.eval()
+    student, _ = distill_query_encoder(teacher, dataset, seed=SEED)
+
+    raw_queries = np.asarray(dataset.query.features, dtype=np.float64)
+    emb_db = np.asarray(teacher.embed(dataset.database.features), dtype=np.float64)
+    exact_ids = np.argsort(
+        squared_distances(
+            np.asarray(teacher.embed(raw_queries), dtype=np.float64), emb_db
+        ),
+        kind="stable",
+        axis=1,
+    )[:, :10]
+    index = teacher.build_index(
+        dataset.database.features, labels=dataset.database.labels
+    )
+
+    # Fused batched encode: the light path must beat the full stack.
+    timings = {}
+    recalls = {}
+    for label, embed in (("full", teacher.embed), ("light", student.embed)):
+        best = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            embedded = embed(raw_queries)
+            best = min(best, time.perf_counter() - t0)
+        timings[label] = best
+        recalls[label] = overlap_recall(index.search(embedded, k=10), exact_ids)
+    speedup = timings["full"] / max(timings["light"], 1e-12)
+    assert speedup > 1.0, (
+        f"light encode x{speedup:.2f} not faster than the full stack"
+    )
+    delta = recalls["full"] - recalls["light"]
+    assert recalls["light"] >= RECALL_FLOOR, (
+        f"light recall@10 {recalls['light']:.3f} below the "
+        f"{RECALL_FLOOR} smoke floor"
+    )
+    assert delta <= DELTA_LIMIT, (
+        f"light recall@10 delta {delta:+.3f} above the {DELTA_LIMIT} "
+        "smoke limit"
+    )
+
+    # Serving: raw-feature traffic through the registered light encoder.
+    want_light = index.search(student.embed(raw_queries), k=10)
+
+    async def serve() -> None:
+        daemon = ServingDaemon(
+            index,
+            num_replicas=1,
+            config=ServingConfig(heartbeat_interval_s=None),
+            query_encoders={"full": teacher, "light": student},
+        )
+        async with daemon:
+            for row in range(len(raw_queries)):
+                result = await daemon.submit(
+                    SearchRequest(
+                        queries=raw_queries[row][None, :], k=10,
+                        encoder="light",
+                    )
+                )
+                assert not result.degraded
+                assert np.array_equal(result.indices, want_light[row]), row
+
+    asyncio.run(serve())
+
+    # LUT reuse parity: a repeated batch is all hits and bit-identical.
+    from repro.retrieval.engine import QueryEngine
+
+    engine = QueryEngine(index, parallel="never")
+    assert engine.lut_cache is not None
+    light_queries = student.embed(raw_queries)
+    first_i, first_d = engine.search_with_distances(light_queries, k=10)
+    misses_after_first = engine.lut_cache.misses
+    again_i, again_d = engine.search_with_distances(light_queries, k=10)
+    engine.close()
+    assert engine.lut_cache.misses == misses_after_first, "repeat batch missed"
+    assert engine.lut_cache.hits >= len(light_queries)
+    assert np.array_equal(first_i, again_i)
+    assert np.array_equal(first_d, again_d)
+
+    elapsed = time.perf_counter() - start
+    print(
+        f"query smoke ok: light encode x{speedup:.1f}, recall@10 "
+        f"full {recalls['full']:.3f} / light {recalls['light']:.3f} "
+        f"(delta {delta:+.3f}), {len(raw_queries)} encoder requests served, "
+        f"LUT reuse bit-exact ({elapsed:.2f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -175,6 +175,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None,
         help="enable observability and write the serve.* snapshot here (JSONL)",
     )
+    serve.add_argument(
+        "--query-encoder", default=None, metavar="PATH",
+        help="light query encoder archive from `repro distill`; traffic "
+        "then submits raw features with encoder='light' and the daemon "
+        "embeds them through the distilled fast path before the scan",
+    )
+
+    distill = commands.add_parser(
+        "distill",
+        help="train a LightLT teacher on a profile, distill the light "
+        "query encoder from it, and save the encoder archive",
+    )
+    distill.add_argument(
+        "--profile", default="tiny",
+        help="dataset profile (accepts the -lt suffix; default: tiny)",
+    )
+    distill.add_argument("--seed", type=int, default=0)
+    distill.add_argument(
+        "--out", default="encoder.npz",
+        help="light-encoder archive path (default: encoder.npz)",
+    )
+    distill.add_argument(
+        "--save-index", default=None, metavar="PATH",
+        help="also build and save the teacher's index over the profile "
+        "database (ready for `repro serve --index ... --query-encoder`)",
+    )
+    distill.add_argument(
+        "--hidden-dim", type=int, default=None,
+        help="student hidden width (default: pure linear projection)",
+    )
+    distill.add_argument(
+        "--mode", choices=("kl", "contrastive"), default="kl",
+        help="distillation objective: soft codeword-posterior KL or the "
+        "MoPQ-style contrastive matching head (default: kl)",
+    )
+    distill.add_argument(
+        "--epochs", type=int, default=None,
+        help="distillation epochs (default: the distiller's own budget)",
+    )
 
     commands.add_parser(
         "bench",
@@ -459,8 +498,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"ivf: {ivf.num_cells} cells, nprobe {nprobe} "
             f"(~{ivf.cell_sizes().mean():.0f} items/cell)"
         )
+    query_encoders = None
+    encoder_mode = None
+    if args.query_encoder:
+        from repro.encoding import load_encoder
+
+        light = load_encoder(args.query_encoder)
+        if light.embed_dim != index.codebooks.shape[2]:
+            print(
+                f"error: encoder embeds into {light.embed_dim}-d but the "
+                f"index stores {index.codebooks.shape[2]}-d vectors",
+                file=sys.stderr,
+            )
+            return 2
+        query_encoders = {"light": light}
+        encoder_mode = "light"
+        print(
+            f"query encoder: light ({light.input_dim} -> {light.embed_dim}"
+            + (", linear)" if light.hidden_dim is None
+               else f", hidden {light.hidden_dim})")
+        )
     rng = make_rng(args.seed)
-    pool = rng.normal(size=(args.queries, index.codebooks.shape[2]))
+    # With an encoder the pool rows are raw features (the daemon embeds
+    # them); without one they are embeddings at the index's dimension.
+    pool_dim = (
+        query_encoders["light"].input_dim
+        if query_encoders
+        else index.codebooks.shape[2]
+    )
+    pool = rng.normal(size=(args.queries, pool_dim))
     faults = None
     if args.kill_replica_at is not None:
         from repro.resilience.faults import ReplicaKillFault, ServingFaults
@@ -511,11 +577,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         daemon = ServingDaemon(
             mutable_index if mutable else index,
             num_replicas=args.replicas, faults=faults,
-            engine_kwargs=engine_kwargs, on_event=print
+            engine_kwargs=engine_kwargs, on_event=print,
+            query_encoders=query_encoders,
         )
         async with daemon:
             generator = TrafficGenerator(
-                daemon, pool, k=args.k, seed=args.seed
+                daemon, pool, k=args.k, seed=args.seed,
+                encoder=encoder_mode,
             )
             churn_task = (
                 asyncio.create_task(churn(daemon))
@@ -565,6 +633,108 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"metrics written to {args.metrics_out}")
         obs.disable_observability()
     return 0 if report.n_failed == 0 else 1
+
+
+def _cmd_distill(args: argparse.Namespace) -> int:
+    """Teacher fit → light-encoder distillation → encoder archive.
+
+    Prints the light-vs-full comparison on the profile's query split
+    (batched encode speedup and recall@10 of each path against the exact
+    embedding-space oracle) so the trade-off is visible before serving.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from repro.core.trainer import Trainer
+    from repro.encoding import (
+        DistillationConfig,
+        distill_query_encoder,
+        save_encoder,
+    )
+    from repro.experiments import (
+        default_loss_config,
+        default_model_config,
+        default_training_config,
+    )
+    from repro.obs.bench import load_profile_dataset, overlap_recall
+    from repro.retrieval.search import squared_distances
+
+    if args.epochs is not None and args.epochs < 1:
+        print("error: --epochs must be at least 1", file=sys.stderr)
+        return 2
+    dataset = load_profile_dataset(args.profile, args.seed)
+    trainer = Trainer(
+        default_model_config(dataset),
+        default_loss_config(dataset),
+        default_training_config(dataset, fast=True),
+        seed=args.seed,
+    )
+    teacher, _, _ = trainer.fit(dataset)
+    teacher.eval()
+    training_config = None
+    if args.epochs is not None:
+        from repro.encoding import default_distill_training_config
+
+        training_config = dataclasses.replace(
+            default_distill_training_config(), epochs=args.epochs
+        )
+    student, history = distill_query_encoder(
+        teacher,
+        dataset,
+        hidden_dim=args.hidden_dim,
+        config=DistillationConfig(mode=args.mode),
+        training_config=training_config,
+        seed=args.seed,
+    )
+    save_encoder(student, args.out)
+    print(
+        f"distilled {args.mode} student ({student.input_dim} -> "
+        f"{student.embed_dim}"
+        + (f", hidden {args.hidden_dim}" if args.hidden_dim else ", linear")
+        + f") in {len(history.epochs)} epochs; saved to {args.out}"
+    )
+
+    raw_queries = np.asarray(dataset.query.features, dtype=np.float64)
+    emb_db = np.asarray(teacher.embed(dataset.database.features), dtype=np.float64)
+    exact_ids = np.argsort(
+        squared_distances(
+            np.asarray(teacher.embed(raw_queries), dtype=np.float64), emb_db
+        ),
+        kind="stable", axis=1,
+    )[:, :10]
+    index = teacher.build_index(
+        dataset.database.features, labels=dataset.database.labels
+    )
+    import time as _time
+
+    timings = {}
+    recalls = {}
+    for label, embed in (("full", teacher.embed), ("light", student.embed)):
+        best = float("inf")
+        for _ in range(5):
+            start = _time.perf_counter()
+            embedded = embed(raw_queries)
+            best = min(best, _time.perf_counter() - start)
+        timings[label] = best
+        recalls[label] = overlap_recall(index.search(embedded, k=10), exact_ids)
+    speedup = timings["full"] / timings["light"] if timings["light"] > 0 else float("inf")
+    delta = recalls["full"] - recalls["light"]
+    print(
+        f"encode: light x{speedup:.2f} vs full "
+        f"({timings['full'] * 1e3:.3f} -> {timings['light'] * 1e3:.3f} ms "
+        f"per {len(raw_queries)}-query batch)"
+    )
+    print(
+        f"recall@10: full {recalls['full']:.3f}, light {recalls['light']:.3f} "
+        f"(delta {delta:+.3f})"
+    )
+    if args.save_index:
+        from repro.retrieval.persistence import save_index
+
+        save_index(index, args.save_index)
+        print(f"index saved to {args.save_index}")
+    return 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -667,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "distill":
+        return _cmd_distill(args)
     if args.command == "tune":
         return _cmd_tune(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -13,6 +13,8 @@ Setting ``use_skip=False`` yields independent codebooks ``C_k = P_k`` — the
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.nn import FeedForward, Module, Parameter, Tensor, no_grad
@@ -94,6 +96,12 @@ class CodebookChain(Module):
         # Persistent scratch for the fused path (dict-wrapped so Module's
         # attribute scan ignores it); allocated lazily on first use.
         self._scratch: dict[str, object] = {}
+        # Version-tagged materialization cache (see materialize_cached) and
+        # the count of actual re-materializations it has performed — the
+        # regression tests assert the count stays at one across repeated
+        # encode/index-build calls between parameter updates.
+        self._mat_cache: dict[str, object] = {}
+        self.materializations = 0
 
     def materialize(self) -> list[Tensor]:
         """Effective codebooks ``[C_1, ..., C_M]`` as autograd tensors.
@@ -204,6 +212,38 @@ class CodebookChain(Module):
         with no_grad():
             stacked = [c.data.copy() for c in self.materialize()]
         return np.stack(stacked, axis=0)
+
+    def parameter_fingerprint(self) -> bytes:
+        """Content hash over every chain parameter's current values.
+
+        Hashing the raw bytes (rather than tracking an explicit version
+        counter) catches both in-place optimizer updates — which keep the
+        same arrays — and ``load_state_dict``, which rebinds them. The
+        digest covers ~``M·K·d`` floats, far cheaper than the ``M − 1``
+        FFN matmuls a materialization costs.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for param in self.parameters():
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        return digest.digest()
+
+    def materialize_cached(self) -> np.ndarray:
+        """Version-tagged :meth:`materialize_arrays` for inference callers.
+
+        Returns the same owned ``(M, K, d)`` array until a parameter
+        changes (detected via :meth:`parameter_fingerprint`), so encode and
+        index-build paths invoked many times between updates pay for one
+        chain forward. Callers must treat the result as read-only; a fresh
+        array replaces it after the next update, so references handed out
+        earlier stay valid.
+        """
+        tag = self.parameter_fingerprint()
+        cache = self._mat_cache
+        if cache.get("tag") != tag:
+            cache["stacked"] = self.materialize_arrays()
+            cache["tag"] = tag
+            self.materializations += 1
+        return cache["stacked"]  # type: ignore[return-value]
 
     def gate_values(self) -> np.ndarray:
         """Current scalar gate values ``g_2..g_M`` (empty when no skip)."""

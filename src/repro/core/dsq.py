@@ -314,10 +314,101 @@ class DSQ(Module):
         )
 
     def encode(self, embeddings: np.ndarray) -> np.ndarray:
-        """Hard codes for raw feature rows, without building a graph."""
+        """Hard codes for raw feature rows, without building a graph.
+
+        For the fused-eligible similarities this runs a dedicated batched
+        inference kernel — the score assembly of :meth:`_forward_fused`
+        minus the tempered softmax and the tape, over persistent scratch
+        buffers and the version-cached stacked codebooks — so batch encode
+        costs ``M`` GEMMs plus argmaxes and nothing else. Codes match
+        :meth:`forward` under the same fused-vs-reference contract (exact
+        op-order mirroring; ties agree up to the documented ~1e-16 STE
+        residue of the reference decode).
+        """
+        emb = np.asarray(embeddings, dtype=np.float64)
+        if self.similarity in FUSED_SIMILARITIES:
+            return self._encode_fused(emb)
         with no_grad():
-            output = self.forward(Tensor(np.asarray(embeddings, dtype=np.float64)))
+            output = self.forward(Tensor(emb))
         return output.codes
+
+    def assignment_scores(self, embeddings: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-level pre-softmax scores ``(n, M, K)`` plus hard codes.
+
+        The teacher side of query-encoder distillation: softmaxing the
+        returned scores gives the codeword posteriors of Eqn. (5).
+        Inference-only (no tape) and limited to the fused-eligible
+        similarities.
+        """
+        emb = np.asarray(embeddings, dtype=np.float64)
+        if self.similarity not in FUSED_SIMILARITIES:
+            raise ValueError(
+                f"assignment_scores supports similarities {FUSED_SIMILARITIES}, "
+                f"got {self.similarity!r}"
+            )
+        scores = np.empty((len(emb), self.num_codebooks, self.num_codewords))
+        codes = self._encode_fused(emb, scores_out=scores)
+        return scores, codes
+
+    def _encode_fused(
+        self, emb: np.ndarray, scores_out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """No-tape batched encode over cached stacked codebooks."""
+        if emb.ndim != 2:
+            raise ValueError(f"embeddings must be (n, d), got shape {emb.shape}")
+        chain = self.codebooks
+        n = len(emb)
+        num_books, num_words, dim = self.num_codebooks, self.num_codewords, self.dim
+        stacked = chain.materialize_cached()
+        use_dot = self.similarity == "dot"
+        cache = self._fused_cache
+        code_sq = None
+        if not use_dot:
+            # ``code_sq`` is tied to the cached stack by identity: a chain
+            # parameter update swaps the stack object, invalidating it.
+            if cache.get("code_sq_for") is not stacked:
+                cache["code_sq"] = (stacked * stacked).sum(axis=2)
+                cache["code_sq_for"] = stacked
+            code_sq = cache["code_sq"]
+        scratch = cache.get("encode")
+        if scratch is None or scratch["scores"].shape[0] != n:
+            scratch = cache["encode"] = {
+                "scores": np.empty((n, num_words)),
+                "x": np.empty((n, dim)),
+                "recon": np.empty((n, dim)),
+                "level": np.empty((n, dim)),
+            }
+        codes = np.empty((n, num_books), dtype=np.int64)
+        scores = scratch["scores"]
+        if self.topology == "residual":
+            x, recon, level = scratch["x"], scratch["recon"], scratch["level"]
+            recon[...] = 0.0
+            for k in range(num_books):
+                if k:
+                    np.subtract(emb, recon, out=x)
+                else:
+                    x[...] = emb
+                np.matmul(x, stacked[k].T, out=scores)
+                if not use_dot:
+                    scores *= 2.0
+                    scores -= (x * x).sum(axis=1, keepdims=True)
+                    scores -= code_sq[k]
+                codes[:, k] = scores.argmax(axis=1)
+                if scores_out is not None:
+                    scores_out[:, k] = scores
+                np.take(stacked[k], codes[:, k], axis=0, out=level)
+                recon += level
+        else:  # independent: every level scores the raw input
+            for k in range(num_books):
+                np.matmul(emb, stacked[k].T, out=scores)
+                if not use_dot:
+                    scores *= 2.0
+                    scores -= (emb * emb).sum(axis=1, keepdims=True)
+                    scores -= code_sq[k]
+                codes[:, k] = scores.argmax(axis=1)
+                if scores_out is not None:
+                    scores_out[:, k] = scores
+        return codes
 
     def reconstruct(self, embeddings: np.ndarray) -> np.ndarray:
         """Quantize-then-decode as a plain array (compression round trip)."""
@@ -326,8 +417,11 @@ class DSQ(Module):
         return output.reconstruction.data
 
     def materialized_codebooks(self) -> np.ndarray:
-        """Effective ``(M, K, d)`` codebooks for index construction."""
-        return self.codebooks.materialize_arrays()
+        """Effective ``(M, K, d)`` codebooks for index construction.
+
+        Served from the chain's version-tagged cache; treat as read-only.
+        """
+        return self.codebooks.materialize_cached()
 
     def reconstruction_error(self, embeddings: np.ndarray) -> float:
         """Mean squared compression error over a feature matrix."""

@@ -160,6 +160,60 @@ def triplet_loss_reference(
     return total / float(count)
 
 
+def assignment_kl_loss(
+    student_scores: Tensor,
+    teacher_scores: np.ndarray,
+    temperature: float = 1.0,
+) -> Tensor:
+    """Soft codeword-posterior KL for query-encoder distillation.
+
+    ``KL(p_T ‖ q_S)`` per row, averaged over the batch: ``p_T`` is the
+    teacher's tempered-softmax codeword posterior (a constant — gradients
+    flow only through the student's log-probabilities), ``q_S`` the
+    student's posterior over the same codebook. Rows are whatever the
+    caller flattens to ``(rows, K)`` — typically ``n·M`` level scores.
+    The teacher's (constant) negative entropy is included so the value is
+    a true KL divergence, non-negative and zero at an exact match.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    teacher = np.asarray(teacher_scores, dtype=np.float64) / temperature
+    teacher = teacher - teacher.max(axis=1, keepdims=True)
+    exp = np.exp(teacher)
+    norm = exp.sum(axis=1, keepdims=True)
+    posterior = exp / norm
+    teacher_log = teacher - np.log(norm)
+    neg_entropy = float((posterior * teacher_log).sum(axis=1).mean())
+    student_log = log_softmax(student_scores * (1.0 / temperature), axis=1)
+    cross = -(student_log * Tensor(posterior)).sum(axis=1).mean()
+    return cross + neg_entropy
+
+
+def matching_contrastive_loss(
+    student_embeddings: Tensor,
+    teacher_targets: np.ndarray,
+    tau: float = 0.1,
+) -> Tensor:
+    """MoPQ-style in-batch contrastive matching loss.
+
+    InfoNCE over the similarity matrix between student query embeddings
+    and the teacher's (quantized) representations of the same batch: row
+    ``i`` must score its own teacher target above every other row's
+    (matching-oriented — the negatives are real quantized representations,
+    so the student is trained on exactly the contrast retrieval performs).
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    teacher = np.asarray(teacher_targets, dtype=np.float64)
+    n = len(teacher)
+    if len(student_embeddings) != n:
+        raise ValueError("student batch and teacher targets must align")
+    if n == 0:
+        return Tensor(0.0)
+    logits = (student_embeddings @ Tensor(teacher).T) * (1.0 / tau)
+    return cross_entropy(logits, np.arange(n))
+
+
 @dataclass(frozen=True)
 class LossConfig:
     """Hyper-parameters of the combined objective (Eqn. 15)."""

@@ -128,13 +128,17 @@ class LightLT(Module):
         return np.concatenate(blocks, axis=0) if blocks else np.empty((0, self.config.embed_dim))
 
     def encode(self, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Discrete codes ``b_i`` (Eqn. 1) for raw feature rows."""
+        """Discrete codes ``b_i`` (Eqn. 1) for raw feature rows.
+
+        Uses :meth:`DSQ.encode`'s fused batched inference kernel, so only
+        the backbone pass touches the autograd machinery.
+        """
         self.eval()
         blocks = []
         with no_grad():
             for start in range(0, len(features), batch_size):
                 batch = Tensor(features[start : start + batch_size])
-                blocks.append(self.dsq(self.backbone(batch)).codes)
+                blocks.append(self.dsq.encode(self.backbone(batch).data))
         if not blocks:
             return np.empty((0, self.config.num_codebooks), dtype=np.int64)
         return np.concatenate(blocks, axis=0)

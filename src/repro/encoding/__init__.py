@@ -1,0 +1,58 @@
+"""Asymmetric query encoding: the light query-side fast path.
+
+LightLT's serving cost is asymmetric by design — the database side is
+quantized offline, but every query still pays the full backbone + DSQ
+stack before the ADC scan starts. Following the LightRetriever recipe
+(PAPERS.md), this package distils a drastically cheaper *query-only*
+projection from a trained model:
+
+- :class:`LightQueryEncoder` — a linear (optionally one-hidden-layer)
+  projection from raw features straight to the embedding space, whose
+  batched :meth:`~LightQueryEncoder.embed` is a handful of GEMMs with no
+  autograd machinery at all.
+- :func:`distill_query_encoder` — the distillation driver. It wraps the
+  frozen teacher and the student in a :class:`DistillationModel` whose
+  forward matches the ``LightLT`` output contract, so the ordinary
+  :class:`~repro.core.trainer.TrainingSession` drives the fit and the
+  student inherits checkpointing, non-finite guards, and schedules for
+  free. Two objectives are available (:class:`DistillationConfig`): the
+  soft codeword-posterior KL of :func:`repro.core.losses.assignment_kl_loss`
+  and the MoPQ-style in-batch contrastive
+  :func:`repro.core.losses.matching_contrastive_loss`.
+- :func:`save_encoder` / :func:`load_encoder` — one-file ``.npz``
+  persistence used by ``repro serve --query-encoder``.
+
+See docs/architecture.md ("Asymmetric query encoding") for the data-flow
+diagram and docs/tuning.md for when the light encoder's recall trade is
+worth taking.
+"""
+
+from repro.encoding.distill import (
+    DISTILL_MODES,
+    DistillationConfig,
+    DistillationCriterion,
+    DistillationModel,
+    DistillationOutput,
+    default_distill_training_config,
+    distill_query_encoder,
+)
+from repro.encoding.light import (
+    ENCODER_FORMAT_VERSION,
+    LightQueryEncoder,
+    load_encoder,
+    save_encoder,
+)
+
+__all__ = [
+    "DISTILL_MODES",
+    "DistillationConfig",
+    "DistillationCriterion",
+    "DistillationModel",
+    "DistillationOutput",
+    "ENCODER_FORMAT_VERSION",
+    "LightQueryEncoder",
+    "default_distill_training_config",
+    "distill_query_encoder",
+    "load_encoder",
+    "save_encoder",
+]

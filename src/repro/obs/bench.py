@@ -53,10 +53,14 @@ from repro.obs import names as metric_names
 #: pauses, quantization-drift flag); v6 adds the ``tune`` phase (the
 #: ``repro tune`` config-grid sweep: recall/latency/as-stored-memory per
 #: grid point, fused-train measurements, and the fitted cost model with
-#: its residuals — see :mod:`repro.tuning`). Older files load fine — the
-#: extra phases are simply absent.
-BENCH_SCHEMA_VERSION = 6
-_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+#: its residuals — see :mod:`repro.tuning`); v7 adds the asymmetric
+#: query-encoder block under ``phases.query.encoder`` (light-vs-full
+#: encode latency, encode-inclusive end-to-end percentiles, recall@10
+#: delta, and the fused-batch-vs-per-query full-encode comparison — see
+#: :mod:`repro.encoding`). Older files load fine — the extra phases are
+#: simply absent.
+BENCH_SCHEMA_VERSION = 7
+_READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 DEFAULT_RESULTS_PATH = "BENCH_results.json"
 #: Dataset profiles a default (no ``--profile``) run covers.
 DEFAULT_PROFILES = ("cifar100-lt", "imagenet100-lt", "nc-lt", "qba-lt")
@@ -89,6 +93,16 @@ STREAM_COMPACT_EVERY = 4
 STREAM_RECALL_DECAY_LIMIT = 0.02
 #: Acceptance: sustained insert throughput floor (vectors/s).
 STREAM_INSERT_FLOOR = 10_000.0
+
+#: Acceptance (schema v7 ``phases.query.encoder``): the distilled light
+#: query encoder must encode at least this many times faster than the
+#: full backbone path…
+QUERY_LIGHT_SPEEDUP_FLOOR = 3.0
+#: …while giving up at most this much recall@10 against the full path
+#: (both scored on the same exact embedding-space oracle).
+QUERY_RECALL_DELTA_LIMIT = 0.02
+#: Timed repeats of each encode measurement (best-of, like the scans).
+_ENCODE_REPEATS = 5
 
 #: Relative tolerance for the fused-vs-reference final-loss parity bit.
 #: The two paths follow bit-identical loss values but accumulate gradients
@@ -253,6 +267,91 @@ def _bench_serve(
         "clients": clients,
         "cache_hits": int(daemon.counts["cache_hits"]),
         **report.as_dict(),
+    }
+
+
+def _bench_query_encoder(model, dataset, index, quick: bool, seed: int) -> dict:
+    """The schema-v7 asymmetric-encoding comparison (``query.encoder``).
+
+    Distills a light query encoder from the profile's trained model, then
+    measures both query paths over the same raw query features: batched
+    encode wall time (plus, on the full path, the per-query encode loop
+    the fused batch path must beat), encode-inclusive end-to-end latency
+    percentiles, and each path's retrieval recall@10 against the exact
+    embedding-space oracle. The nightly bench gates ``encode_speedup``
+    and ``recall_delta`` against :data:`QUERY_LIGHT_SPEEDUP_FLOOR` /
+    :data:`QUERY_RECALL_DELTA_LIMIT`.
+    """
+    import math
+
+    from repro.encoding import distill_query_encoder
+    from repro.retrieval.search import squared_distances
+
+    light, _ = distill_query_encoder(model, dataset, seed=seed)
+    raw_queries = np.asarray(dataset.query.features, dtype=np.float64)
+    n_single = min(32 if quick else 100, len(raw_queries))
+    emb_db = np.asarray(model.embed(dataset.database.features), dtype=np.float64)
+    full_emb = np.asarray(model.embed(raw_queries), dtype=np.float64)
+    exact_ids = np.argsort(
+        squared_distances(full_emb, emb_db), kind="stable", axis=1
+    )[:, :10]
+
+    def best_of(call) -> float:
+        best = math.inf
+        for _ in range(_ENCODE_REPEATS):
+            start = time.perf_counter()
+            call()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def measure(embed) -> dict:
+        batch_s = best_of(lambda: embed(raw_queries))
+        samples = []
+        for row in raw_queries[:n_single]:
+            start = time.perf_counter()
+            index.search(embed(row[None, :]), k=10)
+            samples.append(time.perf_counter() - start)
+        recall = overlap_recall(index.search(embed(raw_queries), k=10), exact_ids)
+        return {
+            "queries": len(raw_queries),
+            "batch_encode_s": batch_s,
+            "encode_per_query_s": batch_s / len(raw_queries),
+            "end_to_end_queries": n_single,
+            "end_to_end_p50_ms": float(np.percentile(samples, 50) * 1e3),
+            "end_to_end_p95_ms": float(np.percentile(samples, 95) * 1e3),
+            "recall_at_10": recall,
+        }
+
+    full = measure(model.embed)
+    # The fused-batch claim: one batched full encode must beat encoding
+    # the same rows one query at a time.
+    per_query_total = best_of(
+        lambda: [model.embed(row[None, :]) for row in raw_queries[:n_single]]
+    )
+    full["per_query_encode_s"] = per_query_total / n_single
+    light_entry = measure(light.embed)
+    encode_speedup = (
+        full["batch_encode_s"] / light_entry["batch_encode_s"]
+        if light_entry["batch_encode_s"] > 0 else None
+    )
+    fused_batch_speedup = (
+        full["per_query_encode_s"] / full["encode_per_query_s"]
+        if full["encode_per_query_s"] > 0 else None
+    )
+    recall_delta = full["recall_at_10"] - light_entry["recall_at_10"]
+    return {
+        "full": full,
+        "light": light_entry,
+        "encode_speedup": encode_speedup,
+        "fused_batch_speedup": fused_batch_speedup,
+        "recall_delta": recall_delta,
+        "speedup_floor": QUERY_LIGHT_SPEEDUP_FLOOR,
+        "recall_delta_limit": QUERY_RECALL_DELTA_LIMIT,
+        "within_limits": bool(
+            encode_speedup is not None
+            and encode_speedup >= QUERY_LIGHT_SPEEDUP_FLOOR
+            and recall_delta <= QUERY_RECALL_DELTA_LIMIT
+        ),
     }
 
 
@@ -783,6 +882,10 @@ def bench_profile(
                         serial_scan_tput, handle,
                         workers=workers or 1, shards=shards,
                     )
+            with handle.span("bench.query.encoder"):
+                encoder_entry = _bench_query_encoder(
+                    model, dataset, index, quick, seed
+                )
             n_serve = 64 if quick else 256
             with handle.span("bench.serve", requests=n_serve):
                 serve_entry = _bench_serve(
@@ -802,6 +905,7 @@ def bench_profile(
         build_wall = _span_duration(tracer, "bench.index_build")
         single_wall = _span_duration(tracer, "bench.query.single")
         batch_wall = _span_duration(tracer, "bench.query.batch")
+        encoder_wall = _span_duration(tracer, "bench.query.encoder")
 
         reference_final = float(session.history.last()["total"])
         fused_final = float(fused_session.history.last()["total"])
@@ -887,6 +991,10 @@ def bench_profile(
                         ),
                     },
                     **({"engine": engine_entry} if engine_entry else {}),
+                    "encoder": {
+                        "wall_time_s": encoder_wall,
+                        **encoder_entry,
+                    },
                 },
                 "serve": {
                     "wall_time_s": serve_wall,
@@ -1038,6 +1146,20 @@ def format_summary(results: dict) -> str:
                 f"{engine['wall_time_s']:>9.3f} {rate_text:>18} "
                 f"scan {speedup_text} ({engine['dispatch']}, "
                 f"{engine['workers']}w/{engine['shards']}s, top-k {parity})"
+            )
+        encoder = phases.get("query", {}).get("encoder")
+        if encoder:
+            speedup = encoder.get("encode_speedup")
+            speedup_text = f"x{speedup:.2f}" if speedup else "-"
+            fused = encoder.get("fused_batch_speedup")
+            fused_text = f"x{fused:.2f}" if fused else "-"
+            gate = "ok" if encoder.get("within_limits") else "OVER LIMIT"
+            lines.append(
+                f"{profile:<16} {'query.encoder':<12} "
+                f"{encoder.get('wall_time_s', 0.0):>9.3f} "
+                f"{'light ' + speedup_text:>18} "
+                f"delta {encoder.get('recall_delta', 0.0):+.3f} ({gate}), "
+                f"fused batch {fused_text} vs per-query"
             )
         serve = phases.get("serve")
         if serve:
@@ -1203,6 +1325,29 @@ def compare_results(old: dict, new: dict) -> str:
             lines.append(
                 f"{profile:<16} {'scan Mcodes/s':<12} {old_scan / 1e6:>9.0f} "
                 f"{new_scan / 1e6:>9.0f} {'x' + format(ratio, '.2f'):>8}"
+            )
+        # Query-encoder rows (schema v7): light-encode speedup and recall
+        # delta. A pre-v7 file has no ``query.encoder`` block — one-sided
+        # presence is noted and skipped, like a one-sided phase.
+        old_enc = (old_phases.get("query") or {}).get("encoder")
+        new_enc = (new_phases.get("query") or {}).get("encoder")
+        if old_enc and new_enc:
+            old_speed = old_enc.get("encode_speedup")
+            new_speed = new_enc.get("encode_speedup")
+            if old_speed and new_speed:
+                lines.append(
+                    f"{profile:<16} {'light encode':<12} "
+                    f"{'x' + format(old_speed, '.2f'):>9} "
+                    f"{'x' + format(new_speed, '.2f'):>9} "
+                    f"(recall delta {old_enc.get('recall_delta', 0.0):+.3f} "
+                    f"-> {new_enc.get('recall_delta', 0.0):+.3f})"
+                )
+        elif old_enc or new_enc:
+            side = "old" if old_enc else "new"
+            notes.append(
+                f"note: {profile}: block 'query.encoder' only in the "
+                f"{side} run (schema v{old_version} vs v{new_version}); "
+                f"skipped"
             )
         # Serving-daemon rows (schema v3): QPS ratio and tail-latency delta.
         # Absent on either side (a pre-v3 file) the rows are simply skipped.

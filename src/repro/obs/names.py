@@ -82,6 +82,9 @@ INDEX_BUILD_TIME = "index.build.time_s"
 QUERY_LATENCY = "query.latency_s"
 QUERY_BATCHES_TOTAL = "query.batches.total"
 QUERY_ITEMS_TOTAL = "query.items.total"
+QUERY_LUT_CACHE_HITS = "query.lut.cache.hits"
+QUERY_LUT_CACHE_MISSES = "query.lut.cache.misses"
+QUERY_ENCODE_TIME = "query.encode.time_s"
 SEARCH_EXHAUSTIVE_TIME = "search.exhaustive.time_s"
 
 # --- mutable index (repro.retrieval.mutable) --------------------------------
@@ -531,6 +534,32 @@ SPECS: tuple[MetricSpec, ...] = (
         "queries",
         "repro.retrieval.index.QuantizedIndex.search",
         "Individual queries served across all search calls.",
+    ),
+    MetricSpec(
+        QUERY_LUT_CACHE_HITS,
+        COUNTER,
+        "queries",
+        "repro.retrieval.lut_cache.LUTCache.tables",
+        "Query rows whose ADC lookup table was served from the cross-query "
+        "LUT cache instead of being rebuilt (repeated or near-duplicate "
+        "queries inside and across micro-batches).",
+    ),
+    MetricSpec(
+        QUERY_LUT_CACHE_MISSES,
+        COUNTER,
+        "queries",
+        "repro.retrieval.lut_cache.LUTCache.tables",
+        "Query rows whose ADC lookup table had to be freshly built and was "
+        "inserted into the cross-query LUT cache.",
+    ),
+    MetricSpec(
+        QUERY_ENCODE_TIME,
+        HISTOGRAM,
+        "seconds",
+        "repro.serving.daemon.ServingDaemon.submit",
+        "Time to encode one request's raw features into query embeddings "
+        "before search — the full backbone+DSQ path or the distilled light "
+        "encoder, whichever the request selected.",
     ),
     MetricSpec(
         SEARCH_EXHAUSTIVE_TIME,

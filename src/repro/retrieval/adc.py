@@ -138,14 +138,23 @@ def encode_nearest(
     """
     features = np.asarray(features, dtype=np.float64)
     codebooks = np.asarray(codebooks, dtype=np.float64)
-    m, k, _ = codebooks.shape
-    codes = np.zeros((len(features), m), dtype=np.int64)
+    m, k, d = codebooks.shape
+    n = len(features)
+    codes = np.empty((n, m), dtype=np.int64)
     target = features.copy()
+    # Fused formulation: buffers are allocated once and every level runs
+    # ``cross·(−2) + ‖c‖²`` in place. Bit-identical to the textbook
+    # ``c_sq − 2·target@C.T`` — multiplying by −2.0 is an exact scale/sign
+    # flip and IEEE addition is commutative — so argmin ties break the same.
+    code_sq = (codebooks * codebooks).sum(axis=2)  # (M, K)
+    scores = np.empty((n, k))
+    level = np.empty((n, d))
     for j in range(m):
-        codebook = codebooks[j]
-        c_sq = (codebook**2).sum(axis=1)
-        scores = c_sq[None, :] - 2.0 * target @ codebook.T
+        np.matmul(target, codebooks[j].T, out=scores)
+        scores *= -2.0
+        scores += code_sq[j]
         codes[:, j] = scores.argmin(axis=1)
-        if residual:
-            target = target - codebook[codes[:, j]]
+        if residual and j + 1 < m:
+            np.take(codebooks[j], codes[:, j], axis=0, out=level)
+            target -= level
     return codes

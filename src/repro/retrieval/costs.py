@@ -223,6 +223,10 @@ class SearchConfig:
     exhaustive sharded engine scans everything. ``lut_dtype`` names the
     scan lookup-table dtype (``"uint8"`` is only honoured on the IVF
     path, matching :class:`~repro.retrieval.ivf.IVFIndex`).
+    ``query_encoder`` prices the query-side encode before the scan:
+    ``"none"`` (queries arrive as embeddings), ``"full"`` (the trained
+    backbone + DSQ assignment pass), or ``"light"`` (the distilled
+    affine projection of :mod:`repro.encoding`).
     """
 
     n_db: int
@@ -235,6 +239,7 @@ class SearchConfig:
     num_cells: int = 0
     nprobe: int = 0
     lut_dtype: str = "float32"
+    query_encoder: str = "none"
 
     def __post_init__(self) -> None:
         if min(self.n_db, self.dim, self.num_codebooks, self.num_codewords) < 1:
@@ -247,6 +252,10 @@ class SearchConfig:
             raise ValueError("num_cells and nprobe must be non-negative")
         if self.lut_dtype not in ("float32", "uint8"):
             raise ValueError("lut_dtype must be 'float32' or 'uint8'")
+        if self.query_encoder not in ("none", "full", "light"):
+            raise ValueError(
+                "query_encoder must be 'none', 'full', or 'light'"
+            )
 
     @property
     def uses_ivf(self) -> bool:
@@ -283,7 +292,10 @@ class SearchConfig:
         return width if work >= MIN_PARALLEL_CODES else 1
 
 
-#: Per-term op counts of :func:`cost_features`, in column order.
+#: Per-term op counts of :func:`cost_features`, in column order. The two
+#: ``encode_*`` columns were added with the query-encoder axis (bench
+#: schema v7); :func:`repro.tuning.recommend.model_from_report` defaults
+#: them to 0 when rebuilding a model from an older artifact.
 COST_FEATURE_NAMES = (
     "constant",
     "lut_ops",
@@ -293,6 +305,8 @@ COST_FEATURE_NAMES = (
     "scan_uint8",
     "merge_ops",
     "rerank_ops",
+    "encode_light",
+    "encode_full",
 )
 
 
@@ -306,13 +320,18 @@ def cost_features(config: SearchConfig, n_queries: int = 1) -> np.ndarray:
     no op-count term covers), pruned candidates (``nprobe/num_cells`` of
     the database), the LUT dtype (uint8 scans touch a quarter of the
     bytes but pay a preselect+rerank, so it gets its own column),
-    worker-pool division of the scan, per-shard top-k merge, and the
-    float64 rerank.
+    worker-pool division of the scan, per-shard top-k merge, the float64
+    rerank, and the query-side encode. The encode terms are per-mode
+    columns (the fitted constant absorbs the input-feature width, which
+    is fixed within a sweep): the light encoder is one ``d x d``-scale
+    GEMM row, the full path adds the backbone stack plus the DSQ
+    assignment scoring (``d·M·K``).
     """
     m = config.num_codebooks
     scan_lookups = config.candidates * m / config.effective_workers(n_queries)
     uint8 = config.uses_ivf and config.lut_dtype == "uint8"
     shards = 1 if config.uses_ivf else min(config.num_shards, config.n_db)
+    encode_gemm = float(config.dim * config.dim)
     return np.array([
         1.0,
         float(config.dim * m * config.num_codewords),
@@ -322,6 +341,10 @@ def cost_features(config: SearchConfig, n_queries: int = 1) -> np.ndarray:
         scan_lookups if uint8 else 0.0,
         float(shards * (config.k + RERANK_PAD)),
         float((config.k + RERANK_PAD) * config.dim),
+        encode_gemm if config.query_encoder == "light" else 0.0,
+        encode_gemm + float(config.dim * m * config.num_codewords)
+        if config.query_encoder == "full"
+        else 0.0,
     ])
 
 

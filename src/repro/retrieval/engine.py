@@ -51,6 +51,8 @@ import numpy as np
 from repro.obs import get_obs
 from repro.obs import names as metric_names
 from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.lut_cache import DEFAULT_CAPACITY as LUT_CACHE_CAPACITY
+from repro.retrieval.lut_cache import LUTCache
 from repro.retrieval.search import (
     SearchRequest,
     SearchResult,
@@ -285,6 +287,11 @@ class QueryEngine:
     nprobe:
         Default cells probed per query when ``ivf`` is set (falls back to
         the IVF index's own default).
+    lut_cache:
+        Capacity of the cross-query LUT cache
+        (:class:`repro.retrieval.lut_cache.LUTCache`): repeated query
+        vectors reuse their cached float64 lookup-table rows instead of
+        rebuilding them, bit-identically. ``None``/``0`` disables reuse.
 
     Use as a context manager, or call :meth:`close` — the pool and its
     shared-memory buffers are released explicitly, not by the GC.
@@ -305,6 +312,7 @@ class QueryEngine:
         task_timeout_s: float | None = 30.0,
         ivf=None,
         nprobe: int | None = None,
+        lut_cache: int | None = LUT_CACHE_CAPACITY,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -346,6 +354,7 @@ class QueryEngine:
         if nprobe is not None and nprobe < 1:
             raise ValueError("nprobe must be at least 1 (0 is per-call only)")
         self.nprobe = nprobe
+        self.lut_cache = LUTCache(lut_cache) if lut_cache else None
         # "in-process" | "process-pool" | "in-process-fallback"
         self.last_dispatch: str | None = None
         self._pool = None
@@ -531,6 +540,11 @@ class QueryEngine:
             raise ValueError(
                 "request carries an engine hint for a different engine"
             )
+        if request.encoder is not None:
+            raise ValueError(
+                "the engine scans embeddings; encoder hints are served by "
+                "the serving daemon (repro.serving)"
+            )
         start = time.perf_counter()
         indices, distances = self.search_with_distances(
             request.queries,
@@ -586,7 +600,10 @@ class QueryEngine:
 
         obs = get_obs()
         lut_start = time.perf_counter() if obs.enabled else 0.0
-        lut64 = np.einsum("qd,mkd->qmk", queries, sharded.codebooks64)
+        if self.lut_cache is not None:
+            lut64 = self.lut_cache.tables(queries, sharded.codebooks64)
+        else:
+            lut64 = np.einsum("qd,mkd->qmk", queries, sharded.codebooks64)
         q_sq64 = (queries**2).sum(axis=1)
         if sharded.scan_dtype == np.dtype(np.float32):
             lut = np.ascontiguousarray(lut64, dtype=np.float32)

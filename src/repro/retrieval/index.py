@@ -181,6 +181,11 @@ class QuantizedIndex:
 
     def serve(self, request: SearchRequest) -> SearchResult:
         """Serve one :class:`SearchRequest` (the core of :meth:`search`)."""
+        if request.encoder is not None:
+            raise ValueError(
+                "QuantizedIndex scans embeddings; encoder hints are served "
+                "by the serving daemon (repro.serving)"
+            )
         obs = get_obs()
         start = time.perf_counter()
         queries = request.queries

@@ -52,6 +52,8 @@ from repro.cluster.kmeans import assign_to_centroids, kmeans
 from repro.obs import get_obs
 from repro.obs import names as metric_names
 from repro.retrieval.index import QuantizedIndex
+from repro.retrieval.lut_cache import DEFAULT_CAPACITY as LUT_CACHE_CAPACITY
+from repro.retrieval.lut_cache import LUTCache
 from repro.retrieval.search import (
     SearchRequest,
     SearchResult,
@@ -141,6 +143,7 @@ class IVFIndex:
         lut_dtype: str = "float32",
         rerank: bool = True,
         rerank_pad: int = RERANK_PAD,
+        lut_cache: int | None = LUT_CACHE_CAPACITY,
     ) -> None:
         if lut_dtype not in ("float32", "uint8"):
             raise ValueError("lut_dtype must be 'float32' or 'uint8'")
@@ -163,6 +166,8 @@ class IVFIndex:
             raise ValueError("cell_offsets do not cover the code matrix")
         # Cached centroid norms for the probe scan.
         self._centroid_sq = (self.centroids**2).sum(axis=1)
+        #: Cross-query LUT reuse (bit-identical; see repro.retrieval.lut_cache).
+        self.lut_cache = LUTCache(lut_cache) if lut_cache else None
 
     # ------------------------------------------------------------------
     # Construction
@@ -358,6 +363,11 @@ class IVFIndex:
             raise ValueError(
                 "request carries an engine hint for a different engine"
             )
+        if request.encoder is not None:
+            raise ValueError(
+                "the IVF layer scans embeddings; encoder hints are served "
+                "by the serving daemon (repro.serving)"
+            )
         start = time.perf_counter()
         indices, distances = self.search_with_distances(
             request.queries,
@@ -411,7 +421,10 @@ class IVFIndex:
         obs = get_obs()
         scan_start = time.perf_counter() if obs.enabled else 0.0
 
-        lut64 = np.einsum("qd,mkd->qmk", queries, self.codebooks64)
+        if self.lut_cache is not None:
+            lut64 = self.lut_cache.tables(queries, self.codebooks64)
+        else:
+            lut64 = np.einsum("qd,mkd->qmk", queries, self.codebooks64)
         q_sq64 = (queries**2).sum(axis=1)
         lut32 = np.ascontiguousarray(lut64, dtype=np.float32)
         q_sq32 = q_sq64.astype(np.float32)

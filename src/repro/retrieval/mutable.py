@@ -634,6 +634,11 @@ class MutableIndex:
                 "MutableIndex owns its engine; requests cannot carry an "
                 "engine hint"
             )
+        if request.encoder is not None:
+            raise ValueError(
+                "MutableIndex scans embeddings; encoder hints are served "
+                "by the serving daemon (repro.serving)"
+            )
         start = time.perf_counter()
         indices, distances = self.search_with_distances(
             request.queries,

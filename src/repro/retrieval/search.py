@@ -60,6 +60,14 @@ class SearchRequest:
     engine:
         Engine hint for :meth:`QuantizedIndex.search`: a ``QueryEngine`` or
         ``IVFIndex`` built over the same index to delegate the scan to.
+    encoder:
+        Query-encoder selection for surfaces that accept *raw features*
+        instead of embeddings (the serving daemon): ``"full"`` runs the
+        trained backbone + DSQ stack, ``"light"`` the distilled
+        :class:`~repro.encoding.LightQueryEncoder` fast path. ``None``
+        (default) means ``queries`` are already embeddings. Surfaces
+        without the named encoder raise ``ValueError`` — a hint is never a
+        silent no-op.
     """
 
     queries: np.ndarray
@@ -68,6 +76,7 @@ class SearchRequest:
     rerank: bool | None = None
     deadline_s: float | None = None
     engine: object | None = None
+    encoder: str | None = None
 
     def __post_init__(self) -> None:
         queries = np.asarray(self.queries, dtype=np.float64)
@@ -84,6 +93,11 @@ class SearchRequest:
             raise ValueError("nprobe must be non-negative")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if self.encoder is not None and self.encoder not in ("full", "light"):
+            raise ValueError(
+                "encoder must be 'full', 'light', or None (embeddings), "
+                f"got {self.encoder!r}"
+            )
 
     @property
     def n_queries(self) -> int:

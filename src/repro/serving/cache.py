@@ -29,22 +29,35 @@ import numpy as np
 __all__ = ["CacheEntry", "ResultCache", "query_signature"]
 
 
+#: Signature slot per query-encoder mode (``None`` = raw embeddings).
+_ENCODER_SLOTS = {None: -1, "full": 0, "light": 1}
+
+
 def query_signature(
     query: np.ndarray,
     k: int,
     nprobe: int | None = None,
     rerank: bool | None = None,
+    encoder: str | None = None,
 ) -> str:
-    """Stable digest identifying ``(query, k, nprobe, rerank)``.
+    """Stable digest identifying ``(query, k, nprobe, rerank, encoder)``.
 
     The query is canonicalised to contiguous float64 first, so the same
     vector arriving as float32 or as a non-contiguous slice maps to the
-    same entry. ``nprobe`` and ``rerank`` are part of the key because
-    they change the answer: a pruned (``nprobe``) or raw-float32
-    (``rerank=False``) scan is not interchangeable with the exact
-    default, so each effective configuration gets its own entry.
-    ``None`` (surface default) hashes distinctly from any explicit value.
+    same entry. ``nprobe``, ``rerank``, and ``encoder`` are part of the
+    key because they change the answer: a pruned (``nprobe``) or
+    raw-float32 (``rerank=False``) scan is not interchangeable with the
+    exact default, and under an encoder mode ``query`` holds *raw
+    features* whose light-path and full-path embeddings — hence answers —
+    differ, so each effective configuration gets its own entry. ``None``
+    (surface default / embeddings) hashes distinctly from any explicit
+    value.
     """
+    if encoder not in _ENCODER_SLOTS:
+        raise ValueError(
+            f"encoder must be one of {sorted(k for k in _ENCODER_SLOTS if k)} "
+            f"or None, got {encoder!r}"
+        )
     canonical = np.ascontiguousarray(query, dtype=np.float64)
     digest = hashlib.blake2b(digest_size=16)
     digest.update(canonical.tobytes())
@@ -56,6 +69,9 @@ def query_signature(
         int(-1 if rerank is None else bool(rerank)).to_bytes(
             8, "little", signed=True
         )
+    )
+    digest.update(
+        int(_ENCODER_SLOTS[encoder]).to_bytes(8, "little", signed=True)
     )
     digest.update(int(canonical.size).to_bytes(8, "little"))
     return digest.hexdigest()

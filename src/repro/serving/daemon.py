@@ -16,9 +16,10 @@ request loop and owns every recovery decision between a client's
 - **Circuit breakers** — per replica (:mod:`repro.serving.breaker`), so a
   failing replica is quarantined instead of re-timed-out per request.
 - **Result cache** — LRU/TTL keyed on query signature — the query bytes
-  plus the effective ``(k, nprobe, rerank)`` search configuration
-  (:mod:`repro.serving.cache`); fresh hits skip the engine entirely, and
-  an entry is never served to a request with a different configuration.
+  plus the effective ``(k, nprobe, rerank, encoder)`` search
+  configuration (:mod:`repro.serving.cache`); fresh hits skip the engine
+  (and, for encoder requests, the encode) entirely, and an entry is never
+  served to a request with a different configuration.
 - **Graceful degradation** — under overload (queue depth) or replica loss
   the daemon enters an explicit degraded mode: expired cache entries are
   served stale, scans skip the float64 rerank (and optionally cap ``k``),
@@ -37,6 +38,7 @@ counters keeps load reports working with observability disabled.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import Counter as CountMap
 from dataclasses import dataclass, field
 
@@ -172,6 +174,15 @@ class ServingDaemon:
         Optional callable for state-change lines (degraded enter/exit,
         replica death/revival); the same lines always accumulate in
         ``daemon.events``.
+    query_encoders:
+        Optional ``{"full": ..., "light": ...}`` map of query encoders for
+        requests that carry *raw features* instead of embeddings
+        (``SearchRequest(encoder=...)``). Values expose ``embed(features)
+        -> embeddings`` — the trained :class:`~repro.core.model.LightLT`
+        for ``"full"``, a distilled
+        :class:`~repro.encoding.LightQueryEncoder` for ``"light"``.
+        Requests naming an encoder the daemon was not given raise
+        ``ValueError``.
     """
 
     def __init__(
@@ -183,9 +194,20 @@ class ServingDaemon:
         faults=None,
         engine_kwargs: dict | None = None,
         on_event=None,
+        query_encoders: dict | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be at least 1")
+        self._query_encoders = dict(query_encoders or {})
+        for mode, encoder in self._query_encoders.items():
+            if mode not in ("full", "light"):
+                raise ValueError(
+                    f"query_encoders keys must be 'full'/'light', got {mode!r}"
+                )
+            if not callable(getattr(encoder, "embed", None)):
+                raise ValueError(
+                    f"query encoder {mode!r} must expose embed(features)"
+                )
         self.config = config or ServingConfig()
         cfg = self.config
         self._index = index
@@ -337,10 +359,18 @@ class ServingDaemon:
         requests with different search configurations never share a scan
         batch or a cache entry. ``engine`` hints are rejected: the daemon
         owns its engines.
+
+        ``encoder`` requests carry *raw features*: the named query encoder
+        (constructor ``query_encoders``) embeds them before the scan, the
+        encode timed into ``query.encode.time_s``. The cache signature is
+        taken over the raw features plus the encoder mode, so a repeated
+        raw query hits the cache without paying even the light encoder —
+        and full-path and light-path answers never alias.
         """
         rerank_hint: bool | None = None
         nprobe: int | None = None
         deadline_s: float | None = None
+        encoder_mode: str | None = None
         if isinstance(query, SearchRequest):
             if k is not None:
                 raise TypeError(
@@ -364,6 +394,16 @@ class ServingDaemon:
                     "the daemon owns its engines; requests cannot carry an "
                     "engine hint"
                 )
+            encoder_mode = request_obj.encoder
+            if (
+                encoder_mode is not None
+                and encoder_mode not in self._query_encoders
+            ):
+                raise ValueError(
+                    f"encoder {encoder_mode!r} requested but the daemon has "
+                    "no such query encoder (pass query_encoders= / serve "
+                    "with --query-encoder)"
+                )
             query = request_obj.queries[0]
             k = request_obj.k
             nprobe = request_obj.nprobe
@@ -376,7 +416,9 @@ class ServingDaemon:
         if k < 1:
             raise ValueError("k must be at least 1")
         query = np.asarray(query, dtype=np.float64)
-        if query.ndim != 1 or query.shape[0] != self.dim:
+        if query.ndim != 1:
+            raise ValueError("query must be a 1-D vector")
+        if encoder_mode is None and query.shape[0] != self.dim:
             raise ValueError(f"query must be a ({self.dim},) vector")
         loop = asyncio.get_running_loop()
         start = loop.time()
@@ -389,7 +431,12 @@ class ServingDaemon:
             registry.histogram(metric_names.SERVE_QUEUE_DEPTH).observe(depth)
         self._update_overload(depth)
 
-        signature = query_signature(query, k, nprobe=nprobe, rerank=rerank_hint)
+        # Signed over the request's raw bytes: for encoder requests that is
+        # the *feature* vector plus the mode, so a cache hit skips the
+        # encode as well as the scan.
+        signature = query_signature(
+            query, k, nprobe=nprobe, rerank=rerank_hint, encoder=encoder_mode
+        )
         hit = self.cache.get(signature, now=start, allow_stale=self.degraded)
         if hit is not None:
             entry, fresh = hit
@@ -414,6 +461,23 @@ class ServingDaemon:
         self.counts["cache_misses"] += 1
         if obs.enabled:
             registry.counter(metric_names.SERVE_CACHE_MISSES).inc()
+
+        if encoder_mode is not None:
+            encode_start = time.perf_counter()
+            query = np.asarray(
+                self._query_encoders[encoder_mode].embed(query[None, :])[0],
+                dtype=np.float64,
+            )
+            encode_elapsed = time.perf_counter() - encode_start
+            if query.ndim != 1 or query.shape[0] != self.dim:
+                raise ValueError(
+                    f"query encoder {encoder_mode!r} produced shape "
+                    f"{query.shape}, expected ({self.dim},)"
+                )
+            if obs.enabled:
+                registry.histogram(metric_names.QUERY_ENCODE_TIME).observe(
+                    encode_elapsed
+                )
 
         timeout_s = (
             deadline_s if deadline_s is not None else cfg.request_timeout_s

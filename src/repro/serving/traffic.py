@@ -111,7 +111,10 @@ class TrafficGenerator:
 
     ``query_pool`` rows are the candidate queries; each request draws a
     row (with replacement) from a ``make_rng(seed)`` stream, so the exact
-    request sequence replays across runs and processes.
+    request sequence replays across runs and processes. With ``encoder``
+    set, the pool rows are *raw features* and every request carries that
+    query-encoder mode (the daemon embeds them through its registered
+    encoder before the scan).
     """
 
     def __init__(
@@ -121,6 +124,7 @@ class TrafficGenerator:
         *,
         k: int | None = None,
         seed: int = 0,
+        encoder: str | None = None,
     ) -> None:
         query_pool = np.asarray(query_pool, dtype=np.float64)
         if query_pool.ndim != 2 or len(query_pool) == 0:
@@ -130,6 +134,7 @@ class TrafficGenerator:
         self.k = k
         self._order: np.ndarray | None = None
         self.seed = seed
+        self.encoder = encoder
 
     def _schedule(self, n_requests: int) -> np.ndarray:
         rng = make_rng(self.seed)
@@ -139,9 +144,20 @@ class TrafficGenerator:
         loop = asyncio.get_running_loop()
         start = loop.time()
         try:
-            result = await self.daemon.submit(
-                self.query_pool[pool_row], k=self.k
-            )
+            if self.encoder is None:
+                result = await self.daemon.submit(
+                    self.query_pool[pool_row], k=self.k
+                )
+            else:
+                from repro.retrieval.search import SearchRequest
+
+                result = await self.daemon.submit(
+                    SearchRequest(
+                        queries=self.query_pool[pool_row][None, :],
+                        k=self.k,
+                        encoder=self.encoder,
+                    )
+                )
         except Exception as exc:
             return RequestRecord(
                 index=index,

@@ -4,11 +4,13 @@ A grid is a tuple of :class:`GridPoint` — one serving configuration each,
 spanning the knobs the calibrated cost model prices: codebook geometry
 (``M``, ``K`` — and through ``K`` the compact code dtype), the exhaustive
 engine's ``workers``/``num_shards``, the IVF coarse layer
-(``num_cells``/``nprobe``) and its LUT dtype. Two stock grids ship:
-:func:`tiny_grid` (the CI smoke sweep — finishes in seconds on the
-``tiny`` profile) and :func:`default_grid` (wider, includes a K=512 point
-whose codes store as uint16, where the ideal and as-stored byte
-accountings diverge).
+(``num_cells``/``nprobe``) and its LUT dtype, and the query-encoder mode
+(full backbone vs the distilled light projection of
+:mod:`repro.encoding`, measured with encode time included). Two stock
+grids ship: :func:`tiny_grid` (the CI smoke sweep — finishes in seconds
+on the ``tiny`` profile) and :func:`default_grid` (wider, includes a
+K=512 point whose codes store as uint16, where the ideal and as-stored
+byte accountings diverge).
 """
 
 from __future__ import annotations
@@ -27,6 +29,10 @@ class GridPoint:
     ``num_cells == 0`` (with ``nprobe == 0``) is the exhaustive sharded
     engine; a positive pair routes queries through the IVF coarse layer,
     where ``lut_dtype`` picks the scan lookup-table precision.
+    ``query_encoder != "none"`` measures the point with query-side
+    encoding included: the sweep embeds the database with a trained
+    teacher, encodes each query through the named path (full backbone or
+    distilled light projection), and times encode + scan together.
     """
 
     num_codebooks: int
@@ -36,6 +42,7 @@ class GridPoint:
     num_cells: int = 0
     nprobe: int = 0
     lut_dtype: str = "float32"
+    query_encoder: str = "none"
 
     @property
     def uses_ivf(self) -> bool:
@@ -54,6 +61,7 @@ class GridPoint:
             num_cells=self.num_cells,
             nprobe=self.nprobe,
             lut_dtype=self.lut_dtype,
+            query_encoder=self.query_encoder,
         )
 
     def as_dict(self) -> dict:
@@ -61,9 +69,12 @@ class GridPoint:
 
 
 def _expand(pairs, *, cells: int, nprobes: tuple[int, ...],
-            uint8_nprobe: int, engine_shapes) -> tuple[GridPoint, ...]:
+            uint8_nprobe: int, engine_shapes,
+            encoders: tuple[str, ...] = ("full", "light")) -> tuple[GridPoint, ...]:
     """The stock grid shape: per (M, K), exhaustive engine shapes plus an
-    IVF ``nprobe`` sweep and one quantized-LUT point."""
+    IVF ``nprobe`` sweep, one quantized-LUT point, and one encode-inclusive
+    point per query-encoder mode (plain single-worker engine, so the
+    light-vs-full delta is pure encode cost)."""
     points: list[GridPoint] = []
     for m, k in pairs:
         for workers, shards in engine_shapes:
@@ -75,13 +86,15 @@ def _expand(pairs, *, cells: int, nprobes: tuple[int, ...],
                 m, k, num_cells=cells, nprobe=uint8_nprobe, lut_dtype="uint8"
             )
         )
+        for mode in encoders:
+            points.append(GridPoint(m, k, query_encoder=mode))
     return tuple(points)
 
 
 def tiny_grid() -> tuple[GridPoint, ...]:
-    """The 18-point CI sweep (``tiny`` profile; K capped by its corpus).
+    """The 22-point CI sweep (``tiny`` profile; K capped by its corpus).
 
-    Deliberately over-determined — 15 fitted points against the model's 7
+    Deliberately over-determined — 16 fitted points against the model's 10
     feature columns even after the holdout split — so the CI fit-error
     gate measures the model, not an underdetermined solve.
     """

@@ -99,6 +99,8 @@ class Recommendation:
                 f", exhaustive {config.get('workers', 1)}w/"
                 f"{config.get('num_shards', 1)}s"
             )
+        if config.get("query_encoder", "none") != "none":
+            shape += f", {config['query_encoder']} query encoder"
         lines = [
             f"recommended: {shape} [{self.source}]",
             f"  latency {self.latency_ms:.3f} ms, recall@k {self.recall:.3f}, "
@@ -110,10 +112,15 @@ class Recommendation:
 
 
 def model_from_report(model_dict: dict) -> CostModel:
-    """Rebuild the fitted :class:`CostModel` from an artifact's ``model``."""
+    """Rebuild the fitted :class:`CostModel` from an artifact's ``model``.
+
+    Columns the artifact predates (the v7 ``encode_*`` terms) default to
+    0.0 — an old sweep priced no query encoders, so the rebuilt model
+    prices them as free rather than refusing to load.
+    """
     coefficients = model_dict["coefficients"]
     return CostModel(
-        np.array([coefficients[name] for name in COST_FEATURE_NAMES])
+        np.array([coefficients.get(name, 0.0) for name in COST_FEATURE_NAMES])
     )
 
 
@@ -130,11 +137,18 @@ def _tune_phase(results: dict, profile: str | None) -> tuple[str, dict]:
 
 
 def _family_key(config: dict) -> tuple:
-    """Everything but ``nprobe``: the axis interpolation sweeps along."""
+    """Everything but ``nprobe``: the axis interpolation sweeps along.
+
+    ``query_encoder`` is part of the key (``.get`` for pre-v7 artifacts):
+    a light-encoder point and a full-path point at the same IVF shape are
+    different serving configurations and must never be interpolated
+    between.
+    """
     return (
         config["num_codebooks"], config["num_codewords"],
         config["num_cells"], config["lut_dtype"],
         config["workers"], config["num_shards"],
+        config.get("query_encoder", "none"),
     )
 
 
@@ -165,6 +179,7 @@ def _interpolated(points: list[dict], model: CostModel, k: int,
                 workers=config["workers"], num_shards=config["num_shards"],
                 num_cells=config["num_cells"], nprobe=nprobe,
                 lut_dtype=config["lut_dtype"],
+                query_encoder=config.get("query_encoder", "none"),
             )
             # Recall rises roughly linearly in log2(nprobe); interpolate
             # between the bracketing measurements on that axis.

@@ -7,9 +7,16 @@ overlap recall — to measure every :class:`~repro.tuning.grid.GridPoint`:
 
 - **latency**: mean single-query wall time through the real
   :class:`~repro.retrieval.engine.QueryEngine` (IVF-routed when the point
-  has a coarse layer);
+  has a coarse layer); points with a ``query_encoder`` are timed
+  *encode-inclusive* — the query batch runs through the named encoder
+  (full trained backbone, or the distilled light projection of
+  :mod:`repro.encoding`) inside the timed region;
 - **recall@k**: top-k overlap against the exact float oracle over the raw
-  database vectors;
+  database vectors — or, for encoder points, against the exact oracle in
+  the teacher's embedding space (the index is built over the
+  teacher-embedded database, and both modes are scored against the
+  *full*-embedding ground truth, so the light column directly shows its
+  recall give-up);
 - **memory**: the analytic *as-stored* byte accounting
   (:func:`repro.retrieval.costs.serving_memory_bytes`) — what the process
   actually allocates, not the paper's fractional-bit ideal;
@@ -20,7 +27,7 @@ overlap recall — to measure every :class:`~repro.tuning.grid.GridPoint`:
 The measured ``(config, latency)`` points then calibrate
 :class:`~repro.retrieval.costs.CostModel` (seeded holdout split scores
 generalisation before the final refit on all points), and everything is
-written as a schema-v6 BENCH-style artifact under ``phases.tune`` so
+written as a schema-v7 BENCH-style artifact under ``phases.tune`` so
 ``repro bench --compare`` and :func:`repro.obs.bench.format_summary`
 render it like any other phase.
 """
@@ -65,7 +72,7 @@ def _exact_topk(queries: np.ndarray, database: np.ndarray, k: int) -> np.ndarray
 
 
 def _measure_point(engine: QueryEngine, queries: np.ndarray, k: int,
-                   exact_ids: np.ndarray) -> tuple[float, float]:
+                   exact_ids: np.ndarray, encode=None) -> tuple[float, float]:
     """(amortised per-query seconds, recall@k) of one configured engine.
 
     Latency is measured over the full query *batch* and divided by its
@@ -74,14 +81,22 @@ def _measure_point(engine: QueryEngine, queries: np.ndarray, k: int,
     prices — a per-call timing at CI scale would be mostly interpreter
     noise. The model is fitted with the matching ``n_queries``, and
     ``docs/tuning.md`` states the convention next to the budget flags.
+
+    ``encode`` (for query-encoder points) maps raw query features to
+    embeddings *inside* the timed region, so the measured figure — and
+    the ``encode_*`` cost columns fitted from it — include the encode.
     """
+    def run():
+        embedded = queries if encode is None else encode(queries)
+        return engine.search_with_distances(embedded, k=k)
+
     ids = None
     for _ in range(WARMUP_CALLS):
-        ids, _ = engine.search_with_distances(queries, k=k)
+        ids, _ = run()
     latency_s = float("inf")
     for _ in range(LATENCY_REPEATS):
         start = time.perf_counter()
-        engine.search_with_distances(queries, k=k)
+        run()
         latency_s = min(
             latency_s, (time.perf_counter() - start) / len(queries)
         )
@@ -134,6 +149,37 @@ def _measure_train(dataset, num_codebooks: int, num_codewords: int,
     }
 
 
+def _train_query_encoders(dataset, seed: int, modes) -> tuple:
+    """One fast-config teacher (plus distilled student when asked).
+
+    Encoder grid points share a single teacher per sweep: it defines the
+    embedding space the encoder-point indexes live in, serves as the
+    ``"full"`` query path, and is the distillation source of the
+    ``"light"`` student. Returns ``(teacher, {mode: encoder})`` where each
+    encoder exposes ``embed(features) -> embeddings``.
+    """
+    from repro.core.trainer import Trainer
+    from repro.encoding import distill_query_encoder
+    from repro.experiments.config import (
+        default_loss_config,
+        default_model_config,
+        default_training_config,
+    )
+
+    trainer = Trainer(
+        default_model_config(dataset),
+        default_loss_config(dataset),
+        default_training_config(dataset, fast=True),
+        seed=seed,
+    )
+    teacher, _, _ = trainer.fit(dataset)
+    teacher.eval()
+    encoders = {"full": teacher}
+    if "light" in modes:
+        encoders["light"], _ = distill_query_encoder(teacher, dataset, seed=seed)
+    return teacher, encoders
+
+
 def run_tune_sweep(
     profile: str = "tiny",
     quick: bool = True,
@@ -142,7 +188,7 @@ def run_tune_sweep(
     grid: tuple[GridPoint, ...] | None = None,
     train_axis: bool = True,
 ) -> dict:
-    """Measure the grid over one profile; returns the schema-v6 artifact.
+    """Measure the grid over one profile; returns the schema-v7 artifact.
 
     ``quick`` picks :func:`~repro.tuning.grid.tiny_grid` (the CI sweep);
     otherwise :func:`~repro.tuning.grid.default_grid`. An explicit
@@ -162,27 +208,57 @@ def run_tune_sweep(
     k = min(k, n_db)
     exact_ids = _exact_topk(queries, database, k)
 
-    # One index per (M, K), one IVF layer per (M, K, cells, lut): grid
-    # points sharing geometry share the expensive artefacts.
-    indexes: dict[tuple[int, int], QuantizedIndex] = {}
+    # Query-encoder points live in the teacher's embedding space: one
+    # teacher (and optional distilled student) per sweep, one embedded
+    # database/oracle shared by every encoder point.
+    encoder_modes = sorted(
+        {p.query_encoder for p in grid if p.query_encoder != "none"}
+    )
+    encoders: dict = {}
+    emb_train = emb_database = emb_exact_ids = None
+    if encoder_modes:
+        teacher, encoders = _train_query_encoders(dataset, seed, encoder_modes)
+        emb_train = np.asarray(teacher.embed(train_features), dtype=np.float64)
+        emb_database = np.asarray(teacher.embed(database), dtype=np.float64)
+        emb_exact_ids = _exact_topk(
+            np.asarray(teacher.embed(queries), dtype=np.float64),
+            emb_database, k,
+        )
+
+    # One index per (M, K) and query space, one IVF layer per (M, K,
+    # cells, lut, space): grid points sharing geometry share the
+    # expensive artefacts.
+    indexes: dict[tuple, QuantizedIndex] = {}
     ivfs: dict[tuple, IVFIndex] = {}
     points: list[dict] = []
     configs = []
     latencies = []
     for point in grid:
         geometry = (point.num_codebooks, point.num_codewords)
-        if geometry not in indexes:
+        encoded = point.query_encoder != "none"
+        if encoded:
+            space_train, space_db = emb_train, emb_database
+            space_dim = emb_database.shape[1]
+            oracle = emb_exact_ids
+            encode = encoders[point.query_encoder].embed
+        else:
+            space_train, space_db = train_features, database
+            space_dim = dim
+            oracle = exact_ids
+            encode = None
+        index_key = geometry + (encoded,)
+        if index_key not in indexes:
             codebooks = train_residual_codebooks(
-                train_features,
+                space_train,
                 point.num_codebooks,
                 point.num_codewords,
                 np.random.default_rng(seed),
             )
-            indexes[geometry] = QuantizedIndex.build(codebooks, database)
-        index = indexes[geometry]
-        config = point.search_config(n_db, dim, k)
+            indexes[index_key] = QuantizedIndex.build(codebooks, space_db)
+        index = indexes[index_key]
+        config = point.search_config(n_db, space_dim, k)
         if point.uses_ivf:
-            ivf_key = geometry + (point.num_cells, point.lut_dtype)
+            ivf_key = index_key + (point.num_cells, point.lut_dtype)
             if ivf_key not in ivfs:
                 ivfs[ivf_key] = IVFIndex.build(
                     index,
@@ -199,11 +275,13 @@ def run_tune_sweep(
                 index, workers=point.workers, num_shards=point.num_shards
             )
         with engine:
-            latency_s, recall = _measure_point(engine, queries, k, exact_ids)
+            latency_s, recall = _measure_point(
+                engine, queries, k, oracle, encode=encode
+            )
         configs.append(config)
         latencies.append(latency_s)
         points.append({
-            "config": {**point.as_dict(), "n_db": n_db, "dim": dim,
+            "config": {**point.as_dict(), "n_db": n_db, "dim": space_dim,
                        "code_dtype": config.code_dtype},
             "latency_ms": latency_s * 1e3,
             "recall": recall,
@@ -220,7 +298,7 @@ def run_tune_sweep(
 
     train_rows = []
     if train_axis:
-        for m, kk in sorted(indexes):
+        for m, kk in sorted({key[:2] for key in indexes}):
             train_rows.append(_measure_train(dataset, m, kk, seed))
 
     tune = {

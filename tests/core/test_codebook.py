@@ -72,3 +72,55 @@ class TestSkipBehaviour:
         books = chain.materialize()
         (books[-1] ** 2).sum().backward()
         assert chain.main_codebooks[0].grad is None
+
+
+class TestMaterializationCache:
+    """The version-tagged materialization cache (PR: asymmetric fast path).
+
+    Inference callers (encode, index build, distillation criteria) hit
+    ``materialize_cached`` many times between parameter updates; the chain
+    must pay for exactly one forward per parameter version.
+    """
+
+    def test_one_materialization_per_version(self):
+        chain = CodebookChain(3, 8, 6, rng=0, use_skip=True)
+        first = chain.materialize_cached()
+        assert chain.materializations == 1
+        for _ in range(5):
+            assert chain.materialize_cached() is first
+        assert chain.materializations == 1
+        assert np.array_equal(first, chain.materialize_arrays())
+
+    def test_inplace_update_invalidates(self):
+        # Optimizer steps mutate parameter arrays in place (same objects),
+        # so invalidation must key on content, not identity.
+        chain = CodebookChain(3, 8, 6, rng=0, use_skip=True)
+        stale = chain.materialize_cached()
+        kept = stale.copy()
+        chain.main_codebooks[0].data += 1.0
+        fresh = chain.materialize_cached()
+        assert chain.materializations == 2
+        assert fresh is not stale
+        assert not np.array_equal(fresh, stale)
+        assert np.array_equal(fresh, chain.materialize_arrays())
+        # References handed out before the update stay valid and frozen.
+        assert np.array_equal(stale, kept)
+
+    def test_load_state_dict_invalidates(self):
+        chain = CodebookChain(2, 4, 3, rng=0)
+        donor = CodebookChain(2, 4, 3, rng=1)
+        chain.materialize_cached()
+        chain.load_state_dict(donor.state_dict())
+        assert np.array_equal(
+            chain.materialize_cached(), donor.materialize_cached()
+        )
+        assert chain.materializations == 2
+
+    def test_unchanged_parameters_share_tag(self):
+        chain = CodebookChain(2, 4, 3, rng=0)
+        chain.materialize_cached()
+        # A round-trip through state_dict with identical values must NOT
+        # re-materialize: the fingerprint hashes content, not identity.
+        chain.load_state_dict(chain.state_dict())
+        chain.materialize_cached()
+        assert chain.materializations == 1

@@ -1,0 +1,173 @@
+"""Distillation of the light query encoder from a trained teacher."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import Trainer
+from repro.encoding import (
+    DistillationConfig,
+    DistillationModel,
+    LightQueryEncoder,
+    default_distill_training_config,
+    distill_query_encoder,
+)
+from repro.experiments import (
+    default_loss_config,
+    default_model_config,
+    default_training_config,
+)
+from repro.obs.bench import load_profile_dataset
+
+
+@pytest.fixture(scope="module")
+def teacher_and_dataset():
+    """One fast-config teacher on the tiny profile — treat as read-only."""
+    dataset = load_profile_dataset("tiny", 0)
+    trainer = Trainer(
+        default_model_config(dataset),
+        default_loss_config(dataset),
+        default_training_config(dataset, fast=True),
+        seed=0,
+    )
+    teacher, _, _ = trainer.fit(dataset)
+    teacher.eval()
+    return teacher, dataset
+
+
+def short_budget(epochs=25):
+    return dataclasses.replace(default_distill_training_config(), epochs=epochs)
+
+
+class TestDistillationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            DistillationConfig(mode="hard")
+        with pytest.raises(ValueError, match="positive"):
+            DistillationConfig(temperature=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            DistillationConfig(tau=-1.0)
+        with pytest.raises(ValueError, match="anchor"):
+            DistillationConfig(anchor=-0.5)
+
+
+class TestDistillationModel:
+    def test_dimension_mismatch_rejected(self, teacher_and_dataset):
+        teacher, _ = teacher_and_dataset
+        with pytest.raises(ValueError, match="input_dim"):
+            DistillationModel(
+                teacher,
+                LightQueryEncoder(
+                    teacher.config.input_dim + 1, teacher.config.embed_dim
+                ),
+            )
+        with pytest.raises(ValueError, match="embed_dim"):
+            DistillationModel(
+                teacher,
+                LightQueryEncoder(
+                    teacher.config.input_dim, teacher.config.embed_dim + 1
+                ),
+            )
+
+    def test_forward_slots_carry_teacher_quantities(self, teacher_and_dataset):
+        """The LightLT-shaped output contract: embedding is the student's
+        (with gradients), quantized is the teacher's continuous embedding,
+        logits argmax reproduces the teacher's hard codes."""
+        teacher, dataset = teacher_and_dataset
+        student = LightQueryEncoder(
+            teacher.config.input_dim, teacher.config.embed_dim, rng=0
+        )
+        wrapper = DistillationModel(teacher, student)
+        features = np.asarray(dataset.query.features[:6], dtype=np.float64)
+        out = wrapper(features)
+        assert np.array_equal(
+            out.quantized.data, teacher.embed(features)
+        )
+        m = teacher.dsq.num_codebooks
+        k = teacher.dsq.num_codewords
+        scores = out.logits.data.reshape(len(features), m, k)
+        assert np.array_equal(scores.argmax(axis=2), out.codes)
+        assert np.array_equal(out.embedding.data, student.embed(features))
+
+
+class TestDistillQueryEncoder:
+    def test_kl_fit_converges_and_tracks_teacher(self, teacher_and_dataset):
+        teacher, dataset = teacher_and_dataset
+        student, history = distill_query_encoder(
+            teacher, dataset, training_config=short_budget(), seed=0
+        )
+        assert len(history.epochs) == 25
+        losses = history.series("total")
+        assert losses[-1] < losses[0]
+        # The distilled projection tracks the teacher far better than an
+        # untrained student of the same shape.
+        features = np.asarray(dataset.query.features, dtype=np.float64)
+        target = teacher.embed(features)
+        cold = LightQueryEncoder(
+            teacher.config.input_dim, teacher.config.embed_dim, rng=0
+        )
+        fitted_err = np.linalg.norm(student.embed(features) - target)
+        cold_err = np.linalg.norm(cold.embed(features) - target)
+        assert fitted_err < 0.5 * cold_err
+
+    def test_contrastive_mode_runs(self, teacher_and_dataset):
+        teacher, dataset = teacher_and_dataset
+        student, history = distill_query_encoder(
+            teacher,
+            dataset,
+            config=DistillationConfig(mode="contrastive"),
+            training_config=short_budget(10),
+            seed=0,
+        )
+        assert len(history.epochs) == 10
+        assert np.isfinite(history.series("total")).all()
+        assert student.embed(
+            np.asarray(dataset.query.features[:2], dtype=np.float64)
+        ).shape == (2, teacher.config.embed_dim)
+
+    def test_hidden_student_supported(self, teacher_and_dataset):
+        teacher, dataset = teacher_and_dataset
+        student, _ = distill_query_encoder(
+            teacher, dataset, hidden_dim=16,
+            training_config=short_budget(5), seed=0,
+        )
+        assert student.hidden_dim == 16
+
+    def test_fused_training_config_rejected(self, teacher_and_dataset):
+        teacher, dataset = teacher_and_dataset
+        with pytest.raises(ValueError, match="fused"):
+            distill_query_encoder(
+                teacher,
+                dataset,
+                training_config=dataclasses.replace(
+                    short_budget(), fused=True
+                ),
+            )
+
+    def test_teacher_parameters_frozen(self, teacher_and_dataset):
+        """Only the student trains: the teacher's parameters are bitwise
+        unchanged by a distillation fit."""
+        teacher, dataset = teacher_and_dataset
+        before = {
+            name: value.copy()
+            for name, value in teacher.state_dict().items()
+        }
+        distill_query_encoder(
+            teacher, dataset, training_config=short_budget(5), seed=0
+        )
+        after = teacher.state_dict()
+        assert before.keys() == after.keys()
+        for name, value in before.items():
+            assert np.array_equal(value, after[name]), name
+
+    def test_deterministic_for_fixed_seed(self, teacher_and_dataset):
+        teacher, dataset = teacher_and_dataset
+        first, _ = distill_query_encoder(
+            teacher, dataset, training_config=short_budget(5), seed=3
+        )
+        second, _ = distill_query_encoder(
+            teacher, dataset, training_config=short_budget(5), seed=3
+        )
+        features = np.asarray(dataset.query.features[:4], dtype=np.float64)
+        assert np.array_equal(first.embed(features), second.embed(features))

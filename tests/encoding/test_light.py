@@ -1,0 +1,90 @@
+"""The light query encoder: forward/embed parity and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import (
+    ENCODER_FORMAT_VERSION,
+    LightQueryEncoder,
+    load_encoder,
+    save_encoder,
+)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LightQueryEncoder(0, 4)
+        with pytest.raises(ValueError):
+            LightQueryEncoder(4, 0)
+        with pytest.raises(ValueError):
+            LightQueryEncoder(4, 4, hidden_dim=0)
+
+    def test_linear_has_no_hidden_layer(self):
+        encoder = LightQueryEncoder(6, 4, rng=0)
+        assert encoder.hidden_dim is None
+        assert encoder.embed(np.zeros((3, 6))).shape == (3, 4)
+
+    def test_hidden_variant_shapes(self):
+        encoder = LightQueryEncoder(6, 4, hidden_dim=8, rng=0)
+        assert encoder.embed(np.zeros((3, 6))).shape == (3, 4)
+
+
+class TestEmbed:
+    @pytest.mark.parametrize("hidden_dim", [None, 8])
+    def test_bit_identical_to_forward(self, hidden_dim):
+        """The serving fast path mirrors the layer op order exactly, so
+        skipping the tape changes nothing — not even the last ulp."""
+        encoder = LightQueryEncoder(6, 4, hidden_dim=hidden_dim, rng=3)
+        features = np.random.default_rng(0).normal(size=(10, 6))
+        assert np.array_equal(
+            encoder.embed(features), encoder.forward(features).data
+        )
+
+    def test_single_row_promoted(self):
+        encoder = LightQueryEncoder(6, 4, rng=0)
+        row = np.arange(6.0)
+        single = encoder.embed(row)
+        assert single.shape == (4,)
+        assert np.array_equal(single, encoder.embed(row[None, :])[0])
+
+    def test_empty_batch(self):
+        encoder = LightQueryEncoder(6, 4, rng=0)
+        assert encoder.embed(np.empty((0, 6))).shape == (0, 4)
+
+    def test_bad_width_rejected(self):
+        encoder = LightQueryEncoder(6, 4, rng=0)
+        with pytest.raises(ValueError, match="features"):
+            encoder.embed(np.zeros((3, 7)))
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("hidden_dim", [None, 5])
+    def test_roundtrip_bit_identical(self, tmp_path, hidden_dim):
+        encoder = LightQueryEncoder(6, 4, hidden_dim=hidden_dim, rng=7)
+        path = str(tmp_path / "encoder.npz")
+        save_encoder(encoder, path)
+        loaded = load_encoder(path)
+        assert (loaded.input_dim, loaded.embed_dim, loaded.hidden_dim) == (
+            6, 4, hidden_dim,
+        )
+        features = np.random.default_rng(1).normal(size=(8, 6))
+        assert np.array_equal(loaded.embed(features), encoder.embed(features))
+
+    def test_unknown_version_refused(self, tmp_path):
+        path = str(tmp_path / "encoder.npz")
+        save_encoder(LightQueryEncoder(4, 3, rng=0), path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["__meta__"] = arrays["__meta__"].copy()
+        arrays["__meta__"][0] = ENCODER_FORMAT_VERSION + 1
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="unsupported encoder format"):
+            load_encoder(path)
+
+    def test_foreign_archive_refused(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, weights=np.zeros(3))
+        with pytest.raises(ValueError, match="not a light-query-encoder"):
+            load_encoder(path)

@@ -64,6 +64,29 @@ class TestRunBench:
         assert latency["count"] > 0
         assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
 
+    def test_query_encoder_block_schema(self, results):
+        # Schema v7: the query phase carries the asymmetric-encoding
+        # comparison — light-vs-full encode latency, end-to-end
+        # percentiles, and the gated recall@10 delta.
+        encoder = results["profiles"][bench.TINY_PROFILE]["phases"]["query"][
+            "encoder"
+        ]
+        for side in ("full", "light"):
+            sub = encoder[side]
+            assert sub["queries"] > 0
+            assert sub["batch_encode_s"] > 0
+            assert sub["encode_per_query_s"] > 0
+            assert 0 < sub["end_to_end_p50_ms"] <= sub["end_to_end_p95_ms"]
+            assert 0.0 <= sub["recall_at_10"] <= 1.0
+        assert encoder["encode_speedup"] > 0
+        assert encoder["fused_batch_speedup"] > 0
+        assert encoder["speedup_floor"] == bench.QUERY_LIGHT_SPEEDUP_FLOOR
+        assert encoder["recall_delta_limit"] == bench.QUERY_RECALL_DELTA_LIMIT
+        assert isinstance(encoder["within_limits"], bool)
+        assert encoder["recall_delta"] == pytest.approx(
+            encoder["full"]["recall_at_10"] - encoder["light"]["recall_at_10"]
+        )
+
     def test_serve_phase_schema(self, results):
         # Schema v3: the serve phase records a fault-free closed-loop
         # load test through the serving daemon.
@@ -198,7 +221,35 @@ class TestReporting:
         text = bench.compare_results(old, results)
         assert "phase 'serve' only in the new run" in text
         assert "phase 'stream' only in the new run" in text
-        assert "schema v2 vs v6" in text
+        assert "schema v2 vs v7" in text
+
+    def test_compare_includes_encoder_rows(self, results):
+        text = bench.compare_results(results, results)
+        assert "light encode" in text
+        assert "recall delta" in text
+
+    def test_summary_includes_encoder_row(self, results):
+        text = bench.format_summary(results)
+        assert "query.encoder" in text
+        assert "fused batch" in text
+
+    def test_compare_tolerates_pre_v7_runs(self, results):
+        # A v6-style run (query phase without the encoder block) on either
+        # side is noted and skipped via the one-sided-phase path — never a
+        # KeyError, and no light-encode row is fabricated.
+        import copy
+
+        old = copy.deepcopy(results)
+        old["schema_version"] = 6
+        for entry in old["profiles"].values():
+            entry["phases"]["query"].pop("encoder")
+        text = bench.compare_results(old, results)
+        assert "block 'query.encoder' only in the new run" in text
+        assert "schema v6 vs v7" in text
+        assert "light encode" not in text
+        # Symmetric: the newer side may also be the one missing it.
+        text = bench.compare_results(results, old)
+        assert "block 'query.encoder' only in the old run" in text
 
     def test_compare_tolerates_sparse_phase_entries(self, results):
         # Nested keys a different schema never wrote must not raise.

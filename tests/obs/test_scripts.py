@@ -58,6 +58,11 @@ def test_smoke_tune_passes():
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+def test_smoke_query_passes():
+    result = _run_script("smoke_query.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_check_docs_passes():
     result = _run_script("check_docs.py")
     assert result.returncode == 0, result.stdout + result.stderr

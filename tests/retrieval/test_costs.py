@@ -177,11 +177,16 @@ class TestCostModelFit:
                         num_codewords=k_words, num_cells=64,
                         nprobe=nprobe, lut_dtype=lut,
                     ))
+            for encoder in ("light", "full"):
+                configs.append(SearchConfig(
+                    n_db=200_000, dim=32, num_codebooks=m,
+                    num_codewords=k_words, query_encoder=encoder,
+                ))
         return configs
 
     def _latencies(self, configs, rng, noise=0.05):
         true = np.array([2e-5, 3e-9, 1.5e-9, 4e-7, 2.5e-9, 1.2e-9,
-                         6e-8, 8e-9])
+                         6e-8, 8e-9, 2e-9, 5e-9])
         assert len(true) == len(COST_FEATURE_NAMES)
         clean = np.array([cost_features(c) @ true for c in configs])
         return clean * rng.uniform(1 - noise, 1 + noise, size=len(clean))
@@ -223,7 +228,7 @@ class TestCostModelFit:
             num_cells=64, nprobe=8,  # nprobe never measured
         )
         true = np.array([2e-5, 3e-9, 1.5e-9, 4e-7, 2.5e-9, 1.2e-9,
-                         6e-8, 8e-9])
+                         6e-8, 8e-9, 2e-9, 5e-9])
         want = float(cost_features(unseen) @ true)
         assert abs(model.predict(unseen) - want) / want < 0.25
 

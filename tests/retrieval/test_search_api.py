@@ -137,3 +137,29 @@ class TestIVFSurface:
             legacy = ivf.search(queries, k=10, nprobe=6)
         assert np.array_equal(result.indices, legacy)
         assert result.source == "ivf"
+
+
+class TestEncoderField:
+    """SearchRequest.encoder: honoured by the daemon, an error elsewhere."""
+
+    def test_modes_accepted(self):
+        for mode in (None, "full", "light"):
+            assert SearchRequest(queries=np.zeros(5), encoder=mode).encoder == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="encoder"):
+            SearchRequest(queries=np.zeros(5), encoder="medium")
+
+    def test_embedding_surfaces_reject_encoder_requests(self, corpus):
+        """Hints a surface can't honour are errors: the index, engine, and
+        IVF layer scan embeddings and have no encoder to apply."""
+        index, queries = corpus
+        request = SearchRequest(queries=queries, k=5, encoder="light")
+        with pytest.raises(ValueError, match="encoder"):
+            index.serve(request)
+        with QueryEngine(index, parallel="never") as engine:
+            with pytest.raises(ValueError, match="encoder"):
+                engine.serve(request)
+        ivf = IVFIndex.build(index, num_cells=8)
+        with pytest.raises(ValueError, match="encoder"):
+            ivf.serve(request)

@@ -96,3 +96,58 @@ class TestResultCache:
             ResultCache(capacity=0)
         with pytest.raises(ValueError):
             ResultCache(ttl_s=0.0)
+
+
+class TestEncoderModeKeying:
+    """Per-query-encoder cache correctness (PR: asymmetric fast path).
+
+    Under an encoder mode the signed bytes are *raw features*, and the
+    light-path and full-path embeddings of the same raw query rank the
+    database differently — so the same vector must key three independent
+    entries (embedding / full / light) and never alias across modes.
+    """
+
+    MODES = (None, "full", "light")
+
+    def test_same_vector_distinct_per_mode(self):
+        query = np.arange(8, dtype=np.float64)
+        signatures = {
+            query_signature(query, 5, encoder=mode) for mode in self.MODES
+        }
+        assert len(signatures) == len(self.MODES)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="encoder"):
+            query_signature(np.arange(4.0), 5, encoder="medium")
+
+    def test_misses_then_hits_per_mode(self):
+        """The regression shape: submit one raw query under every mode —
+        each first submission misses and stores, each repeat hits its own
+        mode's entry with that mode's answer, and no mode ever reads
+        another's result."""
+        cache = ResultCache(capacity=8, ttl_s=10.0)
+        query = np.linspace(0.0, 1.0, 8)
+        answers = {
+            mode: np.array([i, i + 1]) for i, mode in enumerate(self.MODES)
+        }
+        for mode in self.MODES:
+            key = query_signature(query, 5, encoder=mode)
+            assert cache.get(key, now=0.0) is None  # first sight: miss
+            cache.put(key, answers[mode], answers[mode] * 0.5, now=0.0)
+        assert len(cache) == len(self.MODES)
+        for mode in self.MODES:
+            key = query_signature(query, 5, encoder=mode)
+            hit = cache.get(key, now=1.0)
+            assert hit is not None
+            entry, fresh = hit
+            assert fresh
+            assert entry.indices.tolist() == answers[mode].tolist()
+
+    def test_mode_keys_compose_with_search_config(self):
+        query = np.arange(8, dtype=np.float64)
+        signatures = [
+            query_signature(query, 5, nprobe=nprobe, encoder=mode)
+            for nprobe in (None, 4)
+            for mode in self.MODES
+        ]
+        assert len(set(signatures)) == len(signatures)

@@ -611,3 +611,178 @@ class TestPerRequestNprobe:
         misses_after_first, misses_total = asyncio.run(run())
         assert misses_after_first == 1
         assert misses_total == 3  # each rerank hint is its own entry
+
+
+class _HalvesEncoder:
+    """Stub query encoder: raw (2·dim,) features -> weighted half-sum.
+
+    Deterministic and shape-changing, so tests can verify the daemon
+    scans the *embedded* vector and that distinct modes produce distinct
+    answers for one raw query.
+    """
+
+    def __init__(self, dim, weight=0.5):
+        self.dim = dim
+        self.weight = weight
+
+    def embed(self, features):
+        features = np.asarray(features, dtype=np.float64)
+        return self.weight * features[:, : self.dim] + (
+            1.0 - self.weight
+        ) * features[:, self.dim :]
+
+
+class TestQueryEncoders:
+    def test_encoder_request_scans_the_embedded_query(self, served_index):
+        index, _ = served_index
+        encoder = _HalvesEncoder(index.dim)
+        raw = np.arange(2.0 * index.dim)
+        want_i, want_d = exact_answers(index, encoder.embed(raw[None, :]), k=5)
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=1,
+                config=quiet_config(),
+                query_encoders={"light": encoder},
+            ) as daemon:
+                from repro.retrieval.search import SearchRequest
+
+                return await daemon.submit(
+                    SearchRequest(queries=raw[None, :], k=5, encoder="light")
+                )
+
+        result = asyncio.run(run())
+        assert np.array_equal(result.indices, want_i[0])
+        assert np.allclose(result.distances, want_d[0])
+
+    def test_unregistered_mode_rejected(self, served_index):
+        index, _ = served_index
+
+        async def run():
+            async with ServingDaemon(
+                index, num_replicas=1, config=quiet_config()
+            ) as daemon:
+                from repro.retrieval.search import SearchRequest
+
+                with pytest.raises(ValueError, match="no such query encoder"):
+                    await daemon.submit(
+                        SearchRequest(
+                            queries=np.zeros((1, 2 * index.dim)),
+                            k=5,
+                            encoder="light",
+                        )
+                    )
+
+        asyncio.run(run())
+
+    def test_invalid_encoder_map_rejected_at_construction(self, served_index):
+        index, _ = served_index
+        with pytest.raises(ValueError, match="full.*light|'full'/'light'"):
+            ServingDaemon(
+                index, config=quiet_config(),
+                query_encoders={"medium": _HalvesEncoder(index.dim)},
+            )
+        with pytest.raises(ValueError, match="embed"):
+            ServingDaemon(
+                index, config=quiet_config(),
+                query_encoders={"light": object()},
+            )
+
+    def test_bad_encoder_output_shape_is_loud(self, served_index):
+        index, _ = served_index
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=1,
+                config=quiet_config(),
+                # Encoder emits 2·dim columns — not the index's dim.
+                query_encoders={"light": _HalvesEncoder(2 * index.dim)},
+            ) as daemon:
+                from repro.retrieval.search import SearchRequest
+
+                with pytest.raises(ValueError, match="produced shape"):
+                    await daemon.submit(
+                        SearchRequest(
+                            queries=np.zeros((1, 4 * index.dim)),
+                            k=5,
+                            encoder="light",
+                        )
+                    )
+
+        asyncio.run(run())
+
+    def test_repeat_raw_query_caches_per_mode(self, served_index):
+        """One raw query under full and light: two misses, then two hits
+        — each mode its own entry, answers never aliased across modes."""
+        index, _ = served_index
+        full = _HalvesEncoder(index.dim, weight=1.0)
+        light = _HalvesEncoder(index.dim, weight=0.0)
+        raw = np.linspace(-1.0, 1.0, 2 * index.dim)
+
+        async def run():
+            async with ServingDaemon(
+                index,
+                num_replicas=1,
+                config=quiet_config(),
+                query_encoders={"full": full, "light": light},
+            ) as daemon:
+                from repro.retrieval.search import SearchRequest
+
+                results = {}
+                for mode in ("full", "light"):
+                    for _ in range(2):
+                        results[mode] = await daemon.submit(
+                            SearchRequest(
+                                queries=raw[None, :], k=5, encoder=mode
+                            )
+                        )
+                return daemon.counts, results
+
+        counts, results = asyncio.run(run())
+        assert counts["cache_misses"] == 2
+        assert counts["cache_hits"] == 2
+        assert results["full"].source == "cache"
+        # The two modes embed the raw query differently, so their cached
+        # answers differ — aliasing would have returned full's indices.
+        want_light, _ = exact_answers(index, light.embed(raw[None, :]), k=5)
+        assert np.array_equal(results["light"].indices, want_light[0])
+        assert not np.array_equal(
+            results["full"].indices, results["light"].indices
+        )
+
+    def test_encode_time_metric_recorded(self, served_index):
+        from repro import obs as obs_module
+        from repro.obs import names as metric_names
+
+        index, _ = served_index
+        handle = obs_module.enable_observability()
+        try:
+
+            async def run():
+                async with ServingDaemon(
+                    index,
+                    num_replicas=1,
+                    config=quiet_config(),
+                    query_encoders={"light": _HalvesEncoder(index.dim)},
+                ) as daemon:
+                    from repro.retrieval.search import SearchRequest
+
+                    raw = np.ones(2 * index.dim)
+                    for _ in range(2):  # second submit is a cache hit
+                        await daemon.submit(
+                            SearchRequest(
+                                queries=raw[None, :], k=5, encoder="light"
+                            )
+                        )
+
+            asyncio.run(run())
+            histogram = handle.registry.histogram(
+                metric_names.QUERY_ENCODE_TIME
+            )
+            # Exactly one encode: the repeat hit the cache *before* paying
+            # even the light encoder.
+            assert histogram.count == 1
+        finally:
+            obs_module.disable_observability()

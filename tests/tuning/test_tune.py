@@ -27,11 +27,14 @@ def sweep_results():
 class TestGrids:
     def test_tiny_grid_shape(self):
         grid = tiny_grid()
-        assert len(grid) == 18
+        assert len(grid) == 22
         assert len(set(grid)) == len(grid)  # no duplicate points
         assert any(p.lut_dtype == "uint8" for p in grid)
         assert any(not p.uses_ivf for p in grid)
         assert any(p.uses_ivf for p in grid)
+        # One encode-inclusive point per query-encoder mode and geometry.
+        for mode in ("full", "light"):
+            assert sum(p.query_encoder == mode for p in grid) == 2
 
     def test_default_grid_has_uint16_point(self):
         """K=512 stores as uint16 — the point where ideal and as-stored
@@ -53,7 +56,7 @@ class TestGrids:
 
 class TestSweep:
     def test_artifact_structure(self, sweep_results):
-        assert sweep_results["schema_version"] == 6
+        assert sweep_results["schema_version"] == 7
         tune = sweep_results["profiles"]["tiny"]["phases"]["tune"]
         assert tune["grid_points"] == len(tune["points"]) == len(tiny_grid())
         assert tune["k"] == 5
